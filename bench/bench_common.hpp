@@ -1,0 +1,56 @@
+// Shared helpers for the experiment harnesses (DESIGN.md §5).
+//
+// Every harness prints:
+//   * wall-clock measurements on the host (informative but noisy on a
+//     shared 1-CPU container), and
+//   * deterministic simulated-machine numbers: instrumented counters
+//     multiplied through each machine's CostModel - these carry the
+//     paper-shape conclusions and are reproducible.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "theforce.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace force::bench {
+
+/// The six paper machines + native, canonical order.
+inline std::vector<std::string> all_machines() {
+  return machdep::machine_names();
+}
+
+/// Runs `fn(proc)` on `np` plain threads (for machdep-level experiments
+/// that bypass the driver).
+inline void on_team(int np, const std::function<void(int)>& fn) {
+  std::vector<std::jthread> team;
+  for (int t = 0; t < np; ++t) team.emplace_back([&fn, t] { fn(t); });
+}
+
+/// Formats nanoseconds for table cells.
+inline std::string ns_cell(double ns) {
+  return util::format_duration_ns(ns);
+}
+
+/// Prints a section header so bench output reads like the paper's tables.
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+/// Wall-clocks one callable.
+inline double time_ns(const std::function<void()>& fn) {
+  util::WallTimer t;
+  t.start();
+  fn();
+  t.stop();
+  return static_cast<double>(t.elapsed_ns());
+}
+
+}  // namespace force::bench

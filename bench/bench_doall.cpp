@@ -1,0 +1,172 @@
+// E3 - Prescheduled vs selfscheduled DOALL (paper §3.3, §4.2).
+//
+// Claim: prescheduling is free but fixes the assignment at compile time;
+// selfscheduling balances load through a shared, lock-protected loop index
+// and therefore pays a serialized dispatch per claim.
+//
+// Reproduction, two views:
+//   1. Deterministic: makespans from the cost-model scheduler for four
+//      workload shapes. Cyclic prescheduling balances uniform and even
+//      monotone (triangular) profiles well; it collapses when the heavy
+//      iterations align with the process count ("aligned") and degrades on
+//      heavy tails ("lognormal") - where selfscheduling wins. A grain
+//      sweep exposes the crossover where the serialized dispatch eats the
+//      balance advantage, and chunked/guided recover it.
+//   2. Measured on the runtime with forced interleaving (a yield per
+//      iteration, since the container has one CPU): the dynamic schedules
+//      spread iterations across processes while presched's split is fixed.
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/doall.hpp"
+#include "core/env.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+namespace fc = force::core;
+using force::bench::ns_cell;
+
+std::vector<double> make_work(const std::string& shape, std::size_t n,
+                              double grain_ns, int np) {
+  force::util::Xoshiro256 rng(2026);
+  std::vector<double> w(n, grain_ns);
+  if (shape == "uniform") return w;
+  if (shape == "linear") {
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = grain_ns * 2.0 * static_cast<double>(n - i) /
+             static_cast<double>(n);
+    }
+    return w;
+  }
+  if (shape == "aligned") {
+    // Heavy iterations land on stride np: under a cyclic deal one process
+    // receives every heavy iteration.
+    for (std::size_t i = 0; i < n; i += static_cast<std::size_t>(np)) {
+      w[i] = grain_ns * 8.0;
+    }
+    return w;
+  }
+  for (auto& x : w) x = grain_ns * rng.lognormal(0.0, 1.2);  // heavy tail
+  return w;
+}
+
+double measured_imbalance(const std::string& schedule,
+                          const std::vector<double>& work, int np) {
+  fc::ForceConfig cfg;
+  cfg.nproc = np;
+  fc::ForceEnvironment env(cfg);
+  fc::SelfschedLoop loop(env, np);
+  std::vector<double> per_proc(static_cast<std::size_t>(np), 0.0);
+  force::bench::on_team(np, [&](int me) {
+    auto body = [&](std::int64_t i) {
+      // The iteration's cost is modelled as a blocking sleep: on the
+      // 1-CPU container sleeps overlap like real parallel work would, so
+      // a process stuck in a heavy iteration genuinely misses claims and
+      // the dynamic schedules adapt (a spin+yield would just recreate the
+      // cyclic deal).
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          static_cast<std::int64_t>(work[static_cast<std::size_t>(i)])));
+      per_proc[static_cast<std::size_t>(me)] +=
+          work[static_cast<std::size_t>(i)];
+    };
+    const auto last = static_cast<std::int64_t>(work.size()) - 1;
+    if (schedule == "presched") {
+      fc::presched_do(me, np, 0, last, 1, body);
+    } else if (schedule == "guided") {
+      loop.run_guided(me, 0, last, 1, body);
+    } else if (schedule == "chunked") {
+      loop.run(me, 0, last, 1, body, 16);
+    } else {
+      loop.run(me, 0, last, 1, body);
+    }
+  });
+  return force::util::load_imbalance(per_proc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  force::util::CliParser cli;
+  cli.option("n", "4096", "iterations")
+      .option("np", "8", "force size")
+      .option("machine", "encore", "machine for the simulated view");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const int np = static_cast<int>(cli.get_int("np"));
+  const std::string machine = cli.get("machine");
+
+  force::bench::print_header(
+      "E3  Presched vs selfsched DOALL",
+      "Deterministic makespans (cost model, machine '" + machine +
+          "') plus runtime-measured work distribution.");
+
+  const auto model = force::machdep::CostModel(
+      force::machdep::machine_spec(machine).costs);
+  const double dispatch = model.default_dispatch_ns();
+
+  std::printf("Simulated makespans by workload (grain 5000ns, np=%d):\n\n",
+              np);
+  force::util::Table mk1({"workload", "presched", "selfsched", "chunked(16)",
+                          "guided~", "presched/selfsched"});
+  for (const char* shape : {"uniform", "linear", "aligned", "lognormal"}) {
+    const auto work = make_work(shape, n, 5000.0, np);
+    const double pre = model.presched_makespan_ns(work, np);
+    const double self = model.selfsched_makespan_ns(work, np, dispatch);
+    const double chunk = model.chunked_makespan_ns(work, np, dispatch, 16);
+    const double guided = model.chunked_makespan_ns(
+        work, np, dispatch,
+        std::max<std::size_t>(1, n / (2 * static_cast<std::size_t>(np))));
+    mk1.add_row({shape, ns_cell(pre), ns_cell(self), ns_cell(chunk),
+                 ns_cell(guided), force::util::Table::num(pre / self)});
+  }
+  std::fputs(mk1.render().c_str(), stdout);
+
+  std::printf(
+      "\nGrain sweep on the 'aligned' workload (the crossover view):\n\n");
+  force::util::Table mk2({"grain ns", "presched", "selfsched", "chunked(16)",
+                          "winner"});
+  for (double grain : {20.0, 100.0, 500.0, 2000.0, 10000.0}) {
+    const auto work = make_work("aligned", n, grain, np);
+    const double pre = model.presched_makespan_ns(work, np);
+    const double self = model.selfsched_makespan_ns(work, np, dispatch);
+    const double chunk = model.chunked_makespan_ns(work, np, dispatch, 16);
+    const double best = std::min({pre, self, chunk});
+    const char* winner =
+        best == pre ? "presched" : best == self ? "selfsched" : "chunked";
+    mk2.add_row({force::util::Table::num(grain), ns_cell(pre), ns_cell(self),
+                 ns_cell(chunk), winner});
+  }
+  std::fputs(mk2.render().c_str(), stdout);
+
+  std::printf(
+      "\nMeasured work distribution on the runtime (max/mean - 1; iteration "
+      "cost modelled as a blocking sleep), np=%d, n=%zu:\n\n",
+      np, n / 8);
+  force::util::Table imb({"workload", "presched", "selfsched", "chunked(16)",
+                          "guided"});
+  for (const char* shape : {"uniform", "aligned", "lognormal"}) {
+    // Smaller n for the measured view: sleep granularity is ~10us.
+    const auto work = make_work(shape, n / 8, 50000.0, np);
+    imb.add_row({shape,
+                 force::util::Table::num(
+                     measured_imbalance("presched", work, np)),
+                 force::util::Table::num(
+                     measured_imbalance("selfsched", work, np)),
+                 force::util::Table::num(
+                     measured_imbalance("chunked", work, np)),
+                 force::util::Table::num(
+                     measured_imbalance("guided", work, np))});
+  }
+  std::fputs(imb.render().c_str(), stdout);
+
+  std::printf(
+      "\nE3 verdict: selfscheduling wins when heavy work aligns against "
+      "the static cyclic deal (and on heavy tails); at fine grain its "
+      "serialized dispatch loses to presched, and chunking recovers most "
+      "of the gap - the paper's trade-off.\n");
+  return 0;
+}

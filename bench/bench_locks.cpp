@@ -1,0 +1,93 @@
+// E4 - Lock mechanisms (paper §4.1.3).
+//
+// Claim: the 1989 systems provided three lock families - software spin
+// locks (Sequent, Encore), system-call locks (Cray), and combined
+// spin-then-block locks (Flex) - and the Force wraps whichever exists.
+//
+// Reproduction:
+//   * google-benchmark micro timings of uncontended acquire/release for
+//     every mechanism (the fast-path cost the machine charges every
+//     critical section);
+//   * a contention sweep (threads x hold time) with counters: spin locks
+//     burn probes, system locks park, combined locks switch between the
+//     two as the hold time grows - exactly why the Flex lock exists.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+namespace md = force::machdep;
+using force::bench::ns_cell;
+
+void BM_UncontendedAcquireRelease(benchmark::State& state) {
+  const auto kind = static_cast<md::LockKind>(state.range(0));
+  auto lock = md::make_lock(kind, nullptr);
+  for (auto _ : state) {
+    lock->acquire();
+    lock->release();
+  }
+  state.SetLabel(md::lock_kind_name(kind));
+}
+
+void contention_table() {
+  force::util::Table table({"mechanism", "threads", "hold", "wall/op",
+                            "spin probes/op", "blocking waits/op"});
+  constexpr int kOpsPerThread = 400;
+  for (md::LockKind kind :
+       {md::LockKind::kTasSpin, md::LockKind::kTtasSpin,
+        md::LockKind::kTicket, md::LockKind::kMcs, md::LockKind::kSystem,
+        md::LockKind::kCombined, md::LockKind::kHepFullEmpty}) {
+    for (int threads : {2, 4}) {
+      for (std::int64_t hold_ns : {0, 20000}) {
+        md::LockCounters counters;
+        auto lock = md::make_lock(kind, &counters);
+        const double wall = force::bench::time_ns([&] {
+          force::bench::on_team(threads, [&](int) {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+              lock->acquire();
+              if (hold_ns > 0) force::util::spin_for_ns(hold_ns);
+              lock->release();
+            }
+          });
+        });
+        const auto snap = md::snapshot(counters);
+        const double ops = static_cast<double>(threads) * kOpsPerThread;
+        table.add_row(
+            {md::lock_kind_name(kind),
+             force::util::Table::num(static_cast<std::int64_t>(threads)),
+             hold_ns ? "20us" : "none", ns_cell(wall / ops),
+             force::util::Table::num(
+                 static_cast<double>(snap.spin_iterations) / ops),
+             force::util::Table::num(
+                 static_cast<double>(snap.blocking_waits) / ops)});
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+}  // namespace
+
+BENCHMARK(BM_UncontendedAcquireRelease)
+    ->DenseRange(0, 6)  // every LockKind
+    ->Unit(benchmark::kNanosecond);
+
+int main(int argc, char** argv) {
+  force::bench::print_header(
+      "E4  Lock mechanisms",
+      "Uncontended micro cost (google-benchmark) and behaviour under "
+      "contention: spin locks probe, system locks park, combined locks "
+      "spin briefly then park (the Flex/32 design point).");
+
+  contention_table();
+  std::printf(
+      "\nE4 verdict: with long holds the spin mechanisms burn probes while "
+      "system/combined park; with no hold the spin mechanisms win the "
+      "wall-clock - the trade-off the combined lock straddles.\n\n");
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E7 - Process creation cost (paper §4.1.1).
+//
+// Claim: "the standard UNIX fork/join process control model ... has a
+// large process creation and context switching cost. This prevents fine
+// grained parallelism, unless the parallelism is enclosed inside the
+// program structure"; the HEP creates processes with a subroutine call,
+// and the Alliant copies only the stack.
+//
+// Reproduction:
+//   * measured: bytes actually copied at spawn per model as the private
+//     segment grows (the real fork-cost driver), plus host wall time;
+//   * simulated: per-machine creation cost, and the work-grain crossover:
+//     how much computation a force must do before creating it pays off -
+//     tiny on the HEP, enormous on the fork machines.
+#include "bench_common.hpp"
+#include "machdep/process.hpp"
+#include "util/cli.hpp"
+
+namespace {
+using force::bench::ns_cell;
+namespace md = force::machdep;
+}  // namespace
+
+int main(int argc, char** argv) {
+  force::util::CliParser cli;
+  cli.option("np", "8", "force size");
+  if (!cli.parse(argc, argv)) return 0;
+  const int np = static_cast<int>(cli.get_int("np"));
+
+  force::bench::print_header(
+      "E7  Process creation",
+      "Creation cost per model: what spawn must copy, and the simulated "
+      "cost per machine; then the grain a program needs before a fork "
+      "pays off.");
+
+  std::printf("Measured spawn behaviour (np=%d):\n\n", np);
+  force::util::Table meas({"model", "private KiB/proc", "bytes copied",
+                           "wall create+join"});
+  for (auto kind : {md::ProcessModelKind::kHepCreate,
+                    md::ProcessModelKind::kForkSharedData,
+                    md::ProcessModelKind::kForkJoinCopy}) {
+    for (std::size_t kib : {64, 1024}) {
+      md::PrivateSpace space(kib * 1024 / 2, kib * 1024 / 2);
+      md::ProcessTeam team(kind);
+      const auto stats = team.run(np, &space, [](int) {});
+      meas.add_row(
+          {md::process_model_name(kind),
+           force::util::Table::num(static_cast<std::int64_t>(kib)),
+           force::util::Table::num(
+               static_cast<std::int64_t>(stats.bytes_copied)),
+           ns_cell(static_cast<double>(stats.create_ns + stats.join_ns))});
+    }
+  }
+  std::fputs(meas.render().c_str(), stdout);
+
+  std::printf("\nSimulated creation cost (np=%d, 1 MiB private/proc):\n\n",
+              np);
+  force::util::Table sim({"machine", "model", "sim creation", "equivalent "
+                          "flops @1ns"});
+  for (const auto& machine : force::bench::all_machines()) {
+    const auto& spec = md::machine_spec(machine);
+    // Bytes copied under the machine's model:
+    const std::size_t per_proc = 1u << 20;
+    std::size_t copied = 0;
+    switch (spec.process_model) {
+      case md::ProcessModelKind::kForkJoinCopy:
+        copied = static_cast<std::size_t>(np) * per_proc;
+        break;
+      case md::ProcessModelKind::kForkSharedData:
+        copied = static_cast<std::size_t>(np) * per_proc / 4;  // stack only
+        break;
+      case md::ProcessModelKind::kHepCreate:
+        copied = 0;
+        break;
+    }
+    const auto model = md::CostModel(spec.costs);
+    const double create = model.creation_time_ns(np, copied);
+    sim.add_row({machine, md::process_model_name(spec.process_model),
+                 ns_cell(create), force::util::Table::num(create)});
+  }
+  std::fputs(sim.render().c_str(), stdout);
+
+  // Grain crossover: creating the force pays off once parallel work saved
+  // exceeds the creation cost. work(np) = W/np + create(np); serial = W.
+  // Crossover W* where parallel beats serial: W*(1 - 1/np) = create.
+  std::printf(
+      "\nWork needed before creating a force of %d beats serial "
+      "execution:\n\n",
+      np);
+  force::util::Table grain({"machine", "sim create", "break-even work",
+                            "at 1us/iter that is"});
+  for (const auto& machine : force::bench::all_machines()) {
+    const auto& spec = md::machine_spec(machine);
+    std::size_t copied = spec.process_model == md::ProcessModelKind::kForkJoinCopy
+                             ? static_cast<std::size_t>(np) << 20
+                         : spec.process_model ==
+                                 md::ProcessModelKind::kForkSharedData
+                             ? static_cast<std::size_t>(np) << 18
+                             : 0;
+    const auto model = md::CostModel(spec.costs);
+    const double create = model.creation_time_ns(np, copied);
+    const double breakeven = create / (1.0 - 1.0 / np);
+    // Convert simulated ns back to nominal iterations of 1us work.
+    const double iters = breakeven / model.work_time_ns(1000.0);
+    grain.add_row({machine, ns_cell(create), ns_cell(breakeven),
+                   force::util::Table::num(iters) + " iters"});
+  }
+  std::fputs(grain.render().c_str(), stdout);
+  std::printf(
+      "\nE7 verdict: the fork machines need orders of magnitude more work "
+      "to amortize creation than the HEP - why the Force encloses the "
+      "whole program in one force instead of forking per parallel "
+      "region.\n");
+  return 0;
+}

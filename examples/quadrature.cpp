@@ -1,0 +1,98 @@
+// Adaptive quadrature with the Askfor monitor.
+//
+// Integrates a sharply peaked function by interval bisection: the degree
+// of concurrency is unknown at compile time - intervals that fail the
+// accuracy test put two refined subproblems back into the monitor at run
+// time, exactly the situation the paper introduces Askfor for.
+//
+//   ./quadrature --machine cray2 --nproc 8
+#include <cmath>
+#include <cstdio>
+
+#include "theforce.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+// A narrow peak the fixed-grid methods would need a huge n to resolve.
+double f_peak(double x) {
+  return 1.0 / (1e-4 + (x - 0.37) * (x - 0.37)) +
+         0.5 / (1e-3 + (x - 0.81) * (x - 0.81));
+}
+
+double simpson(double a, double b) {
+  const double m = 0.5 * (a + b);
+  return (b - a) / 6.0 * (f_peak(a) + 4.0 * f_peak(m) + f_peak(b));
+}
+
+struct Interval {
+  double a, b, whole;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  force::util::CliParser cli;
+  cli.option("machine", "native", "machine model")
+      .option("nproc", "4", "force size")
+      .option("tol", "1e-9", "per-interval tolerance");
+  if (!cli.parse(argc, argv)) return 0;
+
+  force::ForceConfig config;
+  config.machine = cli.get("machine");
+  config.nproc = static_cast<int>(cli.get_int("nproc"));
+  const double tol = cli.get_double("tol");
+
+  force::Force f(config);
+  auto& integral = f.shared<double>("integral");
+  auto& intervals_done = f.shared<std::int64_t>("intervals_done");
+
+  f.run([&](force::Ctx& ctx) {
+    auto& monitor = ctx.askfor<Interval>(FORCE_SITE);
+    if (ctx.leader()) {
+      monitor.put({0.0, 1.0, simpson(0.0, 1.0)});
+    }
+    ctx.barrier();
+
+    double local_sum = 0.0;
+    std::int64_t local_done = 0;
+    monitor.work([&](Interval& iv, force::core::Askfor<Interval>& self) {
+      const double m = 0.5 * (iv.a + iv.b);
+      const double left = simpson(iv.a, m);
+      const double right = simpson(m, iv.b);
+      if (std::fabs(left + right - iv.whole) < 15.0 * tol ||
+          (iv.b - iv.a) < 1e-12) {
+        // Accurate enough: Richardson-corrected contribution.
+        local_sum += left + right + (left + right - iv.whole) / 15.0;
+        ++local_done;
+      } else {
+        // Request two new concurrent instances at run time.
+        self.put({iv.a, m, left});
+        self.put({m, iv.b, right});
+      }
+    });
+    ctx.critical(FORCE_SITE, [&] {
+      integral += local_sum;
+      intervals_done += local_done;
+    });
+    ctx.barrier();
+  });
+
+  // Reference value via dense Simpson on a million panels.
+  double reference = 0.0;
+  const int panels = 1 << 20;
+  for (int i = 0; i < panels; ++i) {
+    const double a = static_cast<double>(i) / panels;
+    const double b = static_cast<double>(i + 1) / panels;
+    reference += simpson(a, b);
+  }
+
+  const double err = std::fabs(integral - reference);
+  std::printf(
+      "quadrature machine=%s np=%d: integral=%.9f reference=%.9f "
+      "err=%.2e leaves=%lld grants=%zu\n",
+      config.machine.c_str(), config.nproc, integral, reference, err,
+      static_cast<long long>(intervals_done),
+      f.env().stats().askfor_grants.load(std::memory_order_relaxed));
+  return err < 1e-5 * std::fabs(reference) ? 0 : 1;
+}

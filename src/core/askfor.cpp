@@ -1,0 +1,74 @@
+#include "core/askfor.hpp"
+
+#include "core/env.hpp"
+
+namespace force::core {
+
+AskforCore::AskforCore(ForceEnvironment& env)
+    : env_(env), monitor_(env.new_lock()) {}
+
+void AskforCore::put(std::size_t token) {
+  monitor_->acquire();
+  if (!ended_) queue_.push_back(token);
+  monitor_->release();
+}
+
+AskforCore::Outcome AskforCore::ask(std::size_t* token) {
+  FORCE_CHECK(token != nullptr, "ask needs an output slot");
+  for (;;) {
+    monitor_->acquire();
+    if (ended_) {
+      monitor_->release();
+      return Outcome::kDone;
+    }
+    if (!queue_.empty()) {
+      *token = queue_.front();
+      queue_.pop_front();
+      ++working_;
+      ++granted_;
+      env_.stats().askfor_grants.fetch_add(1, std::memory_order_relaxed);
+      monitor_->release();
+      return Outcome::kWork;
+    }
+    if (working_ == 0) {
+      // No work queued and nobody who could create any: the computation
+      // has drained. Latch the end so every process agrees.
+      ended_ = true;
+      monitor_->release();
+      return Outcome::kDone;
+    }
+    // Work may still appear: release the monitor and retry politely.
+    monitor_->release();
+    std::this_thread::yield();
+  }
+}
+
+void AskforCore::complete() {
+  monitor_->acquire();
+  FORCE_CHECK(working_ > 0, "complete() without a granted task");
+  --working_;
+  monitor_->release();
+}
+
+void AskforCore::probend() {
+  monitor_->acquire();
+  ended_ = true;
+  queue_.clear();
+  monitor_->release();
+}
+
+bool AskforCore::ended() const {
+  monitor_->acquire();
+  const bool e = ended_;
+  monitor_->release();
+  return e;
+}
+
+std::size_t AskforCore::granted() const {
+  monitor_->acquire();
+  const std::size_t g = granted_;
+  monitor_->release();
+  return g;
+}
+
+}  // namespace force::core

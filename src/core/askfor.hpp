@@ -1,0 +1,127 @@
+// The Askfor monitor (paper §3.3, after Lusk & Overbeek [LO83]).
+//
+// "The most general concept for concurrent code segments ... provides a
+// means of work distribution in cases where the degree of concurrency is
+// not known at compile time. Rather, the program can request during run
+// time that a new concurrent instance of the code segment is executed."
+//
+// AskforCore is the monitor: a queue of work tokens plus the bookkeeping
+// needed to distinguish "no work right now, but a working process may
+// still put() more" (wait) from "no work and nobody working" (done).
+// Askfor<T> is the typed façade with the canonical worker loop.
+//
+// Waiting uses the monitor's generic lock plus poll-with-yield, the shape
+// the Argonne monitor macros took on lock-only machines. probend() aborts
+// the whole computation early (e.g. when a search finds its answer).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "machdep/locks.hpp"
+#include "util/check.hpp"
+
+namespace force::core {
+
+class ForceEnvironment;
+
+class AskforCore {
+ public:
+  explicit AskforCore(ForceEnvironment& env);
+
+  enum class Outcome {
+    kWork,  ///< a token was granted; caller must complete() afterwards
+    kDone   ///< the computation is over (drained or probend)
+  };
+
+  /// Adds a work token (callable from inside a granted task).
+  void put(std::size_t token);
+
+  /// Blocks until work is available or the computation completes.
+  Outcome ask(std::size_t* token);
+
+  /// Reports that the token most recently granted to this process has
+  /// been fully processed (its put() calls, if any, already made).
+  void complete();
+
+  /// Ends the computation immediately; subsequent and pending ask()s
+  /// return kDone. Idempotent.
+  void probend();
+
+  [[nodiscard]] bool ended() const;
+  [[nodiscard]] std::size_t granted() const;
+
+ private:
+  ForceEnvironment& env_;
+  std::unique_ptr<machdep::BasicLock> monitor_;
+  std::deque<std::size_t> queue_;   // guarded by *monitor_
+  int working_ = 0;                 // guarded by *monitor_
+  bool ended_ = false;              // guarded by *monitor_
+  std::size_t granted_ = 0;         // guarded by *monitor_
+};
+
+/// Typed askfor: stores tasks by value (stable storage) and runs the
+/// canonical worker loop. Every process of the force calls work() with the
+/// same site-shared instance; any process may seed() or put() tasks.
+template <typename T>
+class Askfor {
+ public:
+  explicit Askfor(ForceEnvironment& env) : core_(env), guard_(nullptr) {
+    // Task storage needs its own tiny mutex: deque growth must not race.
+    // (The monitor lock cannot be reused: put() may be called while the
+    // caller does not hold it.)
+    guard_ = std::make_unique<std::mutex>();
+  }
+
+  /// Adds a task; thread-safe, callable before or during work().
+  void put(T task) {
+    std::size_t token;
+    {
+      std::lock_guard<std::mutex> g(*guard_);
+      tasks_.push_back(std::move(task));
+      token = tasks_.size() - 1;
+    }
+    core_.put(token);
+  }
+
+  /// The worker loop: repeatedly asks for work and runs
+  /// `body(task, *this)`; the body may put() new tasks and may probend().
+  /// Returns the number of tasks this process executed.
+  std::size_t work(const std::function<void(T&, Askfor<T>&)>& body) {
+    std::size_t executed = 0;
+    std::size_t token = 0;
+    while (core_.ask(&token) == AskforCore::Outcome::kWork) {
+      T* task = nullptr;
+      {
+        std::lock_guard<std::mutex> g(*guard_);
+        task = &tasks_[token];  // deque: stable under push_back
+      }
+      try {
+        body(*task, *this);
+      } catch (...) {
+        core_.complete();
+        throw;
+      }
+      core_.complete();
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Aborts the computation (e.g. a search hit).
+  void probend() { core_.probend(); }
+
+  [[nodiscard]] bool ended() const { return core_.ended(); }
+  [[nodiscard]] std::size_t granted() const { return core_.granted(); }
+
+ private:
+  AskforCore core_;
+  std::unique_ptr<std::mutex> guard_;
+  std::deque<T> tasks_;  // grows only; references stay valid
+};
+
+}  // namespace force::core

@@ -1,0 +1,246 @@
+// Asynchronous variables: Produce / Consume / Copy / Void / Isfull
+// (paper §3.2, §3.4, §4.2).
+//
+// An async variable carries a full/empty state with its value:
+//   Produce - waits for empty, writes, leaves full;
+//   Consume - waits for full, reads, leaves empty;
+//   Copy    - waits for full, reads, leaves full;
+//   Void    - forces the state to empty regardless of its previous state;
+//   Isfull  - tests the state.
+//
+// Two implementations, selected by the machine model:
+//
+//   * the generic two-lock scheme from §4.2, used on every machine except
+//     the HEP: locks E and F, where empty == (E locked, F unlocked) and
+//     full == (F locked, E unlocked).
+//         Produce: Lock F;  write;  Unlock E.
+//         Consume: Lock E;  read;   Unlock F.
+//     Note the cross-thread unlock: this is why Force locks are binary
+//     semaphores, not mutexes.
+//
+//   * the HEP hardware path: one tagged memory cell. Payloads of at most
+//     one word are stored *in* the cell (bit-cast), exactly as on the real
+//     machine; wider payloads sit beside the cell and are moved inside its
+//     busy window.
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "core/env.hpp"
+#include "machdep/hepcell.hpp"
+#include "machdep/locks.hpp"
+#include "util/check.hpp"
+
+namespace force::core {
+
+template <typename T>
+class Async {
+  static_assert(std::is_default_constructible_v<T>,
+                "async payloads must be default constructible");
+
+  /// True when the payload fits inside one HEP tagged cell.
+  static constexpr bool kInCell =
+      std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(std::uint64_t);
+
+ public:
+  /// Creates the variable in the *empty* state (like Void at startup).
+  explicit Async(ForceEnvironment& env)
+      : env_(&env), hardware_(env.machine().spec().hardware_full_empty) {
+    if (!hardware_) {
+      lock_e_ = env.new_lock();
+      lock_f_ = env.new_lock();
+      void_guard_ = env.new_lock();
+      lock_e_->acquire();  // empty: E locked, F unlocked
+    }
+  }
+
+  Async(const Async&) = delete;
+  Async& operator=(const Async&) = delete;
+
+  /// Waits for empty, writes `v`, leaves full.
+  void produce(const T& v) {
+    env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+    if (hardware_) {
+      if constexpr (kInCell) {
+        cell_.produce(encode(v));
+      } else {
+        cell_.seize_empty();
+        value_ = v;
+        cell_.publish_full();
+      }
+    } else {
+      lock_f_->acquire();
+      value_ = v;
+      full_.store(true, std::memory_order_release);
+      lock_e_->release();
+    }
+  }
+
+  /// Waits for full, reads, leaves empty.
+  T consume() {
+    env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
+    if (hardware_) {
+      if constexpr (kInCell) {
+        return decode(cell_.consume());
+      } else {
+        cell_.seize_full();
+        T v = value_;
+        cell_.publish_empty();
+        return v;
+      }
+    }
+    lock_e_->acquire();
+    T v = value_;
+    full_.store(false, std::memory_order_release);
+    lock_f_->release();
+    return v;
+  }
+
+  /// Waits for full, reads, leaves full (the Force Copy access).
+  T copy() {
+    if (hardware_) {
+      if constexpr (kInCell) {
+        return decode(cell_.copy());
+      } else {
+        cell_.seize_full();
+        T v = value_;
+        cell_.publish_full();
+        return v;
+      }
+    }
+    // Software path: momentarily consume and re-produce under E so that a
+    // concurrent producer cannot interleave (it needs F, which stays
+    // locked throughout).
+    lock_e_->acquire();
+    T v = value_;
+    lock_e_->release();
+    return v;
+  }
+
+  /// Non-blocking produce; true on success.
+  bool try_produce(const T& v) {
+    if (hardware_) {
+      if constexpr (kInCell) {
+        const bool ok = cell_.try_produce(encode(v));
+        if (ok) env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+        return ok;
+      } else {
+        if (!cell_.try_seize_empty()) return false;
+        value_ = v;
+        cell_.publish_full();
+        env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    if (!lock_f_->try_acquire()) return false;
+    value_ = v;
+    full_.store(true, std::memory_order_release);
+    lock_e_->release();
+    env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Non-blocking consume; true on success.
+  bool try_consume(T* out) {
+    FORCE_CHECK(out != nullptr, "try_consume needs an output slot");
+    if (hardware_) {
+      if constexpr (kInCell) {
+        std::uint64_t bits;
+        if (!cell_.try_consume(&bits)) return false;
+        *out = decode(bits);
+      } else {
+        if (!cell_.try_seize_full()) return false;
+        *out = value_;
+        cell_.publish_empty();
+      }
+      env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (!lock_e_->try_acquire()) return false;
+    *out = value_;
+    full_.store(false, std::memory_order_release);
+    lock_f_->release();
+    env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Forces the state to empty regardless of the previous state (Void).
+  /// Concurrent Voids are serialized; a Void that overlaps an in-flight
+  /// Produce may land before or after it, as on the original machines.
+  void void_state() {
+    if (hardware_) {
+      cell_.make_empty();
+      return;
+    }
+    void_guard_->acquire();
+    if (full_.load(std::memory_order_acquire)) {
+      lock_e_->acquire();  // consume the token without reading the value
+      full_.store(false, std::memory_order_release);
+      lock_f_->release();
+    }
+    void_guard_->release();
+  }
+
+  /// Tests the state (Force's Isfull). Inherently a snapshot.
+  [[nodiscard]] bool is_full() const {
+    if (hardware_) return cell_.is_full();
+    return full_.load(std::memory_order_acquire);
+  }
+
+  /// True if this variable uses the HEP tagged-cell path.
+  [[nodiscard]] bool uses_hardware_path() const { return hardware_; }
+  /// True if the payload lives inside the tagged cell itself.
+  [[nodiscard]] static constexpr bool payload_in_cell() { return kInCell; }
+
+ private:
+  static std::uint64_t encode(const T& v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(T));
+    return bits;
+  }
+  static T decode(std::uint64_t bits) {
+    T v{};
+    std::memcpy(&v, &bits, sizeof(T));
+    return v;
+  }
+
+  ForceEnvironment* env_;
+  bool hardware_;
+  // Software scheme state:
+  std::unique_ptr<machdep::BasicLock> lock_e_;
+  std::unique_ptr<machdep::BasicLock> lock_f_;
+  std::unique_ptr<machdep::BasicLock> void_guard_;
+  std::atomic<bool> full_{false};
+  // Hardware scheme state:
+  machdep::HepCell cell_;
+  // Payload (software scheme, or hardware scheme with wide payloads):
+  T value_{};
+};
+
+/// A fixed-size array of async variables (Force `Async real A(n)`), e.g.
+/// for pipelined wavefront algorithms where element (i) being full means
+/// row i is ready. Also the stress subject of the lock-scarcity bench.
+template <typename T>
+class AsyncArray {
+ public:
+  AsyncArray(ForceEnvironment& env, std::size_t n) {
+    slots_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_.push_back(std::make_unique<Async<T>>(env));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  Async<T>& operator[](std::size_t i) {
+    FORCE_CHECK(i < slots_.size(), "async array index out of range");
+    return *slots_[i];
+  }
+
+ private:
+  std::vector<std::unique_ptr<Async<T>>> slots_;
+};
+
+}  // namespace force::core

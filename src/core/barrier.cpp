@@ -1,0 +1,213 @@
+#include "core/barrier.hpp"
+
+#include <bit>
+#include <thread>
+
+#include "core/env.hpp"
+#include "util/check.hpp"
+
+namespace force::core {
+
+namespace {
+
+/// Spin-with-yield wait on an atomic until `pred(value)` holds. Uses the
+/// C++20 futex-style wait once polite spinning has not paid off, so the
+/// barrier stays live with more processes than CPUs.
+template <typename T, typename Pred>
+void wait_until(const std::atomic<T>& a, Pred pred) {
+  for (int probe = 0; probe < 64; ++probe) {
+    if (pred(a.load(std::memory_order_acquire))) return;
+  }
+  for (;;) {
+    T v = a.load(std::memory_order_acquire);
+    if (pred(v)) return;
+    a.wait(v, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PaperLockBarrier: the reusable two-turnstile barrier built exclusively
+// from generic Force locks (binary semaphores) - the construction available
+// on every 1989 machine. The barrier section runs in the last arriver,
+// which holds the entry mutex, so all other processes are provably parked
+// before turnstile 1.
+// ---------------------------------------------------------------------------
+
+PaperLockBarrier::PaperLockBarrier(ForceEnvironment& env, int width)
+    : width_(width),
+      mutex_(env.new_lock()),
+      turnstile1_(env.new_lock()),
+      turnstile2_(env.new_lock()) {
+  FORCE_CHECK(width_ > 0, "barrier width must be positive");
+  turnstile1_->acquire();  // phase-1 gate starts closed
+}
+
+void PaperLockBarrier::arrive(int proc0, const std::function<void()>& section) {
+  FORCE_CHECK(proc0 >= 0 && proc0 < width_, "barrier process id out of range");
+  // Phase 1: count arrivals; the last arriver re-arms the phase-2 gate,
+  // runs the barrier section and opens the phase-1 gate.
+  mutex_->acquire();
+  ++count_;
+  if (count_ == width_) {
+    turnstile2_->acquire();
+    if (section) section();
+    turnstile1_->release();
+  }
+  mutex_->release();
+  turnstile1_->acquire();  // pass the gate...
+  turnstile1_->release();  // ...and hand the baton to the next process
+
+  // Phase 2: count departures; the last process out re-arms the phase-1
+  // gate and opens phase 2, making the barrier safely reusable.
+  mutex_->acquire();
+  --count_;
+  if (count_ == 0) {
+    turnstile1_->acquire();
+    turnstile2_->release();
+  }
+  mutex_->release();
+  turnstile2_->acquire();
+  turnstile2_->release();
+}
+
+// ---------------------------------------------------------------------------
+// CentralSenseBarrier
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kSenseStride = 16;  // 64B per process slot
+}
+
+CentralSenseBarrier::CentralSenseBarrier(int width)
+    : width_(width),
+      count_(0),
+      local_sense_(static_cast<std::size_t>(width) * kSenseStride, 0) {
+  FORCE_CHECK(width_ > 0, "barrier width must be positive");
+}
+
+void CentralSenseBarrier::arrive(int proc0,
+                                 const std::function<void()>& section) {
+  FORCE_CHECK(proc0 >= 0 && proc0 < width_, "barrier process id out of range");
+  std::uint32_t& mine =
+      local_sense_[static_cast<std::size_t>(proc0) * kSenseStride];
+  mine ^= 1u;
+  if (count_.fetch_add(1, std::memory_order_acq_rel) == width_ - 1) {
+    // Champion: everyone else has arrived and is (or will be) waiting on
+    // the sense word; safe to run the section and flip.
+    count_.store(0, std::memory_order_relaxed);
+    if (section) section();
+    sense_.store(mine, std::memory_order_release);
+    sense_.notify_all();
+  } else {
+    const std::uint32_t want = mine;
+    wait_until(sense_, [want](std::uint32_t v) { return v == want; });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TreeBarrier: pairwise combining by rank. In round r, ranks that are
+// multiples of 2^(r+1) collect the arrival of rank + 2^r; other ranks
+// publish their arrival stamp and drop to the release wait. Rank 0 ends up
+// the champion, runs the section, and publishes the release stamp.
+// ---------------------------------------------------------------------------
+
+TreeBarrier::TreeBarrier(int width) : width_(width), slots_(width) {
+  FORCE_CHECK(width_ > 0, "barrier width must be positive");
+}
+
+void TreeBarrier::arrive(int proc0, const std::function<void()>& section) {
+  FORCE_CHECK(proc0 >= 0 && proc0 < width_, "barrier process id out of range");
+  Slot& me = slots_[static_cast<std::size_t>(proc0)];
+  const std::uint64_t ep = ++me.episode;
+
+  for (int r = 0; (1 << r) < width_; ++r) {
+    const int span = 1 << (r + 1);
+    if (proc0 % span == 0) {
+      const int child = proc0 + (1 << r);
+      if (child < width_) {
+        wait_until(slots_[static_cast<std::size_t>(child)].arrival,
+                   [ep](std::uint64_t v) { return v >= ep; });
+      }
+    } else {
+      // Subtree fully combined (rounds 0..r-1 won); report and stop.
+      me.arrival.store(ep, std::memory_order_release);
+      me.arrival.notify_all();
+      break;
+    }
+  }
+
+  if (proc0 == 0) {
+    if (section) section();
+    release_.store(ep, std::memory_order_release);
+    release_.notify_all();
+  } else {
+    wait_until(release_, [ep](std::uint64_t v) { return v >= ep; });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DisseminationBarrier
+// ---------------------------------------------------------------------------
+
+DisseminationBarrier::DisseminationBarrier(int width)
+    : width_(width),
+      rounds_(width > 1 ? std::bit_width(static_cast<unsigned>(width - 1))
+                        : 0),
+      flags_(static_cast<std::size_t>(width) *
+             static_cast<std::size_t>(rounds_ == 0 ? 1 : rounds_)),
+      episode_(static_cast<std::size_t>(width)) {
+  FORCE_CHECK(width_ > 0, "barrier width must be positive");
+}
+
+void DisseminationBarrier::arrive(int proc0,
+                                  const std::function<void()>& section) {
+  FORCE_CHECK(proc0 >= 0 && proc0 < width_, "barrier process id out of range");
+  const std::uint64_t ep = ++episode_[static_cast<std::size_t>(proc0)].value;
+  const auto stride = static_cast<std::size_t>(rounds_ == 0 ? 1 : rounds_);
+
+  for (int r = 0; r < rounds_; ++r) {
+    const int dest = (proc0 + (1 << r)) % width_;
+    Flag& out = flags_[static_cast<std::size_t>(dest) * stride +
+                       static_cast<std::size_t>(r)];
+    out.stamp.store(ep, std::memory_order_release);
+    out.stamp.notify_all();
+    Flag& in = flags_[static_cast<std::size_t>(proc0) * stride +
+                      static_cast<std::size_t>(r)];
+    wait_until(in.stamp, [ep](std::uint64_t v) { return v >= ep; });
+  }
+
+  if (section) {
+    // No natural champion: rank 0 runs the section behind one extra flag.
+    if (proc0 == 0) {
+      section();
+      section_done_.store(ep, std::memory_order_release);
+      section_done_.notify_all();
+    } else {
+      wait_until(section_done_, [ep](std::uint64_t v) { return v >= ep; });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> barrier_algorithm_names() {
+  return {"paper-lock", "central-sense", "tree", "dissemination"};
+}
+
+std::unique_ptr<BarrierAlgorithm> make_barrier_algorithm(
+    const std::string& name, ForceEnvironment& env, int width) {
+  if (name == "paper-lock")
+    return std::make_unique<PaperLockBarrier>(env, width);
+  if (name == "central-sense")
+    return std::make_unique<CentralSenseBarrier>(width);
+  if (name == "tree") return std::make_unique<TreeBarrier>(width);
+  if (name == "dissemination")
+    return std::make_unique<DisseminationBarrier>(width);
+  FORCE_CHECK(false, "unknown barrier algorithm: " + name);
+}
+
+}  // namespace force::core

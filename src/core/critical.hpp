@@ -1,0 +1,49 @@
+// Critical sections (paper §3.4).
+//
+// "Critical sections implement the mutual exclusion condition. Only one
+// process at a given time is allowed to execute within the critical
+// section." Each Critical ... End critical pair in Force source owns one
+// generic lock; here each CriticalSection object (usually addressed by
+// construct site) owns one machine lock.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "machdep/locks.hpp"
+
+namespace force::core {
+
+class ForceEnvironment;
+
+class CriticalSection {
+ public:
+  explicit CriticalSection(ForceEnvironment& env);
+
+  /// Runs `body` under mutual exclusion. Exception-safe: the lock is
+  /// released if the body throws.
+  void enter(const std::function<void()>& body);
+
+  /// RAII guard for callers that prefer scoped style.
+  class Guard {
+   public:
+    explicit Guard(CriticalSection& cs) : cs_(cs) { cs_.lock_->acquire(); }
+    ~Guard() { cs_.lock_->release(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    CriticalSection& cs_;
+  };
+
+  /// Number of times the section has been entered (diagnostic).
+  [[nodiscard]] std::uint64_t entries() const { return entries_; }
+
+ private:
+  friend class Guard;
+  std::unique_ptr<machdep::BasicLock> lock_;
+  ForceEnvironment& env_;
+  std::uint64_t entries_ = 0;  // guarded by *lock_
+};
+
+}  // namespace force::core

@@ -1,0 +1,211 @@
+#include "core/doall.hpp"
+
+#include <algorithm>
+
+#include "core/env.hpp"
+#include "util/check.hpp"
+#include "util/timing.hpp"
+#include "util/trace.hpp"
+
+namespace force::core {
+
+std::int64_t loop_trip_count(std::int64_t start, std::int64_t last,
+                             std::int64_t incr) {
+  FORCE_CHECK(incr != 0, "DO loop increment must be nonzero");
+  if (incr > 0) {
+    if (start > last) return 0;
+    return (last - start) / incr + 1;
+  }
+  if (start < last) return 0;
+  return (start - last) / (-incr) + 1;
+}
+
+void presched_do(int me0, int np, std::int64_t start, std::int64_t last,
+                 std::int64_t incr,
+                 const std::function<void(std::int64_t)>& body) {
+  FORCE_CHECK(np > 0 && me0 >= 0 && me0 < np, "bad presched process id");
+  const std::int64_t trips = loop_trip_count(start, last, incr);
+  // Cyclic deal: process me0 takes trips me0, me0+np, me0+2np, ...
+  for (std::int64_t t = me0; t < trips; t += np) {
+    body(start + t * incr);
+  }
+}
+
+void presched_do2(int me0, int np, std::int64_t i_start, std::int64_t i_last,
+                  std::int64_t i_incr, std::int64_t j_start,
+                  std::int64_t j_last, std::int64_t j_incr,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  FORCE_CHECK(np > 0 && me0 >= 0 && me0 < np, "bad presched process id");
+  const std::int64_t i_trips = loop_trip_count(i_start, i_last, i_incr);
+  const std::int64_t j_trips = loop_trip_count(j_start, j_last, j_incr);
+  const std::int64_t total = i_trips * j_trips;
+  for (std::int64_t t = me0; t < total; t += np) {
+    const std::int64_t i_idx = t / j_trips;
+    const std::int64_t j_idx = t % j_trips;
+    body(i_start + i_idx * i_incr, j_start + j_idx * j_incr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SelfschedLoop - the paper's macro expansion, object-ified.
+//
+//   entry:  lock(BARWIN); if first arriver, initialize the shared index;
+//           report arrival; the LAST arriver unlocks BARWOT (exits may now
+//           drain), every other arriver unlocks BARWIN (the next process
+//           may enter).
+//   body:   lock(LOOP); K = K_shared; K_shared = K + INCR; unlock(LOOP);
+//           if K in range, execute and repeat; otherwise fall through.
+//   exit:   lock(BARWOT); report departure; the LAST process out unlocks
+//           BARWIN (the loop may be re-entered), every other unlocks
+//           BARWOT. There is deliberately NO exit barrier: a process
+//           leaves as soon as it draws an exhausted index.
+// ---------------------------------------------------------------------------
+
+SelfschedLoop::SelfschedLoop(ForceEnvironment& env, int width)
+    : env_(env),
+      width_(width),
+      barwin_(env.new_lock()),
+      barwot_(env.new_lock()),
+      loop_lock_(env.new_lock()) {
+  FORCE_CHECK(width_ > 0, "selfsched loop width must be positive");
+  barwot_->acquire();  // exits blocked until all have entered the episode
+}
+
+bool SelfschedLoop::enter_episode(std::int64_t start, std::int64_t last,
+                                  std::int64_t incr) {
+  bool ok = true;
+  barwin_->acquire();
+  if (zznbar_ == 0) {
+    k_shared_ = start;
+    last_ = last;
+    incr_ = incr;
+    remaining_ = loop_trip_count(start, last, incr);
+  } else {
+    // SPMD discipline: every process must reach this site with the same
+    // bounds. A divergent call would silently corrupt the distribution on
+    // a real Force; here it is detected - but the arrival must still be
+    // counted and the gates released, or the compliant processes would be
+    // wedged in the exit protocol forever.
+    ok = (last == last_ && incr == incr_);
+  }
+  ++zznbar_;
+  if (zznbar_ == width_) {
+    barwot_->release();
+  } else {
+    barwin_->release();
+  }
+  return ok;
+}
+
+void SelfschedLoop::leave_episode() {
+  barwot_->acquire();
+  --zznbar_;
+  if (zznbar_ == 0) {
+    barwin_->release();
+  } else {
+    barwot_->release();
+  }
+}
+
+void SelfschedLoop::run(int me0, std::int64_t start, std::int64_t last,
+                        std::int64_t incr,
+                        const std::function<void(std::int64_t)>& body,
+                        std::int64_t chunk) {
+  FORCE_CHECK(me0 >= 0 && me0 < width_, "bad selfsched process id");
+  FORCE_CHECK(chunk >= 1, "chunk must be >= 1");
+  const bool spmd_ok = enter_episode(start, last, incr);
+  // Departure must be reported even if the body throws, or the loop could
+  // never be re-entered by the remaining processes.
+  struct Departure {
+    SelfschedLoop* loop;
+    ~Departure() { loop->leave_episode(); }
+  } departure{this};
+  FORCE_CHECK(spmd_ok, "selfsched DO reached with divergent loop bounds");
+  auto& stats = env_.stats();
+  util::Tracer* tracer = env_.tracer();
+  const std::int64_t trace_begin = tracer ? util::now_ns() : 0;
+  for (;;) {
+    loop_lock_->acquire();
+    const std::int64_t k = k_shared_;
+    k_shared_ = k + incr * chunk;
+    if (remaining_ > 0) remaining_ = std::max<std::int64_t>(0, remaining_ - chunk);
+    loop_lock_->release();
+    stats.doall_dispatches.fetch_add(1, std::memory_order_relaxed);
+    if (tracer) tracer->instant(me0, util::TraceKind::kLoopDispatch, k);
+    if (!loop_index_in_range(k, last, incr)) break;
+    for (std::int64_t c = 0, idx = k;
+         c < chunk && loop_index_in_range(idx, last, incr);
+         ++c, idx += incr) {
+      body(idx);
+      stats.doall_iterations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (tracer) {
+    tracer->record(me0, util::TraceKind::kLoopRun, trace_begin,
+                   util::now_ns());
+  }
+}
+
+void SelfschedLoop::run_guided(int me0, std::int64_t start, std::int64_t last,
+                               std::int64_t incr,
+                               const std::function<void(std::int64_t)>& body) {
+  FORCE_CHECK(me0 >= 0 && me0 < width_, "bad selfsched process id");
+  const bool spmd_ok = enter_episode(start, last, incr);
+  struct Departure {
+    SelfschedLoop* loop;
+    ~Departure() { loop->leave_episode(); }
+  } departure{this};
+  FORCE_CHECK(spmd_ok, "selfsched DO reached with divergent loop bounds");
+  auto& stats = env_.stats();
+  util::Tracer* tracer = env_.tracer();
+  const std::int64_t trace_begin = tracer ? util::now_ns() : 0;
+  for (;;) {
+    loop_lock_->acquire();
+    const std::int64_t k = k_shared_;
+    // Guided selfscheduling: claim a fraction of the remaining trips so
+    // early claims are big (low dispatch overhead) and late claims small
+    // (good load balance at the tail).
+    const std::int64_t claim =
+        std::max<std::int64_t>(1, remaining_ / (2 * width_));
+    k_shared_ = k + incr * claim;
+    remaining_ = std::max<std::int64_t>(0, remaining_ - claim);
+    loop_lock_->release();
+    stats.doall_dispatches.fetch_add(1, std::memory_order_relaxed);
+    if (tracer) tracer->instant(me0, util::TraceKind::kLoopDispatch, k);
+    if (!loop_index_in_range(k, last, incr)) break;
+    for (std::int64_t c = 0, idx = k;
+         c < claim && loop_index_in_range(idx, last, incr);
+         ++c, idx += incr) {
+      body(idx);
+      stats.doall_iterations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (tracer) {
+    tracer->record(me0, util::TraceKind::kLoopRun, trace_begin,
+                   util::now_ns());
+  }
+}
+
+Selfsched2Loop::Selfsched2Loop(ForceEnvironment& env, int width)
+    : flat_(env, width) {}
+
+void Selfsched2Loop::run(
+    int me0, std::int64_t i_start, std::int64_t i_last, std::int64_t i_incr,
+    std::int64_t j_start, std::int64_t j_last, std::int64_t j_incr,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    std::int64_t chunk) {
+  const std::int64_t i_trips = loop_trip_count(i_start, i_last, i_incr);
+  const std::int64_t j_trips = loop_trip_count(j_start, j_last, j_incr);
+  const std::int64_t total = i_trips * j_trips;
+  // Dispatch over the flattened pair space; the body unflattens.
+  flat_.run(
+      me0, 0, total - 1, 1,
+      [&](std::int64_t t) {
+        const std::int64_t i_idx = t / j_trips;
+        const std::int64_t j_idx = t % j_trips;
+        body(i_start + i_idx * i_incr, j_start + j_idx * j_incr);
+      },
+      chunk);
+}
+
+}  // namespace force::core

@@ -1,0 +1,56 @@
+#include "core/env.hpp"
+
+#include "core/barrier.hpp"
+#include "util/check.hpp"
+
+namespace force::core {
+
+void RuntimeStats::reset() {
+  barrier_episodes.store(0, std::memory_order_relaxed);
+  critical_entries.store(0, std::memory_order_relaxed);
+  doall_iterations.store(0, std::memory_order_relaxed);
+  doall_dispatches.store(0, std::memory_order_relaxed);
+  produces.store(0, std::memory_order_relaxed);
+  consumes.store(0, std::memory_order_relaxed);
+  askfor_grants.store(0, std::memory_order_relaxed);
+  pcase_blocks.store(0, std::memory_order_relaxed);
+}
+
+ForceEnvironment::ForceEnvironment(ForceConfig config)
+    : config_(std::move(config)) {
+  FORCE_CHECK(config_.nproc > 0, "ForceConfig::nproc must be positive");
+  const machdep::MachineSpec& spec = machdep::machine_spec(config_.machine);
+  machine_ = std::make_unique<machdep::MachineModel>(spec);
+  arena_ = std::make_unique<machdep::SharedArena>(
+      config_.arena_bytes, spec.page_size, spec.sharing);
+  private_ = std::make_unique<machdep::PrivateSpace>(
+      config_.private_data_bytes, config_.private_stack_bytes);
+  if (config_.trace) {
+    tracer_ = std::make_unique<util::Tracer>(
+        config_.nproc, config_.trace_events_per_process);
+  }
+  global_barrier_ = make_barrier(config_.nproc);
+}
+
+// Out of line so BarrierAlgorithm can stay incomplete in the header.
+ForceEnvironment::~ForceEnvironment() = default;
+
+BarrierAlgorithm& ForceEnvironment::global_barrier() {
+  return *global_barrier_;
+}
+
+std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_barrier(int width) {
+  return make_barrier(width, config_.barrier_algorithm);
+}
+
+std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_barrier(
+    int width, const std::string& algorithm) {
+  return make_barrier_algorithm(algorithm, *this, width);
+}
+
+util::Xoshiro256 ForceEnvironment::rng_for(int proc0) const {
+  util::Xoshiro256 base(config_.seed);
+  return base.substream(static_cast<unsigned>(proc0) + 1);
+}
+
+}  // namespace force::core

@@ -1,0 +1,125 @@
+// The Force parallel environment (paper §4.1.2).
+//
+// The preprocessor provides "a set of variables used to implement the Force
+// constructs for work distribution and synchronization, such as process
+// number, barrier locks and arrival counter, and asynchronous loop index
+// for selfscheduled loops". ForceEnvironment is that set, plus ownership of
+// the machine model, the shared arena, the private space, the startup
+// linkage registry and the construct-site table.
+//
+// Everything here is machine independent: the environment only talks to
+// the machine through MachineModel's generic interfaces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "machdep/arena.hpp"
+#include "machdep/linkage.hpp"
+#include "machdep/machine.hpp"
+#include "core/site.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace force::core {
+
+class BarrierAlgorithm;  // core/barrier.hpp
+
+/// Configuration of one Force program execution.
+struct ForceConfig {
+  /// Number of processes in the force. The whole point of the Force is
+  /// that programs do not depend on this value.
+  int nproc = 4;
+  /// Machine model name: hep, flex32, encore, sequent, alliant, cray2,
+  /// or native (default).
+  std::string machine = "native";
+  /// Barrier algorithm for ctx.barrier(): paper-lock (faithful to the
+  /// two-lock/counter structure), central-sense, tree, or dissemination.
+  std::string barrier_algorithm = "paper-lock";
+  /// Shared arena capacity (rounded up to whole pages).
+  std::size_t arena_bytes = 4u << 20;
+  /// Private data / stack region sizes per process.
+  std::size_t private_data_bytes = 256u << 10;
+  std::size_t private_stack_bytes = 256u << 10;
+  /// Base seed; process p draws from substream p of this seed.
+  std::uint64_t seed = 0x464f524345u;  // "FORCE"
+  /// Record an execution trace (barrier episodes, sections, critical
+  /// occupancy, DOALL participation and dispatches). Export it with
+  /// env().tracer()->write_chrome_json(path). Off by default: the only
+  /// cost when off is a pointer test per construct.
+  bool trace = false;
+  std::size_t trace_events_per_process = 64u << 10;
+};
+
+/// Machine-independent runtime statistics, aggregated across processes.
+struct RuntimeStats {
+  std::atomic<std::uint64_t> barrier_episodes{0};
+  std::atomic<std::uint64_t> critical_entries{0};
+  std::atomic<std::uint64_t> doall_iterations{0};
+  std::atomic<std::uint64_t> doall_dispatches{0};  ///< selfsched index grabs
+  std::atomic<std::uint64_t> produces{0};
+  std::atomic<std::uint64_t> consumes{0};
+  std::atomic<std::uint64_t> askfor_grants{0};
+  std::atomic<std::uint64_t> pcase_blocks{0};
+
+  void reset();
+};
+
+class ForceEnvironment {
+ public:
+  explicit ForceEnvironment(ForceConfig config);
+  ~ForceEnvironment();
+
+  ForceEnvironment(const ForceEnvironment&) = delete;
+  ForceEnvironment& operator=(const ForceEnvironment&) = delete;
+
+  [[nodiscard]] const ForceConfig& config() const { return config_; }
+  [[nodiscard]] int nproc() const { return config_.nproc; }
+
+  [[nodiscard]] machdep::MachineModel& machine() { return *machine_; }
+  [[nodiscard]] const machdep::MachineModel& machine() const {
+    return *machine_;
+  }
+  [[nodiscard]] machdep::SharedArena& arena() { return *arena_; }
+  [[nodiscard]] machdep::PrivateSpace& private_space() { return *private_; }
+  [[nodiscard]] machdep::LinkageRegistry& linkage() { return linkage_; }
+  [[nodiscard]] SiteTable& sites() { return sites_; }
+  [[nodiscard]] RuntimeStats& stats() { return stats_; }
+
+  /// Generic lock factory (budget-aware, instrumented).
+  std::unique_ptr<machdep::BasicLock> new_lock() {
+    return machine_->new_lock();
+  }
+
+  /// The environment barrier used by un-sited ctx.barrier() calls on the
+  /// full force; sized to nproc with the configured algorithm.
+  [[nodiscard]] BarrierAlgorithm& global_barrier();
+
+  /// Builds a barrier instance for `width` processes with the configured
+  /// (or an explicitly named) algorithm; used by sited barriers and by
+  /// Resolve components.
+  std::unique_ptr<BarrierAlgorithm> make_barrier(int width);
+  std::unique_ptr<BarrierAlgorithm> make_barrier(int width,
+                                                 const std::string& algorithm);
+
+  /// Per-process deterministic RNG substream.
+  [[nodiscard]] util::Xoshiro256 rng_for(int proc0) const;
+
+  /// The execution tracer, or null when tracing is disabled.
+  [[nodiscard]] util::Tracer* tracer() { return tracer_.get(); }
+
+ private:
+  ForceConfig config_;
+  std::unique_ptr<machdep::MachineModel> machine_;
+  std::unique_ptr<machdep::SharedArena> arena_;
+  std::unique_ptr<machdep::PrivateSpace> private_;
+  machdep::LinkageRegistry linkage_;
+  SiteTable sites_;
+  RuntimeStats stats_;
+  std::unique_ptr<util::Tracer> tracer_;
+  std::unique_ptr<BarrierAlgorithm> global_barrier_;
+};
+
+}  // namespace force::core

@@ -1,0 +1,91 @@
+#include "core/force.hpp"
+
+#include "util/check.hpp"
+
+namespace force::core {
+
+void Ctx::call(const std::string& subroutine) {
+  FORCE_CHECK(subs_ != nullptr,
+              "Forcecall is only available on driver-created contexts");
+  // Parallel subroutines are executed by all processes concurrently; each
+  // process simply calls the body with its own context (paper §3.1).
+  subs_->call(subroutine, *this);
+}
+
+ResolveBuilder Ctx::resolve(const Site& site) {
+  return ResolveBuilder(*this, site_key(site));
+}
+
+ResolveBuilder& ResolveBuilder::component(std::string name, int weight,
+                                          std::function<void(Ctx&)> body) {
+  FORCE_CHECK(body != nullptr, "Resolve component body must not be null");
+  components_.push_back({std::move(name), weight, std::move(body)});
+  return *this;
+}
+
+void ResolveBuilder::run() {
+  FORCE_CHECK(!components_.empty(), "Resolve needs at least one component");
+  std::vector<int> weights;
+  weights.reserve(components_.size());
+  for (const auto& c : components_) weights.push_back(c.weight);
+
+  // Every process computes the same deterministic partition.
+  const std::vector<int> sizes = resolve_partition(parent_.np(), weights);
+  auto& env = parent_.env();
+  auto& st = env.sites().get_or_create<ResolveState>(
+      site_key_ + "%resolve", [&env, &sizes] {
+        return std::make_unique<ResolveState>(env, sizes);
+      });
+  FORCE_CHECK(st.sizes() == sizes,
+              "Resolve site reached with divergent components");
+
+  const ComponentAssignment a = assign_component(parent_.me0(), sizes);
+  Component& mine = components_[static_cast<std::size_t>(a.component)];
+
+  // Sub-context: remapped rank/width, component-sized barrier, and a
+  // namespaced construct-site space so nested constructs get fresh state.
+  Ctx sub(parent_.env_, parent_.subs_, a.rank, a.width,
+          site_key_ + "#" + mine.name, &st.component_barrier(a.component));
+  try {
+    mine.body(sub);
+  } catch (...) {
+    // Unify even on failure so other components are not wedged forever.
+    st.join_barrier().arrive(parent_.me0());
+    throw;
+  }
+  st.join_barrier().arrive(parent_.me0());
+}
+
+Force::Force(ForceConfig config)
+    : env_(std::make_unique<ForceEnvironment>(std::move(config))),
+      subs_(*env_) {}
+
+machdep::SpawnStats Force::run(const std::function<void(Ctx&)>& program) {
+  FORCE_CHECK(program != nullptr, "Force program must not be null");
+  machdep::PrivateSpace* space = nullptr;
+  if (!started_) {
+    // The preprocess-generated driver runs every module's startup routine
+    // (declaring shared variables; linking them on link-time machines)
+    // before the force is created.
+    env_->linkage().run_startup(env_->arena());
+    space = &env_->private_space();
+    started_ = true;
+  }
+
+  auto team = env_->machine().process_team();
+  const int np = env_->nproc();
+  machdep::SpawnStats stats =
+      team.run(np, space, [this, np, &program](int proc0) {
+        Ctx ctx(env_.get(), &subs_, proc0, np, "",
+                &env_->global_barrier());
+        program(ctx);
+      });
+
+  lifetime_.create_ns += stats.create_ns;
+  lifetime_.join_ns += stats.join_ns;
+  lifetime_.bytes_copied += stats.bytes_copied;
+  lifetime_.processes = stats.processes;
+  return stats;
+}
+
+}  // namespace force::core

@@ -1,0 +1,41 @@
+#include "core/module.hpp"
+
+#include <algorithm>
+
+#include "core/env.hpp"
+#include "util/check.hpp"
+
+namespace force::core {
+
+void SubroutineRegistry::register_sub(const std::string& name,
+                                      StartupFn startup, BodyFn body) {
+  FORCE_CHECK(!has(name), "duplicate Force subroutine: " + name);
+  FORCE_CHECK(body != nullptr, "Force subroutine body must not be null");
+  if (startup) {
+    env_.linkage().register_module(name, std::move(startup));
+  }
+  subs_.push_back({name, std::move(body)});
+}
+
+void SubroutineRegistry::call(const std::string& name, Ctx& ctx) const {
+  auto it = std::find_if(subs_.begin(), subs_.end(),
+                         [&](const Sub& s) { return s.name == name; });
+  FORCE_CHECK(it != subs_.end(),
+              "Forcecall to unknown subroutine: " + name +
+                  " (missing Externf/register_sub?)");
+  it->body(ctx);
+}
+
+bool SubroutineRegistry::has(const std::string& name) const {
+  return std::any_of(subs_.begin(), subs_.end(),
+                     [&](const Sub& s) { return s.name == name; });
+}
+
+std::vector<std::string> SubroutineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(subs_.size());
+  for (const auto& s : subs_) out.push_back(s.name);
+  return out;
+}
+
+}  // namespace force::core

@@ -1,0 +1,57 @@
+// Parallel subroutines: Forcesub / Externf / Forcecall (paper §3.1, §4.2).
+//
+// "Parallel Force subroutines are supported by the Forcesub statement.
+// Such a parallel subroutine is executed by all processes concurrently."
+// Separately compiled Force subroutines need Externf declarations so the
+// main program's startup routine can call each subroutine's startup
+// routine, linking all shared variables used throughout the program.
+//
+// SubroutineRegistry is that mechanism: each registered module contributes
+//   * a startup routine that declares its shared variables into the arena
+//     (wired through machdep::LinkageRegistry, i.e. the Sequent two-run
+//     protocol when the machine shares at link time), and
+//   * a parallel body executed by all processes via Forcecall.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machdep/arena.hpp"
+
+namespace force::core {
+
+class Ctx;
+class ForceEnvironment;
+
+class SubroutineRegistry {
+ public:
+  using StartupFn = std::function<void(machdep::SharedArena&)>;
+  using BodyFn = std::function<void(Ctx&)>;
+
+  explicit SubroutineRegistry(ForceEnvironment& env) : env_(env) {}
+
+  /// Registers a Force subroutine (Forcesub + its startup routine). Must
+  /// happen before the force is created - exactly the Externf rule that
+  /// external subroutines are declared before the program runs. The
+  /// startup routine is immediately wired into the linkage registry so
+  /// run_startup() reaches it.
+  void register_sub(const std::string& name, StartupFn startup, BodyFn body);
+
+  /// Forcecall: invoked by every process of the force; runs the named
+  /// subroutine's body concurrently on all of them.
+  void call(const std::string& name, Ctx& ctx) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  struct Sub {
+    std::string name;
+    BodyFn body;
+  };
+  ForceEnvironment& env_;
+  std::vector<Sub> subs_;
+};
+
+}  // namespace force::core

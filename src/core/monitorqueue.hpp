@@ -1,0 +1,148 @@
+// A bounded queue monitor in the style of the Argonne macro monitors
+// ([LO83], which the paper cites as the source of Askfor; the same report
+// builds send/receive queues from locks and delay conditions).
+//
+// MonitorQueue<T> is a multi-producer / multi-consumer bounded buffer built
+// ONLY from the machine-dependent layer's generic locks - exactly the
+// discipline the Force imposes on its own constructs, and therefore
+// portable to every machine model unchanged. Waiting follows the macro
+// monitors' delay/continue pattern: release the monitor lock, poll
+// politely, retry (no condition variables existed on the 1989 targets).
+//
+// close() gives producers a way to end the stream: consumers drain the
+// remaining items and then pop() returns false forever.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "core/env.hpp"
+#include "machdep/locks.hpp"
+#include "util/check.hpp"
+
+namespace force::core {
+
+template <typename T>
+class MonitorQueue {
+ public:
+  MonitorQueue(ForceEnvironment& env, std::size_t capacity)
+      : capacity_(capacity), monitor_(env.new_lock()) {
+    FORCE_CHECK(capacity_ > 0, "queue capacity must be positive");
+  }
+
+  /// Blocks while the queue is full; returns false (and drops the item)
+  /// if the queue was closed.
+  bool push(T item) {
+    for (;;) {
+      monitor_->acquire();
+      if (closed_) {
+        monitor_->release();
+        return false;
+      }
+      if (items_.size() < capacity_) {
+        items_.push_back(std::move(item));
+        ++pushed_;
+        monitor_->release();
+        return true;
+      }
+      monitor_->release();
+      std::this_thread::yield();  // delay/continue, monitor-macro style
+    }
+  }
+
+  /// Non-blocking push; false if full or closed.
+  bool try_push(T item) {
+    monitor_->acquire();
+    const bool ok = !closed_ && items_.size() < capacity_;
+    if (ok) {
+      items_.push_back(std::move(item));
+      ++pushed_;
+    }
+    monitor_->release();
+    return ok;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND empty;
+  /// returns false only in the latter case (the stream has ended).
+  bool pop(T* out) {
+    FORCE_CHECK(out != nullptr, "pop needs an output slot");
+    for (;;) {
+      monitor_->acquire();
+      if (!items_.empty()) {
+        *out = std::move(items_.front());
+        items_.pop_front();
+        ++popped_;
+        monitor_->release();
+        return true;
+      }
+      if (closed_) {
+        monitor_->release();
+        return false;
+      }
+      monitor_->release();
+      std::this_thread::yield();
+    }
+  }
+
+  /// Non-blocking pop; false if nothing is available right now.
+  bool try_pop(T* out) {
+    FORCE_CHECK(out != nullptr, "try_pop needs an output slot");
+    monitor_->acquire();
+    const bool ok = !items_.empty();
+    if (ok) {
+      *out = std::move(items_.front());
+      items_.pop_front();
+      ++popped_;
+    }
+    monitor_->release();
+    return ok;
+  }
+
+  /// Ends the stream: producers are refused from now on; consumers drain
+  /// what remains. Idempotent; any process may close.
+  void close() {
+    monitor_->acquire();
+    closed_ = true;
+    monitor_->release();
+  }
+
+  [[nodiscard]] bool closed() const {
+    monitor_->acquire();
+    const bool c = closed_;
+    monitor_->release();
+    return c;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    monitor_->acquire();
+    const std::size_t n = items_.size();
+    monitor_->release();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Lifetime counters (diagnostics; exact because they are guarded).
+  [[nodiscard]] std::uint64_t total_pushed() const {
+    monitor_->acquire();
+    const auto v = pushed_;
+    monitor_->release();
+    return v;
+  }
+  [[nodiscard]] std::uint64_t total_popped() const {
+    monitor_->acquire();
+    const auto v = popped_;
+    monitor_->release();
+    return v;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unique_ptr<machdep::BasicLock> monitor_;
+  std::deque<T> items_;       // guarded by *monitor_
+  bool closed_ = false;       // guarded by *monitor_
+  std::uint64_t pushed_ = 0;  // guarded by *monitor_
+  std::uint64_t popped_ = 0;  // guarded by *monitor_
+};
+
+}  // namespace force::core

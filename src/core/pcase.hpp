@@ -1,0 +1,67 @@
+// Pcase: distributing distinct single-stream code blocks (paper §3.3, §4.2).
+//
+// "Pcase is a similar construct to DOALL, which distributes different
+// single stream code blocks over the processes of the Force: each block may
+// be associated with a condition, and any number of conditions may be true
+// simultaneously." The prescheduled version deals blocks to processes
+// cyclically and is completely machine independent; the selfscheduled
+// version dispatches block indices through the same shared-counter
+// machinery as the selfscheduled DO loop.
+//
+// Usage (every process of the force executes the same builder - SPMD):
+//
+//   ctx.pcase(FORCE_SITE)
+//      .sect([&]{ ... })                 // Usect: unconditional block
+//      .sect_if(cond, [&]{ ... })        // Csect: conditional block
+//      .run_selfsched();                 // or .run_presched()
+//
+// No specific execution order may be assumed; a block runs exactly once
+// per episode (if its condition is true), on exactly one process.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/doall.hpp"
+
+namespace force::core {
+
+class ForceEnvironment;
+
+class PcaseBuilder {
+ public:
+  PcaseBuilder(ForceEnvironment& env, int me0, int width,
+               std::string site_key);
+
+  /// Adds an unconditional block (Force Usect).
+  PcaseBuilder& sect(std::function<void()> fn);
+  /// Adds a conditional block (Force Csect); `cond` was evaluated by this
+  /// process when building - all processes must agree on it (it normally
+  /// depends only on shared data).
+  PcaseBuilder& sect_if(bool cond, std::function<void()> fn);
+
+  /// Deals block i to process i mod NP; machine independent.
+  void run_presched();
+  /// Dispatches block indices through a shared counter; balances load when
+  /// block costs differ.
+  void run_selfsched();
+
+  [[nodiscard]] std::size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    bool enabled;
+    std::function<void()> fn;
+  };
+
+  void execute(const Block& b);
+
+  ForceEnvironment& env_;
+  int me0_;
+  int width_;
+  std::string site_key_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace force::core

@@ -1,0 +1,99 @@
+// Private variables (paper §3.2, §4.1.1).
+//
+// A Force private variable has one instance per process. What a child
+// process finds in it at creation depends on the machine's process model:
+// under the Unix fork models the child inherits a byte copy of the value
+// the parent wrote before the force started; under the HEP create model
+// the variable starts default-valued. Private<T> makes that observable:
+//
+//   force::Force f({.machine = "sequent"});          // fork model
+//   force::core::Private<int> counter(f.env());
+//   counter.parent() = 42;                           // before run()
+//   f.run([&](force::Ctx& ctx) {
+//     int& mine = counter.get(ctx);                  // 42 on sequent,
+//   });                                              // 0 on hep
+//
+// The variable is placed in whichever private region is genuinely
+// per-process under the machine's model (the *stack* region on the
+// Alliant, whose data segments are shared). T must be trivially copyable:
+// fork copies bytes.
+#pragma once
+
+#include <type_traits>
+
+#include "core/force.hpp"
+#include "machdep/process.hpp"
+
+namespace force::core {
+
+template <typename T>
+class Private {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "private variables are inherited by byte copy (fork)");
+
+ public:
+  /// Registers the slot; must run before the force is created.
+  explicit Private(ForceEnvironment& env)
+      : env_(&env),
+        region_(machdep::private_region_for(
+            env.machine().spec().process_model)),
+        offset_(env.private_space().register_slot(region_, sizeof(T),
+                                                  alignof(T))) {
+    ::new (env_->private_space().parent_ptr(region_, offset_)) T();
+  }
+
+  /// The parent's (pre-fork) instance; write here before run() to seed
+  /// fork-model children.
+  [[nodiscard]] T& parent() {
+    return *static_cast<T*>(
+        env_->private_space().parent_ptr(region_, offset_));
+  }
+
+  /// This process's instance.
+  [[nodiscard]] T& get(const Ctx& ctx) {
+    return *static_cast<T*>(
+        env_->private_space().ptr(ctx.me0(), region_, offset_));
+  }
+
+  /// A specific process's instance (diagnostics/tests only; touching
+  /// another process's privates from user code defeats the classification).
+  [[nodiscard]] T& for_process(int proc0) {
+    return *static_cast<T*>(
+        env_->private_space().ptr(proc0, region_, offset_));
+  }
+
+ private:
+  ForceEnvironment* env_;
+  machdep::PrivateSpace::Region region_;
+  std::size_t offset_;
+};
+
+/// A deliberately misplaced "private" variable that always lives in the
+/// data region. On the Alliant model the data region is shared, so this
+/// exhibits the accidental-sharing hazard the paper's Encore/Alliant
+/// discussion warns about; tests use it to demonstrate why the runtime
+/// places privates per machine.
+template <typename T>
+class MisplacedPrivate {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit MisplacedPrivate(ForceEnvironment& env)
+      : env_(&env),
+        offset_(env.private_space().register_slot(
+            machdep::PrivateSpace::Region::kData, sizeof(T), alignof(T))) {
+    ::new (env_->private_space().parent_ptr(
+        machdep::PrivateSpace::Region::kData, offset_)) T();
+  }
+
+  [[nodiscard]] T& get(const Ctx& ctx) {
+    return *static_cast<T*>(env_->private_space().ptr(
+        ctx.me0(), machdep::PrivateSpace::Region::kData, offset_));
+  }
+
+ private:
+  ForceEnvironment* env_;
+  std::size_t offset_;
+};
+
+}  // namespace force::core

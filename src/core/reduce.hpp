@@ -1,0 +1,154 @@
+// Reductions over the force (extension; construction per paper §4.2).
+//
+// The Force's own reduction idiom is "private partial + critical section
+// + barrier", spelled out in every numerical program. This header packages
+// that idiom as a construct, in the two shapes the machine-independent
+// layer can build from the low-level primitives:
+//
+//   * kCritical  - every process adds its contribution under one lock,
+//                  then a barrier publishes the result (O(P) serialized
+//                  lock passes: the faithful Force idiom);
+//   * kTournament - pairwise combining over per-process slots along the
+//                  tree-barrier schedule (O(log P) depth, no locks).
+//
+// Both return the reduced value to every process (allreduce semantics),
+// and both are reusable across episodes. The ablation bench (E2b in
+// EXPERIMENTS.md) contrasts their traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/critical.hpp"
+#include "core/env.hpp"
+
+namespace force::core {
+
+enum class ReduceStrategy {
+  kCritical,   ///< lock-serialized accumulation (the Force idiom)
+  kTournament  ///< pairwise combining tree (log-depth extension)
+};
+
+/// Shared state of one reduction site for payload T.
+/// T must be copyable; `combine` must be associative and commutative
+/// (contributions arrive in no particular order).
+template <typename T>
+class Reduction {
+ public:
+  Reduction(ForceEnvironment& env, int width)
+      : width_(width),
+        critical_(env),
+        barrier_(env.make_barrier(width)),
+        slots_(static_cast<std::size_t>(width)) {}
+
+  /// Contributes `local` and returns the combined value of all width
+  /// contributions of this episode. Every process of the team must call
+  /// (SPMD); the identity element is the first contribution itself, so no
+  /// identity value is needed.
+  T allreduce(int me0, const T& local, const std::function<T(T, T)>& combine,
+              ReduceStrategy strategy, T* shared_target = nullptr) {
+    FORCE_CHECK(me0 >= 0 && me0 < width_, "bad reduce process id");
+    if (strategy == ReduceStrategy::kCritical) {
+      return allreduce_critical(me0, local, combine, shared_target);
+    }
+    return allreduce_tournament(me0, local, combine, shared_target);
+  }
+
+ private:
+  T allreduce_critical(int me0, const T& local,
+                       const std::function<T(T, T)>& combine,
+                       T* shared_target) {
+    critical_.enter([&] {
+      if (arrived_ == 0) {
+        accumulator_ = local;
+      } else {
+        accumulator_ = combine(accumulator_, local);
+      }
+      ++arrived_;
+    });
+    // The barrier section snapshots the total and re-arms the episode
+    // while every process is parked - no second barrier needed. A shared
+    // target is written here, by the single section executor, so the
+    // store is race-free and visible to everyone leaving the barrier.
+    barrier_->arrive(me0, [this, shared_target] {
+      result_ = accumulator_;
+      arrived_ = 0;
+      if (shared_target != nullptr) *shared_target = result_;
+    });
+    return result_;
+  }
+
+  T allreduce_tournament(int me0, const T& local,
+                         const std::function<T(T, T)>& combine,
+                         T* shared_target) {
+    Slot& mine = slots_[static_cast<std::size_t>(me0)];
+    mine.value = local;
+    const std::uint64_t ep = ++mine.episode;
+    // Combine along the same pairwise schedule as TreeBarrier: rank p
+    // collects rank p + 2^r while p is a multiple of 2^(r+1).
+    for (int r = 0; (1 << r) < width_; ++r) {
+      const int span = 1 << (r + 1);
+      if (me0 % span == 0) {
+        const int child = me0 + (1 << r);
+        if (child < width_) {
+          Slot& theirs = slots_[static_cast<std::size_t>(child)];
+          // Wait for the child to have *fully combined its subtree* for
+          // this episode: it bumps `combined` after losing round r.
+          wait_for(theirs.combined, ep);
+          mine.value = combine(mine.value, theirs.value);
+        }
+      } else {
+        mine.combined.store(ep, std::memory_order_release);
+        mine.combined.notify_all();
+        break;
+      }
+    }
+    if (me0 == 0) {
+      mine.combined.store(ep, std::memory_order_release);
+      result_ = mine.value;
+      // Single-writer point: the champion holds the only complete value.
+      if (shared_target != nullptr) *shared_target = result_;
+      broadcast_.store(ep, std::memory_order_release);
+      broadcast_.notify_all();
+    } else {
+      wait_for(broadcast_, ep);
+    }
+    // A trailing barrier keeps the episode reusable: nobody may overwrite
+    // its slot while a parent could still read it.
+    barrier_->arrive(me0);
+    return result_;
+  }
+
+  static void wait_for(const std::atomic<std::uint64_t>& flag,
+                       std::uint64_t ep) {
+    for (int probe = 0; probe < 64; ++probe) {
+      if (flag.load(std::memory_order_acquire) >= ep) return;
+    }
+    for (;;) {
+      const std::uint64_t v = flag.load(std::memory_order_acquire);
+      if (v >= ep) return;
+      flag.wait(v, std::memory_order_relaxed);
+    }
+  }
+
+  struct alignas(64) Slot {
+    T value{};
+    std::uint64_t episode = 0;
+    std::atomic<std::uint64_t> combined{0};
+  };
+
+  int width_;
+  CriticalSection critical_;
+  std::unique_ptr<BarrierAlgorithm> barrier_;
+  std::vector<Slot> slots_;
+  // kCritical state (guarded by critical_ / published by the barrier):
+  T accumulator_{};
+  int arrived_ = 0;
+  T result_{};
+  std::atomic<std::uint64_t> broadcast_{0};
+};
+
+}  // namespace force::core

@@ -1,0 +1,13 @@
+#include "core/site.hpp"
+
+namespace force::core {
+
+// Site is header-only today; this translation unit anchors the type for
+// faster incremental builds and hosts the namespacing helper.
+
+/// Joins a context namespace (empty for the root force) with a site key.
+std::string namespaced_site_key(const std::string& ns, const Site& site) {
+  return ns.empty() ? site.key() : ns + "/" + site.key();
+}
+
+}  // namespace force::core

@@ -1,0 +1,107 @@
+// Construct sites: the C++ analogue of the macro-generated shared state.
+//
+// The Force preprocessor statically generates one set of shared variables
+// per construct occurrence (LOOP100 for the selfscheduled loop at label
+// 100, BARWIN/BARWOT for its entry gate, ...). In library form the same
+// effect is achieved by addressing shared construct state with a *site*:
+// the file/line (plus an optional tag) of the construct. All processes of
+// the force reach the same source location and therefore agree on which
+// shared state to use - the SPMD discipline the Force already imposes.
+//
+// FORCE_SITE expands to the current source location. Inside a Resolve
+// component the site is namespaced by the component so that the same
+// source line executed by different subsets gets distinct state.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace force::core {
+
+/// A static source location identifying one construct occurrence.
+struct Site {
+  const char* file = "";
+  int line = 0;
+  const char* tag = "";
+
+  [[nodiscard]] std::string key() const {
+    return std::string(file) + ":" + std::to_string(line) +
+           (tag[0] ? std::string("#") + tag : std::string());
+  }
+};
+
+/// Concurrent registry mapping (namespace-prefixed) site keys to shared
+/// construct state. First process to reach a site creates the state; the
+/// stored type is checked so two constructs cannot collide on one site.
+class SiteTable {
+ public:
+  /// Returns the state for `key`, creating it with `factory` on first use.
+  /// Thread-safe; all callers receive the same instance.
+  template <typename T>
+  T& get_or_create(const std::string& key,
+                   const std::function<std::unique_ptr<T>()>& factory) {
+    {
+      std::shared_lock read(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) return checked_cast<T>(key, it->second);
+    }
+    std::unique_lock write(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      Entry e;
+      e.type = std::type_index(typeid(T));
+      std::shared_ptr<T> obj(factory().release());
+      e.object = obj;
+      it = entries_.emplace(key, std::move(e)).first;
+    }
+    return checked_cast<T>(key, it->second);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock read(mutex_);
+    return entries_.size();
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    std::shared_lock read(mutex_);
+    return entries_.contains(key);
+  }
+
+ private:
+  struct Entry {
+    std::type_index type = std::type_index(typeid(void));
+    std::shared_ptr<void> object;
+  };
+
+  template <typename T>
+  static T& checked_cast(const std::string& key, const Entry& e) {
+    FORCE_CHECK(e.type == std::type_index(typeid(T)),
+                "construct site reused with a different construct: " + key);
+    return *static_cast<T*>(e.object.get());
+  }
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+/// Joins a context namespace (empty for the root force) with a site key;
+/// Resolve components use this to keep their construct state disjoint.
+std::string namespaced_site_key(const std::string& ns, const Site& site);
+
+}  // namespace force::core
+
+/// The construct-site token for the current source line.
+#define FORCE_SITE \
+  ::force::core::Site { __FILE__, __LINE__, "" }
+
+/// A tagged site, for several constructs generated from one line (e.g. in
+/// a helper function called from multiple places).
+#define FORCE_SITE_TAGGED(tag_literal) \
+  ::force::core::Site { __FILE__, __LINE__, tag_literal }

@@ -1,0 +1,306 @@
+#include "machdep/arena.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace force::machdep {
+
+namespace {
+constexpr std::byte kGuardFill{0xAD};
+
+std::size_t round_up(std::size_t v, std::size_t to) {
+  FORCE_CHECK(to != 0 && (to & (to - 1)) == 0, "alignment must be power of 2");
+  return (v + to - 1) & ~(to - 1);
+}
+}  // namespace
+
+const char* sharing_strategy_name(SharingStrategy s) {
+  switch (s) {
+    case SharingStrategy::kCompileTime: return "compile-time";
+    case SharingStrategy::kLinkTime: return "link-time";
+    case SharingStrategy::kRuntimePadded: return "runtime-padded";
+    case SharingStrategy::kPageAlignedStart: return "page-aligned-start";
+  }
+  return "unknown";
+}
+
+SharedArena::SharedArena(std::size_t capacity_bytes, std::size_t page_size,
+                         SharingStrategy strategy)
+    : page_size_(page_size), strategy_(strategy) {
+  FORCE_CHECK(page_size_ >= 64 && (page_size_ & (page_size_ - 1)) == 0,
+              "page size must be a power of two >= 64");
+  usable_bytes_ = round_up(capacity_bytes, page_size_);
+  if (strategy_ == SharingStrategy::kRuntimePadded) {
+    // The Encore port pads extra space at the beginning and the end of the
+    // shared area to keep shared and private declarations apart.
+    guard_bytes_front_ = page_size_;
+    guard_bytes_back_ = page_size_;
+  }
+  storage_bytes_ = usable_bytes_ + guard_bytes_front_ + guard_bytes_back_ +
+                   page_size_;  // headroom so the usable base can be aligned
+  storage_ = std::make_unique<std::byte[]>(storage_bytes_);
+  padding_bytes_ = guard_bytes_front_ + guard_bytes_back_;
+  if (guard_bytes_front_ != 0) {
+    std::memset(usable_base() - guard_bytes_front_,
+                static_cast<int>(kGuardFill), guard_bytes_front_);
+  }
+  if (guard_bytes_back_ != 0) {
+    std::memset(usable_base() + usable_bytes_, static_cast<int>(kGuardFill),
+                guard_bytes_back_);
+  }
+}
+
+std::byte* SharedArena::usable_base() {
+  // The usable region always begins on a page boundary: the Alliant
+  // requires it, the Encore's page arithmetic assumes it, and it makes
+  // every allocation's alignment guarantee independent of where new[]
+  // happened to place the backing storage.
+  const auto addr = round_up(reinterpret_cast<std::uintptr_t>(storage_.get()) +
+                                 guard_bytes_front_,
+                             page_size_);
+  return reinterpret_cast<std::byte*>(addr);
+}
+
+const std::byte* SharedArena::usable_base() const {
+  return const_cast<SharedArena*>(this)->usable_base();
+}
+
+void SharedArena::declare_locked(const std::string& name, std::size_t bytes,
+                                 std::size_t align, VarClass cls) {
+  FORCE_CHECK(!linked_, "declare after link(): the Sequent protocol "
+                        "collects all shared names in the first run");
+  // Fortran COMMON semantics: several modules may declare the same shared
+  // block; identical shapes resolve to one storage, mismatches are the
+  // link error a 1989 loader would give.
+  if (auto it = allocations_.find(name); it != allocations_.end()) {
+    FORCE_CHECK(it->second.bytes == bytes && it->second.cls == cls,
+                "shared name re-declared with a different shape: " + name);
+    return;
+  }
+  Allocation a;
+  a.bytes = bytes;
+  a.align = align;
+  a.cls = cls;
+  if (strategy_ == SharingStrategy::kLinkTime) {
+    a.placed = false;  // placement deferred to link()
+  } else {
+    a.offset = place(bytes, align);
+    a.placed = true;
+  }
+  allocations_[name] = a;
+}
+
+void SharedArena::declare(const std::string& name, std::size_t bytes,
+                          std::size_t align, VarClass cls) {
+  std::lock_guard<std::mutex> g(mutex_);
+  declare_locked(name, bytes, align, cls);
+}
+
+void SharedArena::link() {
+  std::lock_guard<std::mutex> g(mutex_);
+  FORCE_CHECK(strategy_ == SharingStrategy::kLinkTime,
+              "link() is only part of the link-time sharing protocol");
+  FORCE_CHECK(!linked_, "link() called twice");
+  for (auto& [name, a] : allocations_) {
+    if (!a.placed) {
+      a.offset = place(a.bytes, a.align);
+      a.placed = true;
+    }
+  }
+  linked_ = true;
+}
+
+void* SharedArena::allocate_locked(const std::string& name, std::size_t bytes,
+                                   std::size_t align, VarClass cls,
+                                   bool* created) {
+  if (created != nullptr) *created = false;
+  auto it = allocations_.find(name);
+  if (it != allocations_.end()) {
+    Allocation& a = it->second;
+    FORCE_CHECK(a.placed, "name declared but not linked yet: " + name);
+    FORCE_CHECK(a.bytes >= bytes && a.cls == cls,
+                "allocation mismatch for shared name " + name);
+    return usable_base() + a.offset;
+  }
+  if (strategy_ == SharingStrategy::kLinkTime) {
+    // The Sequent port would fail to link a shared variable that no
+    // startup routine declared; allow late declaration only pre-link.
+    FORCE_CHECK(!linked_,
+                "shared name not declared before link(): " + name +
+                    " (the Sequent port would fail to link this variable)");
+  }
+  Allocation a;
+  a.bytes = bytes;
+  a.align = align;
+  a.cls = cls;
+  a.offset = place(bytes, align);
+  a.placed = true;
+  allocations_[name] = a;
+  if (created != nullptr) *created = true;
+  return usable_base() + a.offset;
+}
+
+void* SharedArena::allocate(const std::string& name, std::size_t bytes,
+                            std::size_t align, VarClass cls) {
+  std::lock_guard<std::mutex> g(mutex_);
+  return allocate_locked(name, bytes, align, cls, nullptr);
+}
+
+void* SharedArena::allocate_once(const std::string& name, std::size_t bytes,
+                                 std::size_t align, VarClass cls,
+                                 const std::function<void(void*)>& init) {
+  std::lock_guard<std::mutex> g(mutex_);
+  bool created = false;
+  void* p = allocate_locked(name, bytes, align, cls, &created);
+  if (created && init) init(p);
+  return p;
+}
+
+void* SharedArena::resolve(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mutex_);
+  auto it = allocations_.find(name);
+  FORCE_CHECK(it != allocations_.end(), "unknown shared name " + name);
+  FORCE_CHECK(it->second.placed, "shared name not yet linked: " + name);
+  return const_cast<std::byte*>(usable_base()) + it->second.offset;
+}
+
+bool SharedArena::contains_name(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mutex_);
+  return allocations_.contains(name);
+}
+
+std::size_t SharedArena::place(std::size_t bytes, std::size_t align) {
+  FORCE_CHECK(bytes > 0, "zero-byte shared allocation");
+  std::size_t offset = round_up(cursor_, align);
+  // Encore rule: a shared variable no larger than a page must lie within a
+  // single shared page; bump it to the next page if it would straddle one.
+  if (bytes <= page_size_) {
+    const std::size_t page_begin = offset / page_size_;
+    const std::size_t page_end = (offset + bytes - 1) / page_size_;
+    if (page_begin != page_end) {
+      const std::size_t bumped = round_up(offset, page_size_);
+      padding_bytes_ += bumped - offset;
+      offset = bumped;
+    }
+  }
+  FORCE_CHECK(offset + bytes <= usable_bytes_,
+              "shared arena exhausted; enlarge ForceConfig::arena_bytes");
+  padding_bytes_ += offset - cursor_;
+  cursor_ = offset + bytes;
+  return offset;
+}
+
+bool SharedArena::is_shared_address(const void* p) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  const std::byte* base = usable_base();
+  return b >= base && b < base + usable_bytes_;
+}
+
+std::size_t SharedArena::pages() const { return usable_bytes_ / page_size_; }
+
+std::size_t SharedArena::page_of(const void* p) const {
+  FORCE_CHECK(is_shared_address(p), "address not in the shared arena");
+  return static_cast<std::size_t>(static_cast<const std::byte*>(p) -
+                                  usable_base()) /
+         page_size_;
+}
+
+bool SharedArena::guards_intact() const {
+  const std::byte* front = usable_base() - guard_bytes_front_;
+  for (std::size_t i = 0; i < guard_bytes_front_; ++i) {
+    if (front[i] != kGuardFill) return false;
+  }
+  const std::byte* back = usable_base() + usable_bytes_;
+  for (std::size_t i = 0; i < guard_bytes_back_; ++i) {
+    if (back[i] != kGuardFill) return false;
+  }
+  return true;
+}
+
+void SharedArena::corrupt_guard_for_test() {
+  FORCE_CHECK(guard_bytes_front_ > 0, "no guard pages in this strategy");
+  *(usable_base() - 1) = std::byte{0x00};
+}
+
+// ---------------------------------------------------------------------------
+// PrivateSpace
+// ---------------------------------------------------------------------------
+
+PrivateSpace::PrivateSpace(std::size_t data_bytes, std::size_t stack_bytes) {
+  data_.capacity = data_bytes;
+  data_.parent = std::make_unique<std::byte[]>(data_bytes);
+  std::memset(data_.parent.get(), 0, data_bytes);
+  stack_.capacity = stack_bytes;
+  stack_.parent = std::make_unique<std::byte[]>(stack_bytes);
+  std::memset(stack_.parent.get(), 0, stack_bytes);
+}
+
+std::size_t PrivateSpace::register_slot(Region region, std::size_t bytes,
+                                        std::size_t align) {
+  FORCE_CHECK(!materialized_, "register_slot after materialize()");
+  RegionState& r = state(region);
+  const std::size_t offset = round_up(r.cursor, align);
+  FORCE_CHECK(offset + bytes <= r.capacity, "private space exhausted");
+  r.cursor = offset + bytes;
+  return offset;
+}
+
+void* PrivateSpace::parent_ptr(Region region, std::size_t offset) {
+  RegionState& r = state(region);
+  FORCE_CHECK(offset < r.capacity, "private offset out of range");
+  return r.parent.get() + offset;
+}
+
+void PrivateSpace::materialize(int nproc, InitMode mode) {
+  FORCE_CHECK(!materialized_, "materialize() called twice");
+  FORCE_CHECK(nproc > 0, "need at least one process");
+  nproc_ = nproc;
+  bytes_copied_ = 0;
+
+  auto make_copies = [&](RegionState& r, bool copy_from_parent) {
+    r.per_process.resize(static_cast<std::size_t>(nproc));
+    for (auto& seg : r.per_process) {
+      seg = std::make_unique<std::byte[]>(r.capacity);
+      if (copy_from_parent) {
+        std::memcpy(seg.get(), r.parent.get(), r.capacity);
+        bytes_copied_ += r.capacity;
+      } else {
+        std::memset(seg.get(), 0, r.capacity);
+      }
+    }
+    r.aliased_to_parent = false;
+  };
+
+  switch (mode) {
+    case InitMode::kCopyBoth:
+      // Unix fork: "a complete copy of the data and stack is produced for
+      // each forked process" (paper §4.1.1).
+      make_copies(data_, /*copy_from_parent=*/true);
+      make_copies(stack_, /*copy_from_parent=*/true);
+      break;
+    case InitMode::kShareDataCopyStack:
+      // Alliant: data segments shared, only the stack is private.
+      data_.per_process.clear();
+      data_.aliased_to_parent = true;
+      make_copies(stack_, /*copy_from_parent=*/true);
+      break;
+    case InitMode::kZeroBoth:
+      // HEP: a created process starts a fresh subroutine activation.
+      make_copies(data_, /*copy_from_parent=*/false);
+      make_copies(stack_, /*copy_from_parent=*/false);
+      break;
+  }
+  materialized_ = true;
+}
+
+void* PrivateSpace::ptr(int proc, Region region, std::size_t offset) {
+  FORCE_CHECK(materialized_, "ptr() before materialize()");
+  FORCE_CHECK(proc >= 0 && proc < nproc_, "process id out of range");
+  RegionState& r = state(region);
+  FORCE_CHECK(offset < r.capacity, "private offset out of range");
+  if (r.aliased_to_parent) return r.parent.get() + offset;
+  return r.per_process[static_cast<std::size_t>(proc)].get() + offset;
+}
+
+}  // namespace force::machdep

@@ -1,0 +1,86 @@
+#include "machdep/costmodel.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace force::machdep {
+
+double CostModel::lock_time_ns(const LockCountersSnapshot& d) const {
+  return static_cast<double>(d.acquires) * p_.lock_uncontended_ns +
+         static_cast<double>(d.contended_acquires) *
+             p_.lock_contended_extra_ns +
+         static_cast<double>(d.spin_iterations) * p_.spin_probe_ns +
+         static_cast<double>(d.blocking_waits) * p_.blocking_wait_ns;
+}
+
+double CostModel::creation_time_ns(int nproc,
+                                   std::size_t bytes_copied) const {
+  return static_cast<double>(nproc) * p_.process_create_ns +
+         static_cast<double>(bytes_copied) * p_.copy_byte_ns;
+}
+
+double CostModel::work_time_ns(double nominal_ns) const {
+  return nominal_ns * p_.work_scale;
+}
+
+double CostModel::produce_consume_time_ns(std::uint64_t ops) const {
+  return static_cast<double>(ops) * p_.produce_consume_ns;
+}
+
+double CostModel::presched_makespan_ns(
+    const std::vector<double>& iter_work_ns, int nproc) const {
+  FORCE_CHECK(nproc > 0, "need at least one process");
+  std::vector<double> per_proc(static_cast<std::size_t>(nproc), 0.0);
+  for (std::size_t i = 0; i < iter_work_ns.size(); ++i) {
+    per_proc[i % static_cast<std::size_t>(nproc)] +=
+        work_time_ns(iter_work_ns[i]);
+  }
+  const double slowest =
+      per_proc.empty() ? 0.0
+                       : *std::max_element(per_proc.begin(), per_proc.end());
+  return slowest + p_.barrier_episode_ns;
+}
+
+double CostModel::selfsched_makespan_ns(
+    const std::vector<double>& iter_work_ns, int nproc,
+    double dispatch_ns) const {
+  return chunked_makespan_ns(iter_work_ns, nproc, dispatch_ns, 1);
+}
+
+double CostModel::chunked_makespan_ns(const std::vector<double>& iter_work_ns,
+                                      int nproc, double dispatch_ns,
+                                      std::size_t chunk) const {
+  FORCE_CHECK(nproc > 0, "need at least one process");
+  FORCE_CHECK(chunk > 0, "chunk must be positive");
+  // Greedy simulation: the earliest-free process claims the next chunk.
+  // The dispatch critical section is serialized through `counter_free`,
+  // modelling the shared loop index's lock.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int p = 0; p < nproc; ++p) free_at.push(0.0);
+  double counter_free = 0.0;
+  std::size_t next = 0;
+  double makespan = 0.0;
+  while (next < iter_work_ns.size()) {
+    double t = free_at.top();
+    free_at.pop();
+    // Wait for the loop-index critical section if it is busy.
+    const double dispatch_start = std::max(t, counter_free);
+    const double dispatch_end = dispatch_start + dispatch_ns;
+    counter_free = dispatch_end;
+    double work = 0.0;
+    for (std::size_t k = 0; k < chunk && next < iter_work_ns.size();
+         ++k, ++next) {
+      work += work_time_ns(iter_work_ns[next]);
+    }
+    const double done = dispatch_end + work;
+    makespan = std::max(makespan, done);
+    free_at.push(done);
+  }
+  // Every process pays one final (empty) dispatch that discovers the loop
+  // is complete, then the exit barrier.
+  return makespan + dispatch_ns + p_.barrier_episode_ns;
+}
+
+}  // namespace force::machdep

@@ -1,0 +1,153 @@
+#include "machdep/hepcell.hpp"
+
+namespace force::machdep {
+
+namespace {
+std::atomic<std::uint64_t> g_hep_waits{0};
+}  // namespace
+
+HepCell::HepCell(std::uint64_t initial_value)
+    : state_(kFull), value_(initial_value) {}
+
+void HepCell::await_and_seize(State from) {
+  for (;;) {
+    std::uint32_t expected = from;
+    if (state_.compare_exchange_weak(expected, kBusy,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+    if (expected != from) {
+      // Not in the desired state: park until the state word changes.
+      // (kBusy windows are tiny; waiting on them too is harmless.)
+      g_hep_waits.fetch_add(1, std::memory_order_relaxed);
+      state_.wait(expected, std::memory_order_relaxed);
+    }
+    // CAS failure with expected == from is spurious; just retry.
+  }
+}
+
+void HepCell::produce(std::uint64_t value) {
+  await_and_seize(kEmpty);
+  value_ = value;
+  state_.store(kFull, std::memory_order_release);
+  state_.notify_all();
+}
+
+std::uint64_t HepCell::consume() {
+  await_and_seize(kFull);
+  const std::uint64_t v = value_;
+  state_.store(kEmpty, std::memory_order_release);
+  state_.notify_all();
+  return v;
+}
+
+std::uint64_t HepCell::copy() const {
+  auto* self = const_cast<HepCell*>(this);
+  self->await_and_seize(kFull);
+  const std::uint64_t v = value_;
+  self->state_.store(kFull, std::memory_order_release);
+  self->state_.notify_all();
+  return v;
+}
+
+void HepCell::make_empty() {
+  // Void must succeed from any state; win the busy protocol from either
+  // stable state, then declare empty.
+  for (;;) {
+    std::uint32_t expected = state_.load(std::memory_order_relaxed);
+    if (expected == kBusy) {
+      state_.wait(expected, std::memory_order_relaxed);
+      continue;
+    }
+    if (state_.compare_exchange_weak(expected, kBusy,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  state_.store(kEmpty, std::memory_order_release);
+  state_.notify_all();
+}
+
+void HepCell::make_full(std::uint64_t value) {
+  for (;;) {
+    std::uint32_t expected = state_.load(std::memory_order_relaxed);
+    if (expected == kBusy) {
+      state_.wait(expected, std::memory_order_relaxed);
+      continue;
+    }
+    if (state_.compare_exchange_weak(expected, kBusy,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  value_ = value;
+  state_.store(kFull, std::memory_order_release);
+  state_.notify_all();
+}
+
+bool HepCell::try_produce(std::uint64_t value) {
+  std::uint32_t expected = kEmpty;
+  if (!state_.compare_exchange_strong(expected, kBusy,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+    return false;
+  }
+  value_ = value;
+  state_.store(kFull, std::memory_order_release);
+  state_.notify_all();
+  return true;
+}
+
+bool HepCell::try_consume(std::uint64_t* out) {
+  std::uint32_t expected = kFull;
+  if (!state_.compare_exchange_strong(expected, kBusy,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+    return false;
+  }
+  *out = value_;
+  state_.store(kEmpty, std::memory_order_release);
+  state_.notify_all();
+  return true;
+}
+
+void HepCell::publish_full() {
+  state_.store(kFull, std::memory_order_release);
+  state_.notify_all();
+}
+
+void HepCell::publish_empty() {
+  state_.store(kEmpty, std::memory_order_release);
+  state_.notify_all();
+}
+
+bool HepCell::try_seize_empty() {
+  std::uint32_t expected = kEmpty;
+  return state_.compare_exchange_strong(expected, kBusy,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+}
+
+bool HepCell::try_seize_full() {
+  std::uint32_t expected = kFull;
+  return state_.compare_exchange_strong(expected, kBusy,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+}
+
+bool HepCell::is_full() const {
+  return state_.load(std::memory_order_acquire) == kFull;
+}
+
+std::uint64_t HepCell::total_waits() {
+  return g_hep_waits.load(std::memory_order_relaxed);
+}
+
+void HepCell::reset_wait_counter() {
+  g_hep_waits.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace force::machdep

@@ -1,0 +1,37 @@
+#include "machdep/linkage.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace force::machdep {
+
+void LinkageRegistry::register_module(const std::string& module_name,
+                                      StartupFn startup) {
+  FORCE_CHECK(!has_module(module_name),
+              "duplicate Force module name: " + module_name);
+  FORCE_CHECK(startup != nullptr, "null startup routine");
+  modules_.push_back({module_name, std::move(startup)});
+}
+
+bool LinkageRegistry::has_module(const std::string& module_name) const {
+  return std::any_of(modules_.begin(), modules_.end(),
+                     [&](const Module& m) { return m.name == module_name; });
+}
+
+std::vector<std::string> LinkageRegistry::module_names() const {
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& m : modules_) names.push_back(m.name);
+  return names;
+}
+
+std::size_t LinkageRegistry::run_startup(SharedArena& arena) const {
+  for (const auto& m : modules_) m.startup(arena);
+  if (arena.strategy() == SharingStrategy::kLinkTime && !arena.linked()) {
+    arena.link();
+  }
+  return modules_.size();
+}
+
+}  // namespace force::machdep

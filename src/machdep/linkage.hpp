@@ -1,0 +1,55 @@
+// The startup-routine linkage protocol (paper §4.1.2, Sequent/Encore).
+//
+// On the Sequent, variables are shared at *link* time: the preprocessor
+// plants a startup subroutine in the main Force program and in every Force
+// subroutine; each startup routine reports the shared variables its module
+// declares, and the main program's startup routine calls every module's.
+// The program is then run twice - the first run only executes the startup
+// routines and emits linker commands; the second run is the real program.
+// On the Encore the same startup structure runs once because sharing is
+// established at run time.
+//
+// LinkageRegistry models this: modules register a startup function that
+// declares their shared names into the arena; run_startup() executes all of
+// them (the "first run") and optionally link()s the arena (the "second
+// run" precondition on the Sequent).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machdep/arena.hpp"
+
+namespace force::machdep {
+
+class LinkageRegistry {
+ public:
+  using StartupFn = std::function<void(SharedArena&)>;
+
+  /// Registers a module's startup routine (Force main or Forcesub).
+  /// Duplicate module names are an error - two COMMON blocks of the same
+  /// name with different shapes would not link.
+  void register_module(const std::string& module_name, StartupFn startup);
+
+  [[nodiscard]] bool has_module(const std::string& module_name) const;
+  [[nodiscard]] std::vector<std::string> module_names() const;
+  [[nodiscard]] std::size_t size() const { return modules_.size(); }
+
+  /// Executes every startup routine against `arena` in registration order
+  /// (the main program's startup calling each subroutine's, in the paper),
+  /// then link()s the arena if its strategy requires it. Returns the
+  /// number of startup routines run.
+  std::size_t run_startup(SharedArena& arena) const;
+
+  void clear() { modules_.clear(); }
+
+ private:
+  struct Module {
+    std::string name;
+    StartupFn startup;
+  };
+  std::vector<Module> modules_;
+};
+
+}  // namespace force::machdep

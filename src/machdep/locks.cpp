@@ -1,0 +1,424 @@
+#include "machdep/locks.hpp"
+
+#include <thread>
+
+#include "machdep/hepcell.hpp"
+#include "util/check.hpp"
+
+namespace force::machdep {
+
+namespace {
+
+/// One polite CPU pause inside a spin loop.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+inline void bump(LockCounters* c, std::atomic<std::uint64_t> LockCounters::*f,
+                 std::uint64_t n = 1) {
+  if (c != nullptr) (c->*f).fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Shared spin helper: pauses, counts, and yields past the budget so that
+/// oversubscribed hosts (fewer CPUs than Force processes) stay live.
+struct Spinner {
+  explicit Spinner(LockCounters* counters, std::uint32_t spins_before_yield)
+      : counters_(counters), budget_(spins_before_yield) {}
+  ~Spinner() { bump(counters_, &LockCounters::spin_iterations, spins_); }
+
+  void spin_once() {
+    ++spins_;
+    if (spins_ % (budget_ == 0 ? 1 : budget_) == 0) {
+      std::this_thread::yield();
+    } else {
+      cpu_relax();
+    }
+  }
+
+  LockCounters* counters_;
+  std::uint32_t budget_;
+  std::uint64_t spins_ = 0;
+};
+
+}  // namespace
+
+LockCountersSnapshot LockCountersSnapshot::operator-(
+    const LockCountersSnapshot& rhs) const {
+  LockCountersSnapshot d;
+  d.acquires = acquires - rhs.acquires;
+  d.contended_acquires = contended_acquires - rhs.contended_acquires;
+  d.spin_iterations = spin_iterations - rhs.spin_iterations;
+  d.blocking_waits = blocking_waits - rhs.blocking_waits;
+  d.releases = releases - rhs.releases;
+  return d;
+}
+
+LockCountersSnapshot snapshot(const LockCounters& c) {
+  LockCountersSnapshot s;
+  s.acquires = c.acquires.load(std::memory_order_relaxed);
+  s.contended_acquires = c.contended_acquires.load(std::memory_order_relaxed);
+  s.spin_iterations = c.spin_iterations.load(std::memory_order_relaxed);
+  s.blocking_waits = c.blocking_waits.load(std::memory_order_relaxed);
+  s.releases = c.releases.load(std::memory_order_relaxed);
+  return s;
+}
+
+const char* lock_kind_name(LockKind kind) {
+  switch (kind) {
+    case LockKind::kTasSpin: return "tas-spin";
+    case LockKind::kTtasSpin: return "ttas-spin";
+    case LockKind::kTicket: return "ticket";
+    case LockKind::kMcs: return "mcs";
+    case LockKind::kSystem: return "system";
+    case LockKind::kCombined: return "combined";
+    case LockKind::kHepFullEmpty: return "hep-full-empty";
+  }
+  return "unknown";
+}
+
+LockKind lock_kind_from_name(const std::string& name) {
+  for (LockKind k :
+       {LockKind::kTasSpin, LockKind::kTtasSpin, LockKind::kTicket,
+        LockKind::kMcs, LockKind::kSystem, LockKind::kCombined,
+        LockKind::kHepFullEmpty}) {
+    if (name == lock_kind_name(k)) return k;
+  }
+  FORCE_CHECK(false, "unknown lock kind: " + name);
+}
+
+// ---------------------------------------------------------------------------
+// TasSpinLock
+// ---------------------------------------------------------------------------
+
+TasSpinLock::TasSpinLock(LockCounters* counters, const SpinPolicy& policy)
+    : counters_(counters), policy_(policy) {}
+
+void TasSpinLock::acquire() {
+  bump(counters_, &LockCounters::acquires);
+  if (!held_.exchange(true, std::memory_order_acquire)) return;
+  bump(counters_, &LockCounters::contended_acquires);
+  Spinner spinner(counters_, policy_.spins_before_yield);
+  // Naked test&set on every probe: the historically faithful (and
+  // coherence-hostile) behaviour of the Sequent/Encore software lock.
+  while (held_.exchange(true, std::memory_order_acquire)) {
+    spinner.spin_once();
+  }
+}
+
+bool TasSpinLock::try_acquire() {
+  bump(counters_, &LockCounters::acquires);
+  return !held_.exchange(true, std::memory_order_acquire);
+}
+
+void TasSpinLock::release() {
+  bump(counters_, &LockCounters::releases);
+  held_.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// TtasLock
+// ---------------------------------------------------------------------------
+
+TtasLock::TtasLock(LockCounters* counters, const SpinPolicy& policy)
+    : counters_(counters), policy_(policy) {}
+
+void TtasLock::acquire() {
+  bump(counters_, &LockCounters::acquires);
+  if (!held_.exchange(true, std::memory_order_acquire)) return;
+  bump(counters_, &LockCounters::contended_acquires);
+  Spinner spinner(counters_, policy_.spins_before_yield);
+  std::uint32_t backoff = 1;
+  for (;;) {
+    // Read-only probe loop first: no coherence traffic while held.
+    while (held_.load(std::memory_order_relaxed)) {
+      for (std::uint32_t i = 0; i < backoff; ++i) cpu_relax();
+      spinner.spin_once();
+      if (backoff < policy_.max_backoff) backoff *= 2;
+    }
+    if (!held_.exchange(true, std::memory_order_acquire)) return;
+  }
+}
+
+bool TtasLock::try_acquire() {
+  bump(counters_, &LockCounters::acquires);
+  if (held_.load(std::memory_order_relaxed)) return false;
+  return !held_.exchange(true, std::memory_order_acquire);
+}
+
+void TtasLock::release() {
+  bump(counters_, &LockCounters::releases);
+  held_.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// TicketLock
+// ---------------------------------------------------------------------------
+
+TicketLock::TicketLock(LockCounters* counters, const SpinPolicy& policy)
+    : counters_(counters), policy_(policy) {}
+
+void TicketLock::acquire() {
+  bump(counters_, &LockCounters::acquires);
+  const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+  if (serving_.load(std::memory_order_acquire) == my) return;
+  bump(counters_, &LockCounters::contended_acquires);
+  Spinner spinner(counters_, policy_.spins_before_yield);
+  while (serving_.load(std::memory_order_acquire) != my) {
+    spinner.spin_once();
+  }
+}
+
+bool TicketLock::try_acquire() {
+  bump(counters_, &LockCounters::acquires);
+  std::uint32_t s = serving_.load(std::memory_order_acquire);
+  std::uint32_t expected = s;
+  // Succeed only if no one is queued: next_ == serving_.
+  return next_.compare_exchange_strong(expected, s + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed);
+}
+
+void TicketLock::release() {
+  bump(counters_, &LockCounters::releases);
+  serving_.fetch_add(1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// McsLock
+// ---------------------------------------------------------------------------
+
+McsLock::McsLock(LockCounters* counters, const SpinPolicy& policy)
+    : counters_(counters), policy_(policy) {}
+
+McsLock::~McsLock() {
+  Node* n = free_head_;
+  while (n != nullptr) {
+    Node* next = n->free_next;
+    delete n;
+    n = next;
+  }
+}
+
+McsLock::Node* McsLock::alloc_node() {
+  {
+    std::lock_guard<std::mutex> g(free_mutex_);
+    if (free_head_ != nullptr) {
+      Node* n = free_head_;
+      free_head_ = n->free_next;
+      n->next.store(nullptr, std::memory_order_relaxed);
+      n->ready.store(false, std::memory_order_relaxed);
+      n->free_next = nullptr;
+      return n;
+    }
+  }
+  return new Node();
+}
+
+void McsLock::recycle_node(Node* n) {
+  std::lock_guard<std::mutex> g(free_mutex_);
+  n->free_next = free_head_;
+  free_head_ = n;
+}
+
+void McsLock::acquire() {
+  bump(counters_, &LockCounters::acquires);
+  Node* node = alloc_node();
+  Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+  if (prev != nullptr) {
+    bump(counters_, &LockCounters::contended_acquires);
+    prev->next.store(node, std::memory_order_release);
+    Spinner spinner(counters_, policy_.spins_before_yield);
+    while (!node->ready.load(std::memory_order_acquire)) {
+      spinner.spin_once();
+    }
+  }
+  owner_.store(node, std::memory_order_release);
+}
+
+bool McsLock::try_acquire() {
+  bump(counters_, &LockCounters::acquires);
+  if (tail_.load(std::memory_order_relaxed) != nullptr) return false;
+  Node* node = alloc_node();
+  Node* expected = nullptr;
+  if (tail_.compare_exchange_strong(expected, node,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+    owner_.store(node, std::memory_order_release);
+    return true;
+  }
+  recycle_node(node);
+  return false;
+}
+
+void McsLock::release() {
+  bump(counters_, &LockCounters::releases);
+  Node* node = owner_.load(std::memory_order_acquire);
+  FORCE_CHECK(node != nullptr, "McsLock released while not held");
+  owner_.store(nullptr, std::memory_order_relaxed);
+  Node* expected = node;
+  if (node->next.load(std::memory_order_acquire) == nullptr) {
+    if (tail_.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      recycle_node(node);
+      return;
+    }
+    // A successor is mid-enqueue: wait for its next-pointer store.
+    Spinner spinner(counters_, policy_.spins_before_yield);
+    while (node->next.load(std::memory_order_acquire) == nullptr) {
+      spinner.spin_once();
+    }
+  }
+  node->next.load(std::memory_order_acquire)
+      ->ready.store(true, std::memory_order_release);
+  recycle_node(node);
+}
+
+// ---------------------------------------------------------------------------
+// SystemLock
+// ---------------------------------------------------------------------------
+
+SystemLock::SystemLock(LockCounters* counters) : counters_(counters) {}
+
+void SystemLock::acquire() {
+  bump(counters_, &LockCounters::acquires);
+  std::unique_lock<std::mutex> lk(m_);
+  if (held_) {
+    bump(counters_, &LockCounters::contended_acquires);
+    bump(counters_, &LockCounters::blocking_waits);
+    cv_.wait(lk, [&] { return !held_; });
+  }
+  held_ = true;
+}
+
+bool SystemLock::try_acquire() {
+  bump(counters_, &LockCounters::acquires);
+  std::lock_guard<std::mutex> lk(m_);
+  if (held_) return false;
+  held_ = true;
+  return true;
+}
+
+void SystemLock::release() {
+  bump(counters_, &LockCounters::releases);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    held_ = false;
+  }
+  cv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// CombinedLock
+// ---------------------------------------------------------------------------
+
+CombinedLock::CombinedLock(LockCounters* counters, const SpinPolicy& policy)
+    : counters_(counters), policy_(policy) {}
+
+void CombinedLock::acquire() {
+  bump(counters_, &LockCounters::acquires);
+  if (!held_.exchange(true, std::memory_order_acquire)) return;
+  bump(counters_, &LockCounters::contended_acquires);
+  // Phase 1: spin for a bounded budget (short critical sections win here).
+  {
+    Spinner spinner(counters_, policy_.spins_before_yield);
+    for (std::uint32_t probe = 0; probe < policy_.combined_spin_budget;
+         ++probe) {
+      if (!held_.load(std::memory_order_relaxed) &&
+          !held_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      spinner.spin_once();
+    }
+  }
+  // Phase 2: give up the CPU and let the scheduler wake us (long holds).
+  bump(counters_, &LockCounters::blocking_waits);
+  std::unique_lock<std::mutex> lk(m_);
+  sleepers_.fetch_add(1, std::memory_order_relaxed);
+  cv_.wait(lk, [&] { return !held_.exchange(true, std::memory_order_acquire); });
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool CombinedLock::try_acquire() {
+  bump(counters_, &LockCounters::acquires);
+  return !held_.exchange(true, std::memory_order_acquire);
+}
+
+void CombinedLock::release() {
+  bump(counters_, &LockCounters::releases);
+  held_.store(false, std::memory_order_release);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    // Taking the mutex orders this notify after any in-flight wait entry,
+    // so a sleeper cannot miss the wakeup.
+    std::lock_guard<std::mutex> lk(m_);
+    cv_.notify_one();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HEP full/empty lock: a tagged cell initialized full; acquire consumes the
+// token, release produces it back. This is how HEP programs spelled locks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class HepFullEmptyLock final : public BasicLock {
+ public:
+  explicit HepFullEmptyLock(LockCounters* counters)
+      : cell_(1), counters_(counters) {}
+
+  void acquire() override {
+    bump(counters_, &LockCounters::acquires);
+    std::uint64_t token;
+    if (cell_.try_consume(&token)) return;
+    bump(counters_, &LockCounters::contended_acquires);
+    bump(counters_, &LockCounters::blocking_waits);
+    cell_.consume();
+  }
+
+  bool try_acquire() override {
+    bump(counters_, &LockCounters::acquires);
+    std::uint64_t token;
+    return cell_.try_consume(&token);
+  }
+
+  void release() override {
+    bump(counters_, &LockCounters::releases);
+    cell_.produce(1);
+  }
+
+  const char* mechanism() const override { return "hep-full-empty"; }
+
+ private:
+  HepCell cell_;
+  LockCounters* counters_;
+};
+
+}  // namespace
+
+std::unique_ptr<BasicLock> make_lock(LockKind kind, LockCounters* counters,
+                                     const SpinPolicy& policy) {
+  switch (kind) {
+    case LockKind::kTasSpin:
+      return std::make_unique<TasSpinLock>(counters, policy);
+    case LockKind::kTtasSpin:
+      return std::make_unique<TtasLock>(counters, policy);
+    case LockKind::kTicket:
+      return std::make_unique<TicketLock>(counters, policy);
+    case LockKind::kMcs:
+      return std::make_unique<McsLock>(counters, policy);
+    case LockKind::kSystem:
+      return std::make_unique<SystemLock>(counters);
+    case LockKind::kCombined:
+      return std::make_unique<CombinedLock>(counters, policy);
+    case LockKind::kHepFullEmpty:
+      return std::make_unique<HepFullEmptyLock>(counters);
+  }
+  FORCE_CHECK(false, "unreachable lock kind");
+}
+
+}  // namespace force::machdep

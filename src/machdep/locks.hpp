@@ -1,0 +1,236 @@
+// The paper's generic lock layer (§4.1.3).
+//
+// The Force implements *all* higher-level synchronization out of four
+// machine-dependent macros: define_lock / init_lock / lock / unlock. This
+// file is the C++ rendering of that contract. Each 1989 machine contributed
+// a different mechanism, all of which are implemented here:
+//
+//   * software locks  - spinning with test&set        (Sequent, Encore)
+//   * ttas locks      - test-and-test&set w/ backoff  (Alliant, refinement)
+//   * system locks    - OS cooperates with scheduler  (Cray-2)
+//   * combined locks  - spin a while, then block      (Flex/32)
+//   * full/empty      - hardware tagged memory cells  (HEP)
+//
+// IMPORTANT SEMANTICS: a Force lock is a *binary semaphore*, not a mutex.
+// The Produce/Consume protocol (paper §4.2) locks E in one process and
+// unlocks it in another, which is undefined behaviour for std::mutex; every
+// implementation here therefore permits cross-thread release.
+//
+// All spin loops yield to the OS after a bounded number of iterations so
+// that the library stays live on oversubscribed hosts (more Force processes
+// than hardware CPUs), which is the normal situation in this reproduction's
+// container. The pre-yield spin budget is tunable per machine model.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace force::machdep {
+
+/// Instrumentation shared by all lock types. Counters use relaxed atomics;
+/// they are statistics, not synchronization. One LockCounters instance is
+/// typically shared by every lock a machine model hands out, giving the
+/// benches deterministic per-run lock-operation totals.
+struct LockCounters {
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> contended_acquires{0};
+  std::atomic<std::uint64_t> spin_iterations{0};
+  std::atomic<std::uint64_t> blocking_waits{0};
+  std::atomic<std::uint64_t> releases{0};
+
+  void reset() {
+    acquires.store(0, std::memory_order_relaxed);
+    contended_acquires.store(0, std::memory_order_relaxed);
+    spin_iterations.store(0, std::memory_order_relaxed);
+    blocking_waits.store(0, std::memory_order_relaxed);
+    releases.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Snapshot of LockCounters (plain integers, copyable).
+struct LockCountersSnapshot {
+  std::uint64_t acquires = 0;
+  std::uint64_t contended_acquires = 0;
+  std::uint64_t spin_iterations = 0;
+  std::uint64_t blocking_waits = 0;
+  std::uint64_t releases = 0;
+
+  LockCountersSnapshot operator-(const LockCountersSnapshot& rhs) const;
+};
+
+LockCountersSnapshot snapshot(const LockCounters& c);
+
+/// Abstract binary-semaphore lock: the define_lock/lock/unlock contract.
+/// Constructed in the *unlocked* state (the paper's init_lock).
+/// Any thread may call release(), not only the acquirer.
+class BasicLock {
+ public:
+  virtual ~BasicLock() = default;
+
+  /// Blocks until the lock is held by the caller.
+  virtual void acquire() = 0;
+  /// Non-blocking acquire; returns true on success.
+  virtual bool try_acquire() = 0;
+  /// Releases the lock; callable from any thread. Releasing an unlocked
+  /// lock is a caller bug; implementations detect it where cheap.
+  virtual void release() = 0;
+
+  /// Human-readable mechanism name ("tas-spin", "system", ...).
+  [[nodiscard]] virtual const char* mechanism() const = 0;
+};
+
+/// Lock mechanisms available to machine models.
+enum class LockKind {
+  kTasSpin,      ///< test&set spin (Sequent/Encore software lock)
+  kTtasSpin,     ///< test-and-test&set with exponential backoff (Alliant)
+  kTicket,       ///< FIFO ticket lock (modern "native" choice)
+  kMcs,          ///< MCS queue lock (modern scalable choice)
+  kSystem,       ///< blocking lock via the OS scheduler (Cray-2)
+  kCombined,     ///< spin for a budget, then block (Flex/32)
+  kHepFullEmpty  ///< full/empty tagged cell used as a lock (HEP)
+};
+
+const char* lock_kind_name(LockKind kind);
+/// Parses the names produced by lock_kind_name; throws on unknown input.
+LockKind lock_kind_from_name(const std::string& name);
+
+/// Spin/backoff tuning shared by spin-flavoured locks.
+struct SpinPolicy {
+  /// Spin iterations before the first yield to the OS.
+  std::uint32_t spins_before_yield = 64;
+  /// For kCombined: spin iterations before falling back to blocking.
+  std::uint32_t combined_spin_budget = 256;
+  /// Max exponential-backoff pause iterations for kTtasSpin.
+  std::uint32_t max_backoff = 128;
+};
+
+/// Creates a lock of the given mechanism in the unlocked state.
+/// `counters` may be null (no instrumentation).
+std::unique_ptr<BasicLock> make_lock(LockKind kind, LockCounters* counters,
+                                     const SpinPolicy& policy = {});
+
+// ---------------------------------------------------------------------------
+// Concrete implementations (exposed for targeted unit tests and benches;
+// ordinary code should go through make_lock).
+// ---------------------------------------------------------------------------
+
+/// Test&set spin lock: every probe is a read-modify-write, which on the bus-
+/// based 1989 machines generated coherence traffic on each spin - the reason
+/// the Alliant/modern variants test before setting.
+class TasSpinLock final : public BasicLock {
+ public:
+  explicit TasSpinLock(LockCounters* counters, const SpinPolicy& policy);
+  void acquire() override;
+  bool try_acquire() override;
+  void release() override;
+  const char* mechanism() const override { return "tas-spin"; }
+
+ private:
+  std::atomic<bool> held_{false};
+  LockCounters* counters_;
+  SpinPolicy policy_;
+};
+
+/// Test-and-test&set with exponential backoff.
+class TtasLock final : public BasicLock {
+ public:
+  explicit TtasLock(LockCounters* counters, const SpinPolicy& policy);
+  void acquire() override;
+  bool try_acquire() override;
+  void release() override;
+  const char* mechanism() const override { return "ttas-spin"; }
+
+ private:
+  std::atomic<bool> held_{false};
+  LockCounters* counters_;
+  SpinPolicy policy_;
+};
+
+/// FIFO ticket lock. Cross-thread release simply advances now-serving.
+class TicketLock final : public BasicLock {
+ public:
+  explicit TicketLock(LockCounters* counters, const SpinPolicy& policy);
+  void acquire() override;
+  bool try_acquire() override;
+  void release() override;
+  const char* mechanism() const override { return "ticket"; }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+  LockCounters* counters_;
+  SpinPolicy policy_;
+};
+
+/// MCS queue lock: each waiter spins on its own node, giving O(1) coherence
+/// traffic per handoff. Nodes come from an internal freelist so that
+/// release() may run on a different thread than acquire() (the releasing
+/// thread recycles the *owner's* node, recorded at acquire time).
+class McsLock final : public BasicLock {
+ public:
+  explicit McsLock(LockCounters* counters, const SpinPolicy& policy);
+  ~McsLock() override;
+  void acquire() override;
+  bool try_acquire() override;
+  void release() override;
+  const char* mechanism() const override { return "mcs"; }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> ready{false};
+    Node* free_next = nullptr;  // freelist linkage, guarded by free_mutex_
+  };
+  Node* alloc_node();
+  void recycle_node(Node* n);
+
+  std::atomic<Node*> tail_{nullptr};
+  std::atomic<Node*> owner_{nullptr};  // node of the current holder
+  std::mutex free_mutex_;
+  Node* free_head_ = nullptr;
+  LockCounters* counters_;
+  SpinPolicy policy_;
+};
+
+/// Blocking "system call" lock: the OS parks waiters (Cray-2 model). No
+/// spinning at all, so uncontended cost is high but waiters burn no CPU.
+class SystemLock final : public BasicLock {
+ public:
+  explicit SystemLock(LockCounters* counters);
+  void acquire() override;
+  bool try_acquire() override;
+  void release() override;
+  const char* mechanism() const override { return "system"; }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool held_ = false;
+  LockCounters* counters_;
+};
+
+/// Combined lock (Flex/32): spin for `combined_spin_budget` probes, then
+/// fall back to the blocking path. Best of both worlds for mixed hold times.
+class CombinedLock final : public BasicLock {
+ public:
+  explicit CombinedLock(LockCounters* counters, const SpinPolicy& policy);
+  void acquire() override;
+  bool try_acquire() override;
+  void release() override;
+  const char* mechanism() const override { return "combined"; }
+
+ private:
+  // `held_` is the fast path; the mutex/cv pair only wakes blocked waiters.
+  std::atomic<bool> held_{false};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::mutex m_;
+  std::condition_variable cv_;
+  LockCounters* counters_;
+  SpinPolicy policy_;
+};
+
+}  // namespace force::machdep

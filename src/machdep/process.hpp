@@ -1,0 +1,74 @@
+// Process creation and termination (paper §4.1.1).
+//
+// A Force program assumes a force of processes exists; the generated driver
+// creates them at program start and joins them at the very end. The paper
+// reports two creation models on the 1989 machines:
+//
+//   * the Unix fork/join model (Encore, Sequent, Flex/32, Cray-2): high
+//     creation and context-switch cost; each child starts with a complete
+//     copy of the parent's data and stack;
+//   * the Alliant variation: data segments are shared, only a fresh copy of
+//     the stack belongs to the child;
+//   * the HEP model: a subroutine call creates a process running that
+//     subroutine; returning terminates it - creation is cheap and copies
+//     nothing.
+//
+// ProcessTeam reproduces the *observable* differences over std::jthread:
+// which private regions children inherit (via PrivateSpace) and how much
+// memory the spawn must copy (the fork cost driver measured in bench E7).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "machdep/arena.hpp"
+
+namespace force::machdep {
+
+enum class ProcessModelKind {
+  kForkJoinCopy,    ///< Unix fork: copy data + stack (Sequent/Encore/Flex/Cray)
+  kForkSharedData,  ///< Alliant: share data, copy stack only
+  kHepCreate        ///< HEP: subroutine-call creation, nothing copied
+};
+
+const char* process_model_name(ProcessModelKind kind);
+
+/// Which PrivateSpace region is genuinely per-process under a model; the
+/// Force places its private variables there. (Under kForkSharedData the
+/// data region is aliased - "private" data there is accidentally shared,
+/// which is why the Alliant port must use the stack region.)
+PrivateSpace::Region private_region_for(ProcessModelKind kind);
+
+/// Translates a process model into PrivateSpace initialization semantics.
+PrivateSpace::InitMode init_mode_for(ProcessModelKind kind);
+
+/// Outcome of one spawn/execute/join cycle.
+struct SpawnStats {
+  std::int64_t create_ns = 0;      ///< wall time spent creating processes
+  std::int64_t join_ns = 0;        ///< wall time spent joining
+  std::size_t bytes_copied = 0;    ///< private bytes copied at creation
+  int processes = 0;
+};
+
+/// Creates the force of processes, runs `entry(proc)` on each (proc is
+/// 0-based), and joins them - the driver + Join of a Force program.
+///
+/// If `space` is non-null it is materialized with the model's semantics
+/// before the processes start, so children observe the right inheritance.
+/// The first exception thrown by any process is rethrown after all
+/// processes have been joined (no thread is ever leaked).
+class ProcessTeam {
+ public:
+  explicit ProcessTeam(ProcessModelKind kind) : kind_(kind) {}
+
+  SpawnStats run(int nproc, PrivateSpace* space,
+                 const std::function<void(int)>& entry) const;
+
+  [[nodiscard]] ProcessModelKind kind() const { return kind_; }
+
+ private:
+  ProcessModelKind kind_;
+};
+
+}  // namespace force::machdep

@@ -1,0 +1,48 @@
+#include "preproc/diag.hpp"
+
+namespace force::preproc {
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::render(const std::string& filename) const {
+  std::string out = filename;
+  if (line > 0) out += ":" + std::to_string(line);
+  out += ": ";
+  out += severity_name(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagSink::note(int line, std::string message) {
+  diags_.push_back({Severity::kNote, line, std::move(message)});
+}
+
+void DiagSink::warning(int line, std::string message) {
+  diags_.push_back({Severity::kWarning, line, std::move(message)});
+}
+
+void DiagSink::error(int line, std::string message) {
+  diags_.push_back({Severity::kError, line, std::move(message)});
+  ++error_count_;
+}
+
+std::string DiagSink::render_all(const std::string& filename) const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.render(filename);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace force::preproc

@@ -1,0 +1,36 @@
+// Diagnostics for the forcepp translator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace force::preproc {
+
+enum class Severity { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  int line = 0;  ///< 1-based source line; 0 = whole file
+  std::string message;
+
+  [[nodiscard]] std::string render(const std::string& filename) const;
+};
+
+/// Collects diagnostics during translation.
+class DiagSink {
+ public:
+  void note(int line, std::string message);
+  void warning(int line, std::string message);
+  void error(int line, std::string message);
+
+  [[nodiscard]] bool ok() const { return error_count_ == 0; }
+  [[nodiscard]] std::size_t errors() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  [[nodiscard]] std::string render_all(const std::string& filename) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace force::preproc

@@ -1,0 +1,51 @@
+// Driver and startup-routine generation (paper §4.1.1, §4.1.2).
+//
+// "The processes are created in a Force driver which is generated when the
+// program is preprocessed" - generate_epilogue() emits that driver as a
+// C++ main(): it builds the ForceConfig for the target machine, wires the
+// startup routines (on machines that share at link or run time), registers
+// the Force subroutines, runs the main body on the force, and joins.
+//
+// generate_startup_routines() emits one startup routine per module on the
+// machines that need them: the routine declares the module's shared
+// variables into the arena, and the main program's startup is the one the
+// driver runs first - the Sequent "two-run" structure.
+#pragma once
+
+#include <string>
+
+#include "preproc/machmacros.hpp"
+
+namespace force::preproc {
+
+struct TranslateOptions {
+  std::string machine = "native";
+  int default_nproc = 4;
+  std::string source_name = "<input>";
+  bool emit_pass1 = false;  ///< also keep the pass-1 intermediate text
+  /// Module mode: the source contains only Forcesubs (no Force main, no
+  /// Join); no driver is generated. Instead each subroutine gets an
+  /// exported registration function `force_register_<NAME>(force::Force&)`
+  /// that the main translation unit's driver calls for every Externf -
+  /// the paper's separately compiled Force subroutines (§4.2 Externf).
+  bool module_mode = false;
+};
+
+/// File header: banner + includes.
+std::string generate_prologue(const TranslateContext& ctx,
+                              const TranslateOptions& opts);
+
+/// Startup routines for every module (empty string on compile-time-sharing
+/// machines, which need none).
+std::string generate_startup_routines(const TranslateContext& ctx);
+
+/// The machine-dependent driver main().
+std::string generate_driver(const TranslateContext& ctx,
+                            const TranslateOptions& opts);
+
+/// Module mode: exported registration functions, one per subroutine,
+/// wiring its startup routine (when the machine needs one) and its body
+/// into a Force instance built elsewhere.
+std::string generate_module_registrations(const TranslateContext& ctx);
+
+}  // namespace force::preproc

@@ -1,0 +1,96 @@
+// forcepp: the Force-to-C++ translator (paper §4.3).
+//
+//   forcepp program.force --machine encore --nproc 8 -o program.cpp
+//
+// Translates a Force-dialect source file into a C++ translation unit that
+// links against the force runtime library. Pass --emit-pass1 to also dump
+// the intermediate macro-call form (the output of the "sed" stage).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "machdep/machine.hpp"
+#include "preproc/translate.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FORCE_CHECK(in.good(), "cannot open input file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  FORCE_CHECK(out.good(), "cannot open output file: " + path);
+  out << content;
+  FORCE_CHECK(out.good(), "failed writing output file: " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using force::preproc::TranslateOptions;
+  force::util::CliParser cli;
+  cli.option("machine", "native",
+             "target machine model (hep flex32 encore sequent alliant "
+             "cray2 native)")
+      .option("nproc", "4", "default force size baked into the driver")
+      .option("o", "", "output file (default: stdout)")
+      .flag("module",
+            "translate a separately compiled module (Forcesubs only, no "
+            "driver); emits force_register_<NAME> entry points")
+      .flag("emit-pass1", "also print the pass-1 macro-call form")
+      .flag("list-machines", "list the supported machine models and exit");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    if (cli.get_flag("list-machines")) {
+      for (const auto& name : force::machdep::machine_names()) {
+        const auto& spec = force::machdep::machine_spec(name);
+        std::printf("%-8s %s\n", name.c_str(), spec.description.c_str());
+      }
+      return 0;
+    }
+    FORCE_CHECK(cli.positional().size() == 1,
+                "exactly one input .force file is required");
+    const std::string input = cli.positional()[0];
+
+    TranslateOptions options;
+    options.machine = cli.get("machine");
+    options.default_nproc = static_cast<int>(cli.get_int("nproc"));
+    options.source_name = input;
+    options.emit_pass1 = cli.get_flag("emit-pass1");
+    options.module_mode = cli.get_flag("module");
+
+    const auto result =
+        force::preproc::translate(read_file(input), options);
+
+    std::fputs(result.diags.render_all(input).c_str(), stderr);
+    if (!result.ok) return 1;
+
+    if (options.emit_pass1) {
+      std::fputs("// ----- pass 1 (macro-call form) -----\n", stderr);
+      std::fputs(result.pass1_text.c_str(), stderr);
+      std::fputs("// ----- end pass 1 -----\n", stderr);
+    }
+
+    const std::string out_path = cli.get("o");
+    if (out_path.empty()) {
+      std::fputs(result.cpp_code.c_str(), stdout);
+    } else {
+      write_file(out_path, result.cpp_code);
+      std::fprintf(stderr, "forcepp: wrote %s (%zu macro expansions)\n",
+                   out_path.c_str(), result.macro_expansions);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "forcepp: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+// The two macro layers of the Force implementation (paper §4.1, §4.2).
+//
+// install_statement_macros() registers the machine-INDEPENDENT layer: the
+// statement macros that translate Force constructs into C++ runtime calls
+// plus calls on the lower layer, and the internal bookkeeping they need
+// (construct nesting, module boundaries, declaration manifests).
+//
+// install_machine_macros() registers the machine-DEPENDENT layer for one
+// target: the @md_* macros for variable binding and the driver fragments.
+// Porting forcepp to a new machine means writing exactly this set - the
+// paper's central claim, reproduced.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "preproc/diag.hpp"
+#include "preproc/macro.hpp"
+
+namespace force::preproc {
+
+/// One declared variable of a Force module.
+struct VarInfo {
+  std::string force_type;            ///< integer | real | ...
+  std::string cpp_type;              ///< std::int64_t | double | ...
+  std::string name;
+  std::vector<std::string> dims;     ///< empty for scalars
+  char cls = 's';                    ///< 's'hared | 'p'rivate | 'a'sync
+
+  /// Full C++ type including array nesting.
+  [[nodiscard]] std::string full_cpp_type() const;
+};
+
+/// One Force module (the main program or a Forcesub).
+struct ModuleInfo {
+  std::string name;
+  bool is_main = false;
+  std::vector<VarInfo> variables;
+
+  [[nodiscard]] std::vector<VarInfo> shared_variables() const;
+};
+
+/// Translator state threaded through the native macros ("storing and
+/// retrieving definitions" across the expansion).
+struct TranslateContext {
+  std::string machine = "native";
+  bool needs_startup = false;  ///< link-time / run-time sharing machines
+  std::vector<ModuleInfo> modules;
+  int current_module = -1;  ///< index into modules; -1 = outside any module
+  std::vector<std::string> externfs;
+  /// Askfor label -> C++ task type, pre-scanned before expansion so that
+  /// Seedwork statements (which textually precede their block) agree with
+  /// the block's task type.
+  std::map<std::string, std::string> askfor_types;
+
+  // Construct nesting ("barrier", "critical", "pcase", "do:<label>",
+  // "module").
+  std::vector<std::string> block_stack;
+  bool pcase_sect_open = false;
+  std::string pcase_mode;  // "presched" | "selfsched"
+  bool main_seen = false;
+  bool join_seen = false;
+
+  [[nodiscard]] ModuleInfo* current();
+  [[nodiscard]] std::string indent() const;  ///< per nesting depth
+  void record_var(VarInfo v, int line, DiagSink& diags);
+};
+
+/// Maps a Force type name to C++ ("integer" -> "std::int64_t", ...);
+/// empty string if unknown.
+std::string map_force_type(const std::string& force_type);
+
+/// Registers the machine-independent statement macros. `ctx` must outlive
+/// the processor.
+void install_statement_macros(MacroProcessor& mp, TranslateContext& ctx);
+
+/// Registers the machine-dependent macro set for `machine` (a name from
+/// machdep::machine_names()). Also sets ctx.machine / ctx.needs_startup.
+void install_machine_macros(MacroProcessor& mp, TranslateContext& ctx,
+                            const std::string& machine);
+
+}  // namespace force::preproc

@@ -1,0 +1,281 @@
+#include "preproc/macro.hpp"
+
+#include <cctype>
+
+#include "preproc/textutil.hpp"
+#include "util/check.hpp"
+
+namespace force::preproc {
+
+namespace {
+constexpr int kMaxDepth = 64;
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+MacroProcessor::MacroProcessor() { install_utility_macros(); }
+
+void MacroProcessor::define(const std::string& name, const std::string& body) {
+  FORCE_CHECK(is_identifier(name), "bad macro name: " + name);
+  natives_.erase(name);
+  templates_[name] = body;
+}
+
+void MacroProcessor::define_native(const std::string& name, Native fn) {
+  FORCE_CHECK(is_identifier(name), "bad macro name: " + name);
+  templates_.erase(name);
+  natives_[name] = std::move(fn);
+}
+
+void MacroProcessor::undefine(const std::string& name) {
+  templates_.erase(name);
+  natives_.erase(name);
+}
+
+bool MacroProcessor::has(const std::string& name) const {
+  return templates_.contains(name) || natives_.contains(name);
+}
+
+std::optional<std::string> MacroProcessor::definition(
+    const std::string& name) const {
+  auto it = templates_.find(name);
+  if (it == templates_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string MacroProcessor::slot_or(const std::string& key,
+                                    const std::string& fallback) const {
+  auto it = slots_.find(key);
+  return it == slots_.end() ? fallback : it->second;
+}
+
+std::optional<MacroProcessor::ParsedCall> MacroProcessor::find_call(
+    const std::string& line, std::size_t from) {
+  for (std::size_t i = from; i < line.size(); ++i) {
+    if (line[i] != '@') continue;
+    std::size_t j = i + 1;
+    while (j < line.size() && ident_char(line[j])) ++j;
+    if (j == i + 1 || j >= line.size() || line[j] != '(') continue;
+    // Balanced-paren scan for the closing ')'.
+    int depth = 0;
+    std::size_t k = j;
+    for (; k < line.size(); ++k) {
+      if (line[k] == '(') ++depth;
+      if (line[k] == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (k == line.size()) continue;  // unbalanced: not a call
+    ParsedCall call;
+    call.name = line.substr(i + 1, j - i - 1);
+    const std::string inner = line.substr(j + 1, k - j - 1);
+    call.args = inner.empty()
+                    ? std::vector<std::string>{}
+                    : split_args(inner, /*angle_nesting=*/true);
+    call.begin = i;
+    call.end = k + 1;
+    return call;
+  }
+  return std::nullopt;
+}
+
+std::string MacroProcessor::substitute(const std::string& body,
+                                       const std::string& name,
+                                       const std::vector<std::string>& args) {
+  std::string out;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '$' && i + 1 < body.size()) {
+      const char c = body[i + 1];
+      if (c >= '1' && c <= '9') {
+        const std::size_t idx = static_cast<std::size_t>(c - '1');
+        if (idx < args.size()) out += args[idx];
+        ++i;
+        continue;
+      }
+      if (c == '0') {
+        out += name;
+        ++i;
+        continue;
+      }
+      if (c == '*') {
+        for (std::size_t a = 0; a < args.size(); ++a) {
+          if (a) out += ", ";
+          out += args[a];
+        }
+        ++i;
+        continue;
+      }
+      if (c == '#') {
+        out += std::to_string(args.size());
+        ++i;
+        continue;
+      }
+    }
+    out += body[i];
+  }
+  return out;
+}
+
+std::string MacroProcessor::expand_inline(std::string work, int origin_line,
+                                          DiagSink& diags, int depth) {
+  std::size_t cursor = 0;
+  int guard = 0;
+  while (auto call = find_call(work, cursor)) {
+    if (!has(call->name)) {
+      cursor = call->begin + 1;
+      continue;
+    }
+    auto sub = expand_call(*call, origin_line, diags, depth);
+    if (sub.size() != 1) {
+      diags.error(origin_line, "inline macro @" + call->name +
+                                   " must expand to a single line");
+      break;
+    }
+    work = work.substr(0, call->begin) + sub[0] + work.substr(call->end);
+    cursor = call->begin;
+    if (++guard > 1000) {
+      diags.error(origin_line, "runaway inline macro expansion");
+      break;
+    }
+  }
+  return work;
+}
+
+std::vector<std::string> MacroProcessor::expand_call(const ParsedCall& call,
+                                                     int origin_line,
+                                                     DiagSink& diags,
+                                                     int depth) {
+  ++expansions_;
+  if (depth > kMaxDepth) {
+    diags.error(origin_line, "macro expansion too deep (recursive macro?)");
+    return {};
+  }
+  // m4 applicative order: arguments are expanded before the macro runs.
+  std::vector<std::string> args = call.args;
+  for (auto& a : args) {
+    if (a.find('@') != std::string::npos) {
+      a = expand_inline(a, origin_line, diags, depth + 1);
+    }
+  }
+  if (auto nit = natives_.find(call.name); nit != natives_.end()) {
+    return expand_lines(nit->second(args, origin_line, diags), origin_line,
+                        diags, depth + 1);
+  }
+  auto tit = templates_.find(call.name);
+  FORCE_CHECK(tit != templates_.end(), "undefined macro @" + call.name);
+  const std::string body = substitute(tit->second, call.name, args);
+  return expand_lines(split_lines(body), origin_line, diags, depth + 1);
+}
+
+std::vector<std::string> MacroProcessor::expand_lines(
+    std::vector<std::string> lines, int origin_line, DiagSink& diags,
+    int depth) {
+  if (depth > kMaxDepth) {
+    diags.error(origin_line, "macro expansion too deep (recursive macro?)");
+    return lines;
+  }
+  std::vector<std::string> out;
+  for (auto& line : lines) {
+    // Whole-line call: may expand to multiple lines, recursively. The
+    // line's leading indentation is preserved on every expanded line.
+    const std::string trimmed = trim(line);
+    if (!trimmed.empty() && trimmed[0] == '@') {
+      auto call = find_call(trimmed, 0);
+      if (call && call->begin == 0 && call->end == trimmed.size() &&
+          has(call->name)) {
+        const std::string indent =
+            line.substr(0, line.find_first_not_of(" \t"));
+        auto sub = expand_call(*call, origin_line, diags, depth);
+        for (auto& sline : sub) {
+          out.push_back(sline.empty() ? std::move(sline) : indent + sline);
+        }
+        continue;
+      }
+    }
+    // Inline calls: substitute each defined @name(...) in place; the
+    // result must be a single line.
+    out.push_back(expand_inline(line, origin_line, diags, depth));
+  }
+  return out;
+}
+
+std::vector<std::string> MacroProcessor::expand_line(const std::string& line,
+                                                     int origin_line,
+                                                     DiagSink& diags) {
+  return expand_lines({line}, origin_line, diags, 0);
+}
+
+std::vector<std::string> MacroProcessor::expand_text(const std::string& text,
+                                                     DiagSink& diags) {
+  std::vector<std::string> out;
+  int n = 0;
+  for (const auto& line : split_lines(text)) {
+    auto sub = expand_line(line, ++n, diags);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void MacroProcessor::install_utility_macros() {
+  // The paper's utility macros: "returning the first element of a list,
+  // storing and retrieving definitions, concatenating and truncating
+  // arguments".
+  define_native("first", [](const std::vector<std::string>& args, int,
+                            DiagSink&) -> std::vector<std::string> {
+    return {args.empty() ? "" : args[0]};
+  });
+  define_native("rest", [](const std::vector<std::string>& args, int,
+                           DiagSink&) -> std::vector<std::string> {
+    std::string out;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (i > 1) out += ", ";
+      out += args[i];
+    }
+    return {out};
+  });
+  define_native("concat", [](const std::vector<std::string>& args, int,
+                             DiagSink&) -> std::vector<std::string> {
+    std::string out;
+    for (const auto& a : args) out += a;
+    return {out};
+  });
+  define_native("len", [](const std::vector<std::string>& args, int,
+                          DiagSink&) -> std::vector<std::string> {
+    return {std::to_string(args.size())};
+  });
+  // @ifelse(a, b, then, else): textual equality test, m4 style.
+  define_native("ifelse", [](const std::vector<std::string>& args, int line,
+                             DiagSink& diags) -> std::vector<std::string> {
+    if (args.size() < 3) {
+      diags.error(line, "@ifelse needs at least 3 arguments");
+      return {""};
+    }
+    if (args[0] == args[1]) return {args[2]};
+    return {args.size() > 3 ? args[3] : ""};
+  });
+  // @store(key, value) / @fetch(key[, fallback]): the definition store.
+  define_native("store", [this](const std::vector<std::string>& args,
+                                int line, DiagSink& diags)
+                             -> std::vector<std::string> {
+    if (args.size() != 2) {
+      diags.error(line, "@store needs (key, value)");
+      return {""};
+    }
+    slot(args[0]) = args[1];
+    return {""};
+  });
+  define_native("fetch", [this](const std::vector<std::string>& args,
+                                int line, DiagSink& diags)
+                             -> std::vector<std::string> {
+    if (args.empty()) {
+      diags.error(line, "@fetch needs a key");
+      return {""};
+    }
+    return {slot_or(args[0], args.size() > 1 ? args[1] : "")};
+  });
+}
+
+}  // namespace force::preproc

@@ -1,0 +1,106 @@
+// The macro processor: level two of the Force implementation (paper §4.2,
+// §4.3).
+//
+// In the original, sed translated Force syntax into parameterized function
+// macros and m4 replaced those with Fortran plus the low-level parallel
+// extensions, in two steps: machine-independent statement macros expanding
+// into calls on machine-dependent macros. This class is the m4 of the
+// reproduction:
+//
+//   * "statement macros" and "internal macros" are registered as natives
+//     (C++ handlers) or text templates with $1..$9 / $* / $# substitution;
+//   * "utility macros" (first, rest, concat, len, ifelse, ...) are
+//     built in, usable inline anywhere in a line;
+//   * definitions can be stored and retrieved at expansion time (the
+//     paper's "storing and retrieving definitions" utility), which is how
+//     stateful constructs (Pcase blocks, Forcesub boundaries) are handled.
+//
+// A macro call is written @name(args...). Whole-line calls may expand to
+// multiple lines and are expanded recursively; inline calls must expand to
+// a single line.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "preproc/diag.hpp"
+
+namespace force::preproc {
+
+class MacroProcessor {
+ public:
+  /// Native handler: receives the (unexpanded) argument list and the
+  /// origin line for diagnostics; returns the replacement lines.
+  using Native = std::function<std::vector<std::string>(
+      const std::vector<std::string>& args, int line, DiagSink& diags)>;
+
+  MacroProcessor();
+
+  /// Registers a text-template macro; `$1`..`$9` substitute arguments,
+  /// `$*` the whole comma-joined list, `$#` the count, `$0` the name.
+  void define(const std::string& name, const std::string& body);
+  void define_native(const std::string& name, Native fn);
+  /// Removes a definition (paper: definitions can be deleted too).
+  void undefine(const std::string& name);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// The template body of a text macro, if `name` is one.
+  [[nodiscard]] std::optional<std::string> definition(
+      const std::string& name) const;
+
+  /// Mutable key/value store shared with native handlers ("storing and
+  /// retrieving definitions"): the translator keeps construct state here.
+  std::string& slot(const std::string& key) { return slots_[key]; }
+  [[nodiscard]] std::string slot_or(const std::string& key,
+                                    const std::string& fallback) const;
+
+  /// Expands one line: a whole-line @call is replaced (recursively, depth
+  /// capped) and inline @calls inside any line are substituted. Lines
+  /// without calls pass through untouched.
+  std::vector<std::string> expand_line(const std::string& line,
+                                       int origin_line, DiagSink& diags);
+
+  /// Expands a whole text (convenience for tests).
+  std::vector<std::string> expand_text(const std::string& text,
+                                       DiagSink& diags);
+
+  [[nodiscard]] std::size_t expansions() const { return expansions_; }
+
+ private:
+  struct ParsedCall {
+    std::string name;
+    std::vector<std::string> args;
+    std::size_t begin = 0;  // offset of '@'
+    std::size_t end = 0;    // offset one past ')'
+  };
+
+  /// Finds the first @name( call with balanced parentheses at or after
+  /// `from`; returns nullopt if none.
+  static std::optional<ParsedCall> find_call(const std::string& line,
+                                             std::size_t from);
+
+  std::vector<std::string> expand_call(const ParsedCall& call,
+                                       int origin_line, DiagSink& diags,
+                                       int depth);
+  /// Expands every defined inline @call in `work` (results must be single
+  /// lines); also used for m4-style argument pre-expansion.
+  std::string expand_inline(std::string work, int origin_line,
+                            DiagSink& diags, int depth);
+  std::vector<std::string> expand_lines(std::vector<std::string> lines,
+                                        int origin_line, DiagSink& diags,
+                                        int depth);
+  static std::string substitute(const std::string& body,
+                                const std::string& name,
+                                const std::vector<std::string>& args);
+  void install_utility_macros();
+
+  std::map<std::string, std::string> templates_;
+  std::map<std::string, Native> natives_;
+  std::map<std::string, std::string> slots_;
+  std::size_t expansions_ = 0;
+};
+
+}  // namespace force::preproc

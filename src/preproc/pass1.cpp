@@ -1,0 +1,395 @@
+#include "preproc/pass1.hpp"
+
+#include "preproc/textutil.hpp"
+
+namespace force::preproc {
+
+namespace {
+
+bool known_type(const std::string& lower) {
+  return lower == "integer" || lower == "real" || lower == "logical" ||
+         lower == "double precision" || lower == "double";
+}
+
+/// Parses "<type> name(dims), name2, ..." after Shared/Private/Async and
+/// emits one @<macro>(type, name, dims...) per declarator.
+std::vector<std::string> rewrite_decl(const std::string& macro,
+                                      const std::string& rest, int lineno,
+                                      DiagSink& diags) {
+  // The type is one word, except "double precision".
+  std::string type;
+  std::string items;
+  if (auto dp = match_keywords(rest, {"double", "precision"})) {
+    type = "double precision";
+    items = *dp;
+  } else {
+    const std::size_t space = rest.find_first_of(" \t");
+    if (space == std::string::npos) {
+      diags.error(lineno, "declaration needs a type and a variable list");
+      return {};
+    }
+    type = to_lower(trim(rest.substr(0, space)));
+    items = trim(rest.substr(space));
+  }
+  if (!known_type(type)) {
+    diags.error(lineno, "unknown Force type '" + type + "'");
+    return {};
+  }
+
+  std::vector<std::string> out;
+  for (const auto& item : split_args(items)) {
+    std::string name = item;
+    std::string dims;
+    if (auto paren = item.find('('); paren != std::string::npos) {
+      if (item.back() != ')') {
+        diags.error(lineno, "malformed array declarator: " + item);
+        continue;
+      }
+      name = trim(item.substr(0, paren));
+      dims = trim(item.substr(paren + 1, item.size() - paren - 2));
+    }
+    if (!is_identifier(name)) {
+      diags.error(lineno, "bad variable name: " + name);
+      continue;
+    }
+    std::string call = "@" + macro + "(" + type + ", " + name;
+    for (const auto& dim : split_args(dims)) call += ", " + dim;
+    call += ")";
+    out.push_back(std::move(call));
+  }
+  if (out.empty()) diags.error(lineno, "empty declaration");
+  return out;
+}
+
+/// Parses one "v = a, b[, c]" loop control; returns {var,a,b,c} or empty.
+std::vector<std::string> parse_loop_control(const std::string& text,
+                                            int lineno, DiagSink& diags) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos) {
+    diags.error(lineno, "loop control needs 'var = start, last[, incr]'");
+    return {};
+  }
+  const std::string var = trim(text.substr(0, eq));
+  if (!is_identifier(var)) {
+    diags.error(lineno, "bad DO variable: " + var);
+    return {};
+  }
+  auto bounds = split_args(text.substr(eq + 1));
+  if (bounds.size() != 2 && bounds.size() != 3) {
+    diags.error(lineno, "loop control needs 2 or 3 bounds");
+    return {};
+  }
+  if (bounds.size() == 2) bounds.push_back("1");
+  return {var, bounds[0], bounds[1], bounds[2]};
+}
+
+/// Parses "<label> v = a, b[, c] ; w = d, e[, f]" after a DO2 keyword.
+std::vector<std::string> rewrite_do2(const std::string& macro,
+                                     const std::string& rest, int lineno,
+                                     DiagSink& diags) {
+  const LabeledLine ll = split_label(rest);
+  if (!ll.label) {
+    diags.error(lineno, "DO2 statement needs a label: " + rest);
+    return {};
+  }
+  const std::size_t semi = ll.rest.find(';');
+  if (semi == std::string::npos) {
+    diags.error(lineno,
+                "DO2 needs two ';'-separated loop controls: " + ll.rest);
+    return {};
+  }
+  const auto outer =
+      parse_loop_control(trim(ll.rest.substr(0, semi)), lineno, diags);
+  const auto inner =
+      parse_loop_control(trim(ll.rest.substr(semi + 1)), lineno, diags);
+  if (outer.empty() || inner.empty()) return {};
+  std::string call = "@" + macro + "(" + std::to_string(*ll.label);
+  for (const auto& part : outer) call += ", " + part;
+  for (const auto& part : inner) call += ", " + part;
+  call += ")";
+  return {call};
+}
+
+/// Parses "<label> v = a, b[, c]" after Presched/Selfsched DO.
+std::vector<std::string> rewrite_do(const std::string& macro,
+                                    const std::string& rest, int lineno,
+                                    DiagSink& diags) {
+  const LabeledLine ll = split_label(rest);
+  if (!ll.label) {
+    diags.error(lineno, "DO statement needs a label: " + rest);
+    return {};
+  }
+  const std::size_t eq = ll.rest.find('=');
+  if (eq == std::string::npos) {
+    diags.error(lineno, "DO statement needs 'var = start, last[, incr]'");
+    return {};
+  }
+  const std::string var = trim(ll.rest.substr(0, eq));
+  if (!is_identifier(var)) {
+    diags.error(lineno, "bad DO variable: " + var);
+    return {};
+  }
+  auto bounds = split_args(ll.rest.substr(eq + 1));
+  if (bounds.size() != 2 && bounds.size() != 3) {
+    diags.error(lineno, "DO statement needs 2 or 3 bounds");
+    return {};
+  }
+  if (bounds.size() == 2) bounds.push_back("1");
+  return {"@" + macro + "(" + std::to_string(*ll.label) + ", " + var + ", " +
+          bounds[0] + ", " + bounds[1] + ", " + bounds[2] + ")"};
+}
+
+/// "v = expr" split for Produce.
+std::vector<std::string> rewrite_produce(const std::string& rest, int lineno,
+                                         DiagSink& diags) {
+  const std::size_t eq = rest.find('=');
+  if (eq == std::string::npos) {
+    diags.error(lineno, "Produce needs 'var = expression'");
+    return {};
+  }
+  const std::string var = trim(rest.substr(0, eq));
+  const std::string expr = trim(rest.substr(eq + 1));
+  if (!is_identifier(var) || expr.empty()) {
+    diags.error(lineno, "malformed Produce statement");
+    return {};
+  }
+  return {"@produce(" + var + ", " + expr + ")"};
+}
+
+/// "v into x" split for Consume/Copy/Isfull.
+std::vector<std::string> rewrite_into(const std::string& macro,
+                                      const std::string& rest, int lineno,
+                                      DiagSink& diags) {
+  // Find the "into" keyword.
+  const std::string lower = to_lower(rest);
+  const std::size_t pos = lower.find(" into ");
+  if (pos == std::string::npos) {
+    diags.error(lineno, macro + " needs 'var into target'");
+    return {};
+  }
+  const std::string var = trim(rest.substr(0, pos));
+  const std::string target = trim(rest.substr(pos + 6));
+  if (!is_identifier(var) || target.empty()) {
+    diags.error(lineno, "malformed " + macro + " statement");
+    return {};
+  }
+  return {"@" + macro + "(" + var + ", " + target + ")"};
+}
+
+}  // namespace
+
+std::vector<std::string> rewrite_line(const std::string& line, int lineno,
+                                      DiagSink& diags) {
+  const std::string t = trim(line);
+  if (t.empty()) return {line};
+  if (t[0] == '!') return {"// " + trim(t.substr(1))};
+
+  // End-of-construct forms first (they start with labels or "End").
+  const LabeledLine ll = split_label(t);
+  if (ll.label) {
+    if (match_keywords(ll.rest, {"End", "Askfor"})) {
+      return {"@end_askfor(" + std::to_string(*ll.label) + ")"};
+    }
+    if (match_keywords(ll.rest, {"End", "Presched", "DO2"})) {
+      return {"@end_presched_do2(" + std::to_string(*ll.label) + ")"};
+    }
+    if (match_keywords(ll.rest, {"End", "Selfsched", "DO2"})) {
+      return {"@end_selfsched_do2(" + std::to_string(*ll.label) + ")"};
+    }
+    if (match_keywords(ll.rest, {"End", "Guided", "DO"})) {
+      return {"@end_guided_do(" + std::to_string(*ll.label) + ")"};
+    }
+    if (match_keywords(ll.rest, {"End", "Presched", "DO"})) {
+      return {"@end_presched_do(" + std::to_string(*ll.label) + ")"};
+    }
+    if (match_keywords(ll.rest, {"End", "Selfsched", "DO"})) {
+      return {"@end_selfsched_do(" + std::to_string(*ll.label) + ")"};
+    }
+    diags.error(lineno, "labeled line is not an End DO: " + t);
+    return {line};
+  }
+  if (match_keywords(t, {"End", "declarations"})) return {"@end_declarations()"};
+  if (match_keywords(t, {"End", "barrier"})) return {"@barrier_end()"};
+  if (match_keywords(t, {"End", "critical"})) return {"@critical_end()"};
+  if (match_keywords(t, {"End", "pcase"})) return {"@pcase_end()"};
+  if (match_keywords(t, {"End", "Forcesub"})) return {"@end_forcesub()"};
+
+  if (auto rest = match_keyword(t, "Force")) {
+    return {"@force_main(" + *rest + ")"};
+  }
+  if (auto rest = match_keyword(t, "Forcesub")) {
+    return {"@forcesub(" + *rest + ")"};
+  }
+  if (auto rest = match_keyword(t, "Externf")) {
+    return {"@externf(" + *rest + ")"};
+  }
+  if (auto rest = match_keyword(t, "Forcecall")) {
+    return {"@forcecall(" + *rest + ")"};
+  }
+  if (auto rest = match_keyword(t, "Shared")) {
+    return rewrite_decl("shared_decl", *rest, lineno, diags);
+  }
+  if (auto rest = match_keyword(t, "Private")) {
+    return rewrite_decl("private_decl", *rest, lineno, diags);
+  }
+  if (auto rest = match_keyword(t, "Async")) {
+    return rewrite_decl("async_decl", *rest, lineno, diags);
+  }
+  if (auto rest = match_keyword(t, "Barrier")) {
+    if (rest->empty()) return {"@barrier_begin()"};
+  }
+  if (auto rest = match_keyword(t, "Critical")) {
+    if (is_identifier(*rest)) return {"@critical_begin(" + *rest + ")"};
+    diags.error(lineno, "Critical needs a lock name");
+    return {line};
+  }
+  if (auto rest = match_keywords(t, {"Presched", "DO2"})) {
+    return rewrite_do2("presched_do2", *rest, lineno, diags);
+  }
+  if (auto rest = match_keywords(t, {"Selfsched", "DO2"})) {
+    return rewrite_do2("selfsched_do2", *rest, lineno, diags);
+  }
+  if (auto rest = match_keywords(t, {"Guided", "DO"})) {
+    return rewrite_do("guided_do", *rest, lineno, diags);
+  }
+  if (auto rest = match_keywords(t, {"Presched", "DO"})) {
+    return rewrite_do("presched_do", *rest, lineno, diags);
+  }
+  if (auto rest = match_keywords(t, {"Selfsched", "DO"})) {
+    return rewrite_do("selfsched_do", *rest, lineno, diags);
+  }
+  if (auto rest = match_keyword(t, "Pcase")) {
+    if (rest->empty()) return {"@pcase_begin(presched)"};
+    if (match_keyword(*rest, "Selfsched")) return {"@pcase_begin(selfsched)"};
+    diags.error(lineno, "Pcase takes nothing or 'Selfsched'");
+    return {line};
+  }
+  if (auto rest = match_keyword(t, "Usect")) {
+    if (rest->empty()) return {"@usect()"};
+  }
+  if (auto rest = match_keyword(t, "Csect")) {
+    std::string cond = *rest;
+    if (cond.size() >= 2 && cond.front() == '(' && cond.back() == ')') {
+      cond = trim(cond.substr(1, cond.size() - 2));
+    }
+    if (cond.empty()) {
+      diags.error(lineno, "Csect needs a (condition)");
+      return {line};
+    }
+    return {"@csect(" + cond + ")"};
+  }
+  if (auto rest = match_keyword(t, "Askfor")) {
+    // Askfor <label> VAR of <type>
+    const LabeledLine al = split_label(*rest);
+    if (!al.label) {
+      diags.error(lineno, "Askfor needs a label: " + *rest);
+      return {line};
+    }
+    const std::string lower = to_lower(al.rest);
+    const std::size_t of = lower.find(" of ");
+    if (of == std::string::npos) {
+      diags.error(lineno, "Askfor needs '<label> var of <type>'");
+      return {line};
+    }
+    const std::string var = trim(al.rest.substr(0, of));
+    const std::string type = trim(al.rest.substr(of + 4));
+    if (!is_identifier(var) || type.empty()) {
+      diags.error(lineno, "malformed Askfor statement");
+      return {line};
+    }
+    return {"@askfor_begin(" + std::to_string(*al.label) + ", " + var +
+            ", " + type + ")"};
+  }
+  if (auto rest = match_keyword(t, "Seedwork")) {
+    // Seedwork <label> <expr>   (executed by process 1, barrier after)
+    const LabeledLine sl = split_label(*rest);
+    if (!sl.label || sl.rest.empty()) {
+      diags.error(lineno, "Seedwork needs '<label> <expression>'");
+      return {line};
+    }
+    return {"@seedwork(" + std::to_string(*sl.label) + ", " + sl.rest + ")"};
+  }
+  if (auto rest = match_keyword(t, "Putwork")) {
+    if (rest->empty()) {
+      diags.error(lineno, "Putwork needs an expression");
+      return {line};
+    }
+    return {"@putwork(" + *rest + ")"};
+  }
+  if (auto rest = match_keyword(t, "Probend")) {
+    if (rest->empty()) return {"@probend()"};
+    diags.error(lineno, "Probend takes no operand");
+    return {line};
+  }
+  if (auto rest = match_keyword(t, "Lock")) {
+    if (is_identifier(*rest)) return {"@rawlock(" + *rest + ")"};
+    diags.error(lineno, "Lock needs a lock name");
+    return {line};
+  }
+  if (auto rest = match_keyword(t, "Unlock")) {
+    if (is_identifier(*rest)) return {"@rawunlock(" + *rest + ")"};
+    diags.error(lineno, "Unlock needs a lock name");
+    return {line};
+  }
+  if (auto rest = match_keyword(t, "Reduce")) {
+    // Reduce <local-expr> into <shared-var> [with +|*|max|min]
+    const std::string lower = to_lower(*rest);
+    const std::size_t into = lower.find(" into ");
+    if (into == std::string::npos) {
+      diags.error(lineno, "Reduce needs '<expr> into <var> [with op]'");
+      return {line};
+    }
+    const std::string expr = trim(rest->substr(0, into));
+    std::string target = trim(rest->substr(into + 6));
+    std::string op = "+";
+    const std::string target_lower = to_lower(target);
+    if (const std::size_t with = target_lower.find(" with ");
+        with != std::string::npos) {
+      op = trim(target.substr(with + 6));
+      target = trim(target.substr(0, with));
+    }
+    if (expr.empty() || !is_identifier(target)) {
+      diags.error(lineno, "malformed Reduce statement");
+      return {line};
+    }
+    return {"@reduce_stmt(" + target + ", " + op + ", " + expr + ")"};
+  }
+  if (auto rest = match_keyword(t, "Produce")) {
+    return rewrite_produce(*rest, lineno, diags);
+  }
+  if (auto rest = match_keyword(t, "Consume")) {
+    return rewrite_into("consume", *rest, lineno, diags);
+  }
+  if (auto rest = match_keyword(t, "Copy")) {
+    return rewrite_into("copyasync", *rest, lineno, diags);
+  }
+  if (auto rest = match_keyword(t, "Void")) {
+    if (is_identifier(*rest)) return {"@voidasync(" + *rest + ")"};
+    diags.error(lineno, "Void needs a variable name");
+    return {line};
+  }
+  if (auto rest = match_keyword(t, "Isfull")) {
+    return rewrite_into("isfull", *rest, lineno, diags);
+  }
+  if (auto rest = match_keyword(t, "Join")) {
+    if (rest->empty()) return {"@join()"};
+  }
+
+  return {line};  // a computational statement: pass through
+}
+
+RewriteResult rewrite_force_syntax(const std::string& source,
+                                   DiagSink& diags) {
+  RewriteResult result;
+  int lineno = 0;
+  for (const auto& line : split_lines(source)) {
+    ++lineno;
+    for (auto& out : rewrite_line(line, lineno, diags)) {
+      result.lines.push_back(std::move(out));
+      result.origin.push_back(lineno);
+    }
+  }
+  return result;
+}
+
+}  // namespace force::preproc

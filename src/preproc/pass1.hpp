@@ -1,0 +1,57 @@
+// Pass 1: the "sed" stage (paper §4.3).
+//
+// "The stream editor sed translates the Force syntax into parameterized
+// function macros." This pass is deliberately dumb and stateless, exactly
+// like a sed script: each source line either matches one Force statement
+// pattern and is rewritten into a @macro(...) call line, or passes through
+// untouched (computational statements are written in C++ in this dialect).
+//
+// The statement grammar (case-insensitive keywords):
+//
+//   Force NAME                         main program header
+//   Forcesub NAME / End Forcesub       parallel subroutine
+//   Externf NAME                       external subroutine declaration
+//   Forcecall NAME                     call a parallel subroutine
+//   End declarations                   end of declaration section
+//   Shared  <type> v[(d[,d])] [, ...]  shared variable(s)
+//   Private <type> v[(d[,d])] [, ...]  private variable(s)
+//   Async   <type> v [, ...]           asynchronous variable(s)
+//   Barrier / End barrier              barrier with section
+//   Critical NAME / End critical       named critical section
+//   Presched  DO <label> v = a, b[, c] prescheduled loop
+//   <label> End Presched DO
+//   Selfsched DO <label> v = a, b[, c] selfscheduled loop
+//   <label> End Selfsched DO
+//   Pcase [Selfsched] / Usect / Csect (cond) / End pcase
+//   Produce v = expr                   write-and-fill
+//   Consume v into x                   read-and-empty
+//   Copy v into x                      read-keeping-full
+//   Void v                             force empty
+//   Isfull v into x                    state test
+//   Join                               end of main program
+//   !...                               comment
+//
+// <type> is integer | real | logical | double precision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "preproc/diag.hpp"
+
+namespace force::preproc {
+
+struct RewriteResult {
+  std::vector<std::string> lines;  ///< @macro calls and passthrough lines
+  std::vector<int> origin;         ///< 1-based source line per output line
+};
+
+/// Rewrites Force-dialect source text into macro-call form.
+RewriteResult rewrite_force_syntax(const std::string& source, DiagSink& diags);
+
+/// Single-line rule application (exposed for unit tests): returns the
+/// rewritten line(s) for one source line.
+std::vector<std::string> rewrite_line(const std::string& line, int lineno,
+                                      DiagSink& diags);
+
+}  // namespace force::preproc

@@ -1,0 +1,161 @@
+#include "preproc/textutil.hpp"
+
+#include <cctype>
+
+namespace force::preproc {
+
+namespace {
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::string> match_keyword(std::string_view s,
+                                         std::string_view keyword) {
+  if (s.size() < keyword.size()) return std::nullopt;
+  for (std::size_t i = 0; i < keyword.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(keyword[i]))) {
+      return std::nullopt;
+    }
+  }
+  if (s.size() > keyword.size() && ident_char(s[keyword.size()])) {
+    return std::nullopt;  // prefix of a longer identifier
+  }
+  return trim(s.substr(keyword.size()));
+}
+
+std::optional<std::string> match_keywords(
+    std::string_view s, const std::vector<std::string>& kws) {
+  std::string rest(trim(s));
+  for (const auto& kw : kws) {
+    auto m = match_keyword(rest, kw);
+    if (!m) return std::nullopt;
+    rest = *m;
+  }
+  return rest;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')
+    return false;
+  for (char c : s) {
+    if (!ident_char(c)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> split_args(std::string_view s, bool angle_nesting) {
+  std::vector<std::string> out;
+  int depth = 0;
+  int angle_depth = 0;
+  bool in_string = false;
+  char quote = 0;
+  std::string cur;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      cur += c;
+      if (c == quote && (i == 0 || s[i - 1] != '\\')) in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+      case '\'':
+        in_string = true;
+        quote = c;
+        cur += c;
+        break;
+      case '(':
+      case '[':
+      case '{':
+        ++depth;
+        cur += c;
+        break;
+      case ')':
+      case ']':
+      case '}':
+        --depth;
+        cur += c;
+        break;
+      case '<':
+        if (angle_nesting) ++angle_depth;
+        cur += c;
+        break;
+      case '>':
+        // A '>' without a matching '<' (e.g. a comparison) is ignored.
+        if (angle_nesting && angle_depth > 0) --angle_depth;
+        cur += c;
+        break;
+      case ',':
+        if (depth == 0 && angle_depth == 0) {
+          out.push_back(trim(cur));
+          cur.clear();
+        } else {
+          cur += c;
+        }
+        break;
+      default:
+        cur += c;
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty() || !out.empty()) out.push_back(last);
+  return out;
+}
+
+LabeledLine split_label(std::string_view s) {
+  const std::string t = trim(s);
+  std::size_t i = 0;
+  while (i < t.size() && std::isdigit(static_cast<unsigned char>(t[i]))) ++i;
+  if (i == 0 || i == t.size() ||
+      !std::isspace(static_cast<unsigned char>(t[i]))) {
+    return {std::nullopt, t};
+  }
+  return {std::stol(t.substr(0, i)), trim(t.substr(i))};
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::string line(text.substr(start, i - start));
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(std::move(line));
+      start = i + 1;
+    }
+  }
+  // A trailing newline produces one phantom empty line; drop it.
+  if (!lines.empty() && lines.back().empty() && !text.empty() &&
+      text.back() == '\n') {
+    lines.pop_back();
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace force::preproc

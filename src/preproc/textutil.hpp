@@ -1,0 +1,50 @@
+// Text utilities for the line-oriented Force dialect.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace force::preproc {
+
+std::string trim(std::string_view s);
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive keyword match at the start of `s`; a match must be
+/// followed by end-of-string or a non-identifier character. Returns the
+/// rest of the line (trimmed) on success.
+std::optional<std::string> match_keyword(std::string_view s,
+                                         std::string_view keyword);
+
+/// Like match_keyword for multi-word keywords ("End Presched DO"), with
+/// arbitrary whitespace between the words.
+std::optional<std::string> match_keywords(std::string_view s,
+                                          const std::vector<std::string>& kws);
+
+/// True if `s` is a valid Force/Fortran identifier (letter, then letters,
+/// digits, underscores).
+bool is_identifier(std::string_view s);
+
+/// Splits on top-level commas (ignores commas nested in (), [], {} and
+/// inside string literals); tokens are trimmed. With `angle_nesting`,
+/// balanced <...> pairs also protect commas (needed for macro arguments
+/// carrying C++ template types such as std::array<double, 16>).
+std::vector<std::string> split_args(std::string_view s,
+                                    bool angle_nesting = false);
+
+/// Splits a statement line into an optional numeric label prefix and the
+/// rest ("20 End Selfsched DO" -> {20, "End Selfsched DO"}).
+struct LabeledLine {
+  std::optional<long> label;
+  std::string rest;
+};
+LabeledLine split_label(std::string_view s);
+
+/// Splits source text into lines (no trailing newline artifacts).
+std::vector<std::string> split_lines(std::string_view text);
+
+/// Joins lines with '\n', appending a final newline when non-empty.
+std::string join_lines(const std::vector<std::string>& lines);
+
+}  // namespace force::preproc

@@ -1,0 +1,117 @@
+#include "preproc/translate.hpp"
+
+#include "preproc/machmacros.hpp"
+#include "preproc/macro.hpp"
+#include "preproc/pass1.hpp"
+#include "preproc/textutil.hpp"
+
+#include <string_view>
+
+namespace force::preproc {
+
+TranslationResult translate(const std::string& source,
+                            const TranslateOptions& options) {
+  TranslationResult result;
+
+  // Step 1: "sed" - Force syntax to parameterized macro calls.
+  const RewriteResult pass1 = rewrite_force_syntax(source, result.diags);
+  if (options.emit_pass1) result.pass1_text = join_lines(pass1.lines);
+
+  // Step 2: "m4" - the two macro layers. The machine-dependent set is
+  // installed first, then the machine-independent statement macros expand
+  // onto it.
+  MacroProcessor mp;
+  install_machine_macros(mp, result.context, options.machine);
+  install_statement_macros(mp, result.context);
+
+  // Pre-scan: Seedwork statements precede their Askfor block textually,
+  // so the label -> task-type map is collected before expansion.
+  for (std::size_t i = 0; i < pass1.lines.size(); ++i) {
+    const std::string t = trim(pass1.lines[i]);
+    constexpr std::string_view kPrefix = "@askfor_begin(";
+    if (t.rfind(kPrefix, 0) == 0 && t.back() == ')') {
+      const auto args = split_args(
+          t.substr(kPrefix.size(), t.size() - kPrefix.size() - 1));
+      if (args.size() == 3) {
+        const std::string cpp_type = map_force_type(args[2]);
+        if (!cpp_type.empty()) {
+          result.context.askfor_types["L" + args[0]] = cpp_type;
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> body;
+  for (std::size_t i = 0; i < pass1.lines.size(); ++i) {
+    // Passthrough (computational) lines get the current block indentation
+    // for readable output; macro lines produce their own indentation.
+    const std::string& line = pass1.lines[i];
+    const std::string trimmed = trim(line);
+    const bool is_macro_line = !trimmed.empty() && trimmed[0] == '@';
+    auto expanded = mp.expand_line(line, pass1.origin[i], result.diags);
+    for (auto& out : expanded) {
+      if (!is_macro_line && !trim(out).empty() &&
+          result.context.current() != nullptr) {
+        body.push_back(result.context.indent() + trim(out));
+      } else {
+        body.push_back(std::move(out));
+      }
+    }
+  }
+  result.macro_expansions = mp.expansions();
+
+  // Structural validation.
+  if (options.module_mode) {
+    if (result.context.main_seen) {
+      result.diags.error(
+          0, "--module translation units must not contain a Force main "
+             "program (compile it separately)");
+    }
+    if (result.context.modules.empty()) {
+      result.diags.error(0, "--module translation unit has no Forcesub");
+    }
+  } else if (!result.context.main_seen) {
+    result.diags.error(0, "no Force main program in the source");
+  } else if (!result.context.join_seen) {
+    result.diags.error(0, "Force main program has no Join");
+  }
+  if (!result.context.block_stack.empty()) {
+    result.diags.error(0, "unterminated construct: " +
+                              result.context.block_stack.back());
+  }
+  for (const auto& ext : result.context.externfs) {
+    bool found = false;
+    for (const auto& m : result.context.modules) {
+      if (!m.is_main && m.name == ext) found = true;
+    }
+    if (!found && options.module_mode) {
+      result.diags.error(0, "Externf " + ext +
+                                " inside a --module unit must be resolved "
+                                "by the main program's driver; remove it");
+    } else if (!found) {
+      result.diags.note(
+          0, "Externf " + ext +
+                 ": the generated driver will call force_register_" + ext +
+                 " from its separately compiled translation unit");
+    }
+  }
+
+  // Step 3: assemble - prologue, bodies, startup routines, then either the
+  // generated machine-dependent driver (programs) or the registration
+  // entry points (separately compiled modules).
+  std::string code = generate_prologue(result.context, options);
+  code += join_lines(body);
+  code += "\n";
+  code += generate_startup_routines(result.context);
+  if (options.module_mode) {
+    code += generate_module_registrations(result.context);
+  } else {
+    code += generate_driver(result.context, options);
+  }
+
+  result.cpp_code = std::move(code);
+  result.ok = result.diags.ok();
+  return result;
+}
+
+}  // namespace force::preproc

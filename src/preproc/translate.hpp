@@ -1,0 +1,35 @@
+// The complete forcepp pipeline (paper §4.3).
+//
+// "In a UNIX environment, the compilation of Force programs proceeds in
+// three steps: sed translates the Force syntax into parameterized function
+// macros; the macro processor m4 replaces the function macros with
+// [target-language] code and the language extensions supporting parallel
+// programming, in two steps; the machine dependent driver module is put at
+// the beginning of the code; finally the manufacturer provided compiler
+// processes the macro expanded code."
+//
+// translate() runs exactly that pipeline and returns a compilable C++
+// translation unit targeting the force runtime library.
+#pragma once
+
+#include <string>
+
+#include "preproc/diag.hpp"
+#include "preproc/driver_gen.hpp"
+
+namespace force::preproc {
+
+struct TranslationResult {
+  bool ok = false;
+  std::string cpp_code;     ///< complete translation unit
+  std::string pass1_text;   ///< intermediate macro-call form (if requested)
+  DiagSink diags;
+  std::size_t macro_expansions = 0;
+  TranslateContext context;  ///< symbol/module information for tooling
+};
+
+/// Translates Force-dialect source for one target machine.
+TranslationResult translate(const std::string& source,
+                            const TranslateOptions& options);
+
+}  // namespace force::preproc

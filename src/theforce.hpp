@@ -1,0 +1,21 @@
+// Umbrella header for the Force library.
+//
+// A C++20 reproduction of "The Force: A Highly Portable Parallel
+// Programming Language" (Jordan, Benten, Alaghband, Jakob; ICPP 1989).
+// See README.md for the architecture and DESIGN.md for the paper mapping.
+#pragma once
+
+#include "core/algorithms.hpp"  // IWYU pragma: export
+#include "core/askfor.hpp"    // IWYU pragma: export
+#include "core/async.hpp"     // IWYU pragma: export
+#include "core/barrier.hpp"   // IWYU pragma: export
+#include "core/critical.hpp"  // IWYU pragma: export
+#include "core/doall.hpp"     // IWYU pragma: export
+#include "core/env.hpp"       // IWYU pragma: export
+#include "core/force.hpp"     // IWYU pragma: export
+#include "core/module.hpp"    // IWYU pragma: export
+#include "core/pcase.hpp"     // IWYU pragma: export
+#include "core/privatevar.hpp"  // IWYU pragma: export
+#include "core/resolve.hpp"   // IWYU pragma: export
+#include "core/site.hpp"      // IWYU pragma: export
+#include "machdep/machine.hpp"  // IWYU pragma: export

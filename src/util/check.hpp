@@ -1,0 +1,41 @@
+// Lightweight runtime checking used throughout the library.
+//
+// FORCE_CHECK is always on (it guards user-facing invariants such as
+// "produce on a full async variable must block, not corrupt"); FORCE_DCHECK
+// compiles out in NDEBUG builds and guards internal invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace force::util {
+
+/// Thrown by FORCE_CHECK failures and by API misuse detected at run time.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(
+    const char* expr, const std::string& msg,
+    std::source_location loc = std::source_location::current()) {
+  std::string full = std::string("FORCE_CHECK failed: (") + expr + ") " + msg +
+                     " at " + loc.file_name() + ":" + std::to_string(loc.line());
+  throw CheckError(full);
+}
+
+}  // namespace force::util
+
+#define FORCE_CHECK(expr, msg)                          \
+  do {                                                  \
+    if (!(expr)) ::force::util::check_failed(#expr, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define FORCE_DCHECK(expr, msg) ((void)0)
+#else
+#define FORCE_DCHECK(expr, msg) FORCE_CHECK(expr, msg)
+#endif

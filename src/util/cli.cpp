@@ -1,0 +1,143 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace force::util {
+
+CliParser& CliParser::option(const std::string& name,
+                             const std::string& default_value,
+                             const std::string& help) {
+  Option opt;
+  opt.value = default_value;
+  opt.default_value = default_value;
+  opt.help = help;
+  options_[name] = std::move(opt);
+  return *this;
+}
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help) {
+  Option opt;
+  opt.value = "false";
+  opt.default_value = "false";
+  opt.help = help;
+  opt.is_flag = true;
+  options_[name] = std::move(opt);
+  return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    FORCE_CHECK(it != options_.end(), "unknown option --" + name);
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      FORCE_CHECK(!has_value || value == "true" || value == "false",
+                  "flag --" + name + " takes no value");
+      opt.value = has_value ? value : "true";
+    } else if (has_value) {
+      opt.value = value;
+    } else {
+      FORCE_CHECK(i + 1 < argc, "option --" + name + " needs a value");
+      opt.value = argv[++i];
+    }
+    opt.seen = true;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::lookup(const std::string& name) const {
+  auto it = options_.find(name);
+  FORCE_CHECK(it != options_.end(), "option --" + name + " not registered");
+  return it->second;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  return lookup(name).value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string& v = lookup(name).value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  FORCE_CHECK(end == v.c_str() + v.size() && !v.empty(),
+              "option --" + name + " is not an integer: " + v);
+  return parsed;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = lookup(name).value;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  FORCE_CHECK(end == v.c_str() + v.size() && !v.empty(),
+              "option --" + name + " is not a number: " + v);
+  return parsed;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return lookup(name).value == "true";
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [options]\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name;
+    if (!opt.is_flag) out += "=<" + (opt.default_value.empty()
+                                         ? std::string("value")
+                                         : opt.default_value) + ">";
+    out += "\n      " + opt.help + "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    std::string token = s.substr(start, comma - start);
+    // trim
+    while (!token.empty() && (token.front() == ' ' || token.front() == '\t'))
+      token.erase(token.begin());
+    while (!token.empty() && (token.back() == ' ' || token.back() == '\t'))
+      token.pop_back();
+    if (!token.empty()) out.push_back(std::move(token));
+    if (comma == s.size()) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  for (const auto& tok : split_csv(s)) {
+    char* end = nullptr;
+    const long parsed = std::strtol(tok.c_str(), &end, 10);
+    FORCE_CHECK(end == tok.c_str() + tok.size(),
+                "not an integer in list: " + tok);
+    out.push_back(static_cast<int>(parsed));
+  }
+  return out;
+}
+
+}  // namespace force::util

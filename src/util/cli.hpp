@@ -1,0 +1,57 @@
+// Minimal command-line option parsing for examples and bench harnesses.
+//
+// Supports --name=value, --name value, and boolean --flag forms plus
+// positional arguments. Unknown options are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace force::util {
+
+class CliParser {
+ public:
+  /// Registers an option. `help` is shown by usage(). Options are
+  /// string-typed at registration; typed getters convert on access.
+  CliParser& option(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  CliParser& flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws util::CheckError on unknown options or a missing
+  /// value. Returns false if --help was requested (usage already printed).
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+
+  const Option& lookup(const std::string& name) const;
+};
+
+/// Splits "a,b,c" into trimmed tokens; empty input yields empty vector.
+std::vector<std::string> split_csv(const std::string& s);
+
+/// Parses a comma-separated list of integers such as "1,2,4,8".
+std::vector<int> parse_int_list(const std::string& s);
+
+}  // namespace force::util

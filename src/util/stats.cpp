@@ -1,0 +1,155 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace force::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+double OnlineStats::min() const { return min_; }
+double OnlineStats::max() const { return max_; }
+
+std::string OnlineStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4g sd=%.4g min=%.4g max=%.4g", n_, mean(),
+                stddev(), min_, max_);
+  return buf;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  FORCE_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto n = samples_.size();
+  // Nearest-rank definition.
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  FORCE_CHECK(hi > lo, "Histogram requires hi > lo");
+  FORCE_CHECK(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(
+      frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  FORCE_CHECK(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%9.3g,%9.3g) %8zu ",
+                  lo_ + bin_width * static_cast<double>(i),
+                  lo_ + bin_width * static_cast<double>(i + 1), counts_[i]);
+    out += label;
+    const std::size_t bar =
+        peak ? counts_[i] * width / peak : 0;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double load_imbalance(const std::vector<double>& per_process_work) {
+  if (per_process_work.empty()) return 0.0;
+  const double total = std::accumulate(per_process_work.begin(),
+                                       per_process_work.end(), 0.0);
+  const double mean = total / static_cast<double>(per_process_work.size());
+  if (mean <= 0.0) return 0.0;
+  const double peak =
+      *std::max_element(per_process_work.begin(), per_process_work.end());
+  return peak / mean - 1.0;
+}
+
+}  // namespace force::util

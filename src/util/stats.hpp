@@ -1,0 +1,84 @@
+// Summary statistics for benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace force::util {
+
+/// Online mean/variance/min/max via Welford's algorithm; O(1) space.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; supports exact percentiles. Use for per-iteration
+/// latency distributions in benches.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact percentile by nearest-rank; p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  // Sorted lazily, cached; mutable because percentile() is logically const.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins. Used to visualize load-imbalance distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// ASCII rendering, one line per bin.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Relative load imbalance of a per-process work vector:
+///   max(work)/mean(work) - 1. Zero means perfectly balanced.
+double load_imbalance(const std::vector<double>& per_process_work);
+
+}  // namespace force::util

@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace force::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FORCE_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FORCE_CHECK(cells.size() == headers_.size(),
+              "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string Table::num(std::size_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += (c == 0) ? "| " : " | ";
+      const std::size_t pad = width[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out.append(pad, ' ');
+        out += row[c];
+      } else {
+        out += row[c];
+        out.append(pad, ' ');
+      }
+    }
+    out += " |\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += (c == 0) ? "|-" : "-|-";
+    out.append(width[c], '-');
+  }
+  out += "-|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::render_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += ',';
+    out += quote(headers_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += quote(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace force::util

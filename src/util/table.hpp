@@ -1,0 +1,40 @@
+// ASCII table rendering for benchmark reports.
+//
+// Every experiment harness prints its results as a table with the same rows
+// and series the corresponding paper claim talks about; this helper keeps
+// those reports uniform and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace force::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with %.4g.
+  static std::string num(double v);
+  static std::string num(std::size_t v);
+  static std::string num(std::int64_t v);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and column alignment (numbers look best
+  /// right-aligned; we right-align cells that parse as numbers).
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (for machine post-processing of bench output).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace force::util

@@ -1,0 +1,74 @@
+#include "util/timing.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace force::util {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WallTimer::start() {
+  FORCE_CHECK(!running_, "WallTimer started twice");
+  start_ns_ = now_ns();
+  running_ = true;
+}
+
+void WallTimer::stop() {
+  FORCE_CHECK(running_, "WallTimer stopped while not running");
+  accumulated_ns_ += now_ns() - start_ns_;
+  running_ = false;
+}
+
+void WallTimer::reset() {
+  accumulated_ns_ = 0;
+  running_ = false;
+}
+
+std::int64_t WallTimer::elapsed_ns() const {
+  std::int64_t total = accumulated_ns_;
+  if (running_) total += now_ns() - start_ns_;
+  return total;
+}
+
+double WallTimer::elapsed_s() const {
+  return static_cast<double>(elapsed_ns()) * 1e-9;
+}
+
+std::string format_duration_ns(double ns) {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 4> units{{
+      {1e9, "s"}, {1e6, "ms"}, {1e3, "us"}, {1.0, "ns"}}};
+  for (const auto& u : units) {
+    if (ns >= u.scale || u.scale == 1.0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f %s", ns / u.scale, u.suffix);
+      return buf;
+    }
+  }
+  return "0 ns";
+}
+
+std::uint64_t spin_for_ns(std::int64_t ns) {
+  const std::int64_t deadline = now_ns() + ns;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  do {
+    // A few dependent ALU ops per poll keeps the clock-read frequency low.
+    for (int i = 0; i < 32; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+  } while (now_ns() < deadline);
+  return x;
+}
+
+}  // namespace force::util

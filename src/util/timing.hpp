@@ -1,0 +1,55 @@
+// Wall-clock timing helpers for tests and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace force::util {
+
+/// Monotonic nanosecond timestamp.
+std::int64_t now_ns();
+
+/// Simple start/stop wall timer; restartable, accumulating.
+class WallTimer {
+ public:
+  WallTimer() = default;
+
+  void start();
+  /// Stops the timer and adds the elapsed span to the accumulated total.
+  void stop();
+  void reset();
+
+  /// Accumulated time across all start/stop spans (plus the live span if
+  /// the timer is currently running).
+  [[nodiscard]] std::int64_t elapsed_ns() const;
+  [[nodiscard]] double elapsed_s() const;
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  std::int64_t accumulated_ns_ = 0;
+  std::int64_t start_ns_ = 0;
+  bool running_ = false;
+};
+
+/// RAII span that adds its lifetime to a WallTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(WallTimer& t) : timer_(t) { timer_.start(); }
+  ~ScopedTimer() { timer_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  WallTimer& timer_;
+};
+
+/// Formats a nanosecond duration with an adaptive unit ("1.23 ms").
+std::string format_duration_ns(double ns);
+
+/// Busy-spins for roughly `ns` nanoseconds; used by benchmarks to model
+/// computational grain without touching memory. Returns a value that
+/// depends on the spin so the loop cannot be optimized away.
+std::uint64_t spin_for_ns(std::int64_t ns);
+
+}  // namespace force::util

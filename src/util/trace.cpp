@@ -1,0 +1,144 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/timing.hpp"
+
+namespace force::util {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBarrier: return "barrier";
+    case TraceKind::kSection: return "barrier-section";
+    case TraceKind::kCritical: return "critical";
+    case TraceKind::kLoopDispatch: return "loop-dispatch";
+    case TraceKind::kLoopRun: return "doall";
+    case TraceKind::kProduce: return "produce";
+    case TraceKind::kConsume: return "consume";
+    case TraceKind::kAskforGrant: return "askfor-grant";
+    case TraceKind::kPhase: return "phase";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity) : events_(capacity) {
+  FORCE_CHECK(capacity > 0, "trace ring needs capacity");
+}
+
+void TraceRing::record(const TraceEvent& e) {
+  events_[recorded_ % events_.size()] = e;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRing::drain() const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t n =
+      std::min<std::uint64_t>(recorded_, events_.size());
+  out.reserve(static_cast<std::size_t>(n));
+  const std::uint64_t first = recorded_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(events_[(first + i) % events_.size()]);
+  }
+  return out;
+}
+
+Tracer::Tracer(int nproc, std::size_t events_per_process) {
+  FORCE_CHECK(nproc > 0, "tracer needs at least one process");
+  rings_.reserve(static_cast<std::size_t>(nproc));
+  for (int p = 0; p < nproc; ++p) {
+    rings_.push_back(std::make_unique<TraceRing>(events_per_process));
+  }
+}
+
+void Tracer::record(int proc, TraceKind kind, std::int64_t begin_ns,
+                    std::int64_t end_ns, std::int64_t arg) {
+  FORCE_CHECK(proc >= 0 && proc < nproc(), "trace process id out of range");
+  TraceEvent e;
+  e.begin_ns = begin_ns;
+  e.end_ns = end_ns;
+  e.kind = kind;
+  e.proc = proc;
+  e.arg = arg;
+  rings_[static_cast<std::size_t>(proc)]->record(e);
+}
+
+void Tracer::instant(int proc, TraceKind kind, std::int64_t arg) {
+  const std::int64_t now = now_ns();
+  record(proc, kind, now, now, arg);
+}
+
+Tracer::Span::Span(Tracer* tracer, int proc, TraceKind kind,
+                   std::int64_t arg)
+    : tracer_(tracer),
+      proc_(proc),
+      kind_(kind),
+      arg_(arg),
+      begin_ns_(now_ns()) {}
+
+Tracer::Span::~Span() {
+  if (tracer_ != nullptr) {
+    tracer_->record(proc_, kind_, begin_ns_, now_ns(), arg_);
+  }
+}
+
+std::uint64_t Tracer::total_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->recorded();
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::all_events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& r : rings_) {
+    auto v = r->drain();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  return out;
+}
+
+std::string Tracer::to_chrome_json() const {
+  // Chrome trace format: timestamps/durations in microseconds (doubles).
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& e : all_events()) {
+    if (!first) out += ",\n";
+    first = false;
+    const double ts_us = static_cast<double>(e.begin_ns) / 1000.0;
+    const double dur_us =
+        static_cast<double>(e.end_ns - e.begin_ns) / 1000.0;
+    char buf[256];
+    if (e.end_ns > e.begin_ns) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+                    "\"args\":{\"arg\":%lld}}",
+                    trace_kind_name(e.kind), ts_us, dur_us, e.proc + 1,
+                    static_cast<long long>(e.arg));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+                    "\"pid\":1,\"tid\":%d,\"s\":\"t\","
+                    "\"args\":{\"arg\":%lld}}",
+                    trace_kind_name(e.kind), ts_us, e.proc + 1,
+                    static_cast<long long>(e.arg));
+    }
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.good()) return false;
+  f << to_chrome_json();
+  return f.good();
+}
+
+}  // namespace force::util

@@ -1,0 +1,20 @@
+# Runs the paper's three-step pipeline for every machine model: forcepp
+# translates the Force source, then the host C++ compiler syntax-checks the
+# generated translation unit (full compile+link is exercised by the
+# saxpy_force example target).
+foreach(machine hep flex32 encore sequent alliant cray2 native)
+  set(out "${WORK_DIR}/pipeline_${machine}.cpp")
+  execute_process(
+    COMMAND ${FORCEPP} ${SOURCE} --machine ${machine} --o=${out}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "forcepp failed for ${machine}: ${e}")
+  endif()
+  execute_process(
+    COMMAND c++ -std=c++20 -fsyntax-only -I${INCLUDE_DIR} ${out}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "generated code does not compile for ${machine}: ${e}")
+  endif()
+  message(STATUS "pipeline OK for ${machine}")
+endforeach()

@@ -1,0 +1,181 @@
+// Tests for the parallel algorithm skeletons (core/algorithms.hpp):
+// correctness against sequential references, every machine model, many
+// shapes and force sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace fc = force::core;
+
+namespace {
+
+std::vector<std::int64_t> random_ints(std::size_t n, std::uint64_t seed) {
+  force::util::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = rng.uniform_int(-1000, 1000);
+  return v;
+}
+
+}  // namespace
+
+class AlgorithmsTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(AlgorithmsTest, InclusiveScanMatchesSequential) {
+  const auto [np, n] = GetParam();
+  auto data = random_ints(n, 17);
+  std::vector<std::int64_t> expect = data;
+  std::partial_sum(expect.begin(), expect.end(), expect.begin());
+  force::Force f({.nproc = np});
+  f.run([&](fc::Ctx& ctx) {
+    fc::parallel_inclusive_scan<std::int64_t>(
+        ctx, FORCE_SITE, data,
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+  });
+  EXPECT_EQ(data, expect);
+}
+
+TEST_P(AlgorithmsTest, SortMatchesStdSort) {
+  const auto [np, n] = GetParam();
+  auto data = random_ints(n, 29);
+  std::vector<std::int64_t> expect = data;
+  std::sort(expect.begin(), expect.end());
+  force::Force f({.nproc = np});
+  f.run([&](fc::Ctx& ctx) { fc::parallel_sort(ctx, FORCE_SITE, data); });
+  EXPECT_EQ(data, expect);
+}
+
+TEST_P(AlgorithmsTest, HistogramMatchesSequential) {
+  const auto [np, n] = GetParam();
+  const auto data = random_ints(n, 31);
+  constexpr std::size_t kBins = 10;
+  std::vector<std::int64_t> expect(kBins, 0);
+  for (auto x : data) {
+    const double frac = static_cast<double>(x + 1000) / 2000.0;
+    auto idx = static_cast<std::ptrdiff_t>(frac * kBins);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, kBins - 1);
+    ++expect[static_cast<std::size_t>(idx)];
+  }
+  force::Force f({.nproc = np});
+  std::vector<std::int64_t> got;
+  std::mutex m;
+  f.run([&](fc::Ctx& ctx) {
+    auto h = fc::parallel_histogram<std::int64_t>(ctx, FORCE_SITE, data,
+                                                  kBins, -1000, 1000);
+    std::lock_guard<std::mutex> g(m);
+    got = h;  // every process receives the same histogram
+    EXPECT_EQ(h, expect);
+  });
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(std::accumulate(got.begin(), got.end(), std::int64_t{0}),
+            static_cast<std::int64_t>(n));
+}
+
+TEST_P(AlgorithmsTest, ArgmaxMatchesSequential) {
+  const auto [np, n] = GetParam();
+  if (n == 0) return;
+  const auto data = random_ints(n, 37);
+  const auto expect = static_cast<std::int64_t>(
+      std::max_element(data.begin(), data.end()) - data.begin());
+  force::Force f({.nproc = np});
+  std::atomic<int> failures{0};
+  f.run([&](fc::Ctx& ctx) {
+    if (fc::parallel_argmax(ctx, FORCE_SITE, data) != expect) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSizes, AlgorithmsTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{7}, std::size_t{64},
+                                         std::size_t{1000})),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::size_t>>& info) {
+      return "np" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Algorithms, ScanWithNonCommutativeAssociativeOp) {
+  // String concatenation: associative but not commutative, so the result
+  // checks that blocks were combined strictly left to right.
+  std::vector<std::string> data{"a", "b", "c", "d", "e", "f", "g", "h"};
+  force::Force f({.nproc = 3});
+  f.run([&](fc::Ctx& ctx) {
+    fc::parallel_inclusive_scan<std::string>(
+        ctx, FORCE_SITE, data,
+        [](std::string a, std::string b) { return a + b; });
+  });
+  EXPECT_EQ(data.back(), "abcdefgh");
+  EXPECT_EQ(data[2], "abc");
+}
+
+TEST(Algorithms, SortAlreadySortedAndReversed) {
+  for (bool reversed : {false, true}) {
+    std::vector<std::int64_t> data(257);
+    std::iota(data.begin(), data.end(), -100);
+    if (reversed) std::reverse(data.begin(), data.end());
+    force::Force f({.nproc = 4});
+    f.run([&](fc::Ctx& ctx) { fc::parallel_sort(ctx, FORCE_SITE, data); });
+    EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  }
+}
+
+TEST(Algorithms, SortWithManyDuplicates) {
+  force::util::Xoshiro256 rng(5);
+  std::vector<std::int64_t> data(500);
+  for (auto& x : data) x = rng.uniform_int(0, 3);
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  force::Force f({.nproc = 5});
+  f.run([&](fc::Ctx& ctx) { fc::parallel_sort(ctx, FORCE_SITE, data); });
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Algorithms, WorkOnEveryMachineModel) {
+  for (const auto& machine : force::machdep::machine_names()) {
+    fc::ForceConfig cfg;
+    cfg.nproc = 3;
+    cfg.machine = machine;
+    force::Force f(cfg);
+    auto data = random_ints(200, 41);
+    auto expect = data;
+    std::partial_sum(expect.begin(), expect.end(), expect.begin());
+    f.run([&](fc::Ctx& ctx) {
+      fc::parallel_inclusive_scan<std::int64_t>(
+          ctx, FORCE_SITE, data,
+          [](std::int64_t a, std::int64_t b) { return a + b; });
+    });
+    EXPECT_EQ(data, expect) << machine;
+  }
+}
+
+TEST(Algorithms, RepeatedCallsAtOneSite) {
+  // One SHARED vector (the algorithms operate on shared data, SPMD):
+  // re-initialized by the barrier-section executor each round.
+  force::Force f({.nproc = 4});
+  std::vector<std::int64_t> data;
+  f.run([&](fc::Ctx& ctx) {
+    for (int round = 1; round <= 5; ++round) {
+      ctx.barrier([&] { data.assign(100, round); });
+      fc::parallel_inclusive_scan<std::int64_t>(
+          ctx, FORCE_SITE, data,
+          [](std::int64_t a, std::int64_t b) { return a + b; });
+      if (ctx.leader()) {
+        EXPECT_EQ(data.back(), 100 * round);
+      }
+      ctx.barrier();
+    }
+  });
+}

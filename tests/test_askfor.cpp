@@ -1,0 +1,195 @@
+// Tests for the Askfor monitor (paper §3.3, [LO83]).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/askfor.hpp"
+#include "core/env.hpp"
+
+namespace fc = force::core;
+
+namespace {
+fc::ForceConfig test_config(int np, const std::string& machine = "native") {
+  fc::ForceConfig cfg;
+  cfg.nproc = np;
+  cfg.machine = machine;
+  return cfg;
+}
+
+void on_team(int np, const std::function<void(int)>& fn) {
+  std::vector<std::jthread> team;
+  for (int t = 0; t < np; ++t) team.emplace_back([&fn, t] { fn(t); });
+}
+}  // namespace
+
+TEST(AskforCore, DrainsSeededWork) {
+  fc::ForceEnvironment env(test_config(1));
+  fc::AskforCore core(env);
+  for (std::size_t t = 0; t < 5; ++t) core.put(t);
+  std::size_t token = 0;
+  std::set<std::size_t> got;
+  while (core.ask(&token) == fc::AskforCore::Outcome::kWork) {
+    got.insert(token);
+    core.complete();
+  }
+  EXPECT_EQ(got.size(), 5u);
+  EXPECT_TRUE(core.ended());
+  EXPECT_EQ(core.granted(), 5u);
+}
+
+TEST(AskforCore, DoneIsSticky) {
+  fc::ForceEnvironment env(test_config(1));
+  fc::AskforCore core(env);
+  std::size_t token = 0;
+  EXPECT_EQ(core.ask(&token), fc::AskforCore::Outcome::kDone);
+  core.put(99);  // after the end: dropped
+  EXPECT_EQ(core.ask(&token), fc::AskforCore::Outcome::kDone);
+}
+
+TEST(AskforCore, CompleteWithoutGrantThrows) {
+  fc::ForceEnvironment env(test_config(1));
+  fc::AskforCore core(env);
+  EXPECT_THROW(core.complete(), force::util::CheckError);
+}
+
+TEST(AskforCore, WaitsWhileAWorkerMightProduce) {
+  // One worker holds a task; a second asker must wait (not get kDone)
+  // until the worker either puts more work or completes.
+  fc::ForceEnvironment env(test_config(2));
+  fc::AskforCore core(env);
+  core.put(1);
+  std::size_t token = 0;
+  ASSERT_EQ(core.ask(&token), fc::AskforCore::Outcome::kWork);
+
+  std::atomic<bool> second_returned{false};
+  std::atomic<int> second_outcome{-1};
+  std::jthread asker([&] {
+    std::size_t t2 = 0;
+    const auto outcome = core.ask(&t2);
+    second_outcome = static_cast<int>(outcome);
+    second_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_returned.load());  // still waiting: we might put()
+  core.put(2);                           // we do produce more work
+  asker.join();
+  EXPECT_EQ(second_outcome.load(),
+            static_cast<int>(fc::AskforCore::Outcome::kWork));
+  core.complete();   // our task
+  core.complete();   // the asker's task (granted, never completed by it)
+}
+
+TEST(Askfor, EveryTaskExecutedExactlyOnce) {
+  const int np = 4;
+  fc::ForceEnvironment env(test_config(np));
+  fc::Askfor<int> monitor(env);
+  for (int i = 0; i < 100; ++i) monitor.put(i);
+  std::mutex m;
+  std::multiset<int> executed;
+  on_team(np, [&](int) {
+    monitor.work([&](int& task, fc::Askfor<int>&) {
+      std::lock_guard<std::mutex> g(m);
+      executed.insert(task);
+    });
+  });
+  EXPECT_EQ(executed.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(executed.count(i), 1u) << i;
+}
+
+TEST(Askfor, RuntimeGeneratedWorkIsExecuted) {
+  // A binary task tree generated at run time: the paper's "request during
+  // run time that a new concurrent instance is executed".
+  const int np = 4;
+  fc::ForceEnvironment env(test_config(np));
+  fc::Askfor<std::pair<int, int>> monitor(env);  // (depth, id)
+  monitor.put({0, 1});
+  std::atomic<int> leaves{0};
+  std::atomic<int> total{0};
+  constexpr int kDepth = 6;
+  on_team(np, [&](int) {
+    monitor.work([&](std::pair<int, int>& task,
+                     fc::Askfor<std::pair<int, int>>& self) {
+      total.fetch_add(1);
+      if (task.first < kDepth) {
+        self.put({task.first + 1, task.second * 2});
+        self.put({task.first + 1, task.second * 2 + 1});
+      } else {
+        leaves.fetch_add(1);
+      }
+    });
+  });
+  EXPECT_EQ(leaves.load(), 1 << kDepth);
+  EXPECT_EQ(total.load(), (1 << (kDepth + 1)) - 1);  // full binary tree
+}
+
+TEST(Askfor, WorkReturnsPerProcessCounts) {
+  const int np = 3;
+  fc::ForceEnvironment env(test_config(np));
+  fc::Askfor<int> monitor(env);
+  for (int i = 0; i < 30; ++i) monitor.put(i);
+  std::atomic<std::size_t> sum{0};
+  on_team(np, [&](int) {
+    sum.fetch_add(monitor.work([&](int&, fc::Askfor<int>&) {}));
+  });
+  EXPECT_EQ(sum.load(), 30u);
+}
+
+TEST(Askfor, ProbendStopsTheComputationEarly) {
+  // A "search": the first worker to find the needle aborts everyone.
+  const int np = 4;
+  fc::ForceEnvironment env(test_config(np));
+  fc::Askfor<int> monitor(env);
+  for (int i = 0; i < 10000; ++i) monitor.put(i);
+  std::atomic<int> executed{0};
+  on_team(np, [&](int) {
+    monitor.work([&](int& task, fc::Askfor<int>& self) {
+      executed.fetch_add(1);
+      if (task == 17) self.probend();
+    });
+  });
+  EXPECT_TRUE(monitor.ended());
+  EXPECT_LT(executed.load(), 10000);  // the abort actually cut work short
+}
+
+TEST(Askfor, ThrowingBodyCompletesItsGrant) {
+  const int np = 2;
+  fc::ForceEnvironment env(test_config(np));
+  fc::Askfor<int> monitor(env);
+  for (int i = 0; i < 10; ++i) monitor.put(i);
+  std::atomic<int> throws{0};
+  std::atomic<int> executed{0};
+  on_team(np, [&](int) {
+    for (;;) {
+      try {
+        monitor.work([&](int& task, fc::Askfor<int>&) {
+          executed.fetch_add(1);
+          if (task == 5) throw std::runtime_error("bad task");
+        });
+        break;  // drained
+      } catch (const std::runtime_error&) {
+        throws.fetch_add(1);  // resume working after the bad task
+      }
+    }
+  });
+  EXPECT_EQ(throws.load(), 1);
+  EXPECT_EQ(executed.load(), 10);
+  EXPECT_TRUE(monitor.ended());
+}
+
+TEST(Askfor, WorksOnEveryMachineModel) {
+  for (const auto& machine : force::machdep::machine_names()) {
+    const int np = 3;
+    fc::ForceEnvironment env(test_config(np, machine));
+    fc::Askfor<int> monitor(env);
+    for (int i = 1; i <= 40; ++i) monitor.put(i);
+    std::atomic<std::int64_t> sum{0};
+    on_team(np, [&](int) {
+      monitor.work([&](int& t, fc::Askfor<int>&) { sum.fetch_add(t); });
+    });
+    EXPECT_EQ(sum.load(), 820) << machine;
+  }
+}

@@ -1,0 +1,151 @@
+// Tests for the deterministic cost model and its scheduling simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machdep/costmodel.hpp"
+#include "util/check.hpp"
+#include "machdep/machine.hpp"
+#include "util/check.hpp"
+
+namespace md = force::machdep;
+
+namespace {
+
+md::CostModel unit_model() {
+  md::CostParameters p;
+  p.lock_uncontended_ns = 1;
+  p.lock_contended_extra_ns = 2;
+  p.spin_probe_ns = 3;
+  p.blocking_wait_ns = 4;
+  p.barrier_episode_ns = 0;
+  p.work_scale = 1.0;
+  return md::CostModel(p);
+}
+
+}  // namespace
+
+TEST(CostModel, LockTimeIsLinearInCounters) {
+  md::LockCountersSnapshot d;
+  d.acquires = 10;
+  d.contended_acquires = 5;
+  d.spin_iterations = 2;
+  d.blocking_waits = 1;
+  EXPECT_DOUBLE_EQ(unit_model().lock_time_ns(d), 10 * 1 + 5 * 2 + 2 * 3 + 4);
+}
+
+TEST(CostModel, CreationTimeChargesPerProcessAndPerByte) {
+  md::CostParameters p;
+  p.process_create_ns = 100;
+  p.copy_byte_ns = 2.0;
+  md::CostModel m(p);
+  EXPECT_DOUBLE_EQ(m.creation_time_ns(4, 50), 400 + 100);
+}
+
+TEST(CostModel, WorkScalesWithCpuSpeed) {
+  md::CostParameters p;
+  p.work_scale = 0.25;  // a CPU 4x faster than nominal
+  EXPECT_DOUBLE_EQ(md::CostModel(p).work_time_ns(1000), 250);
+}
+
+TEST(Makespan, PreschedPerfectlyBalancedUniformWork) {
+  const std::vector<double> work(16, 100.0);
+  md::CostParameters p;
+  p.barrier_episode_ns = 7;
+  md::CostModel m(p);
+  // 16 iterations on 4 processes: each gets 4 x 100.
+  EXPECT_DOUBLE_EQ(m.presched_makespan_ns(work, 4), 400 + 7);
+}
+
+TEST(Makespan, PreschedSuffersUnderSkew) {
+  // Cyclic dealing puts all the heavy iterations on one process when the
+  // skew is aligned with the process count.
+  std::vector<double> work(16, 10.0);
+  for (std::size_t i = 0; i < work.size(); i += 4) work[i] = 1000.0;
+  md::CostParameters p;
+  p.barrier_episode_ns = 0;
+  md::CostModel m(p);
+  // Process 0 gets the four 1000s.
+  EXPECT_DOUBLE_EQ(m.presched_makespan_ns(work, 4), 4000.0);
+}
+
+TEST(Makespan, SelfschedBalancesSkew) {
+  std::vector<double> work(16, 10.0);
+  for (std::size_t i = 0; i < work.size(); i += 4) work[i] = 1000.0;
+  md::CostParameters p;
+  p.barrier_episode_ns = 0;
+  md::CostModel m(p);
+  const double presched = m.presched_makespan_ns(work, 4);
+  const double selfsched = m.selfsched_makespan_ns(work, 4, /*dispatch=*/1);
+  EXPECT_LT(selfsched, presched / 2);  // the paper-shape result
+}
+
+TEST(Makespan, SelfschedDispatchOverheadHurtsFineGrain) {
+  // Tiny iterations: the serialized dispatch dominates and presched wins.
+  const std::vector<double> work(1000, 1.0);
+  md::CostParameters p;
+  p.barrier_episode_ns = 0;
+  md::CostModel m(p);
+  const double presched = m.presched_makespan_ns(work, 4);
+  const double selfsched = m.selfsched_makespan_ns(work, 4, /*dispatch=*/50);
+  EXPECT_GT(selfsched, presched);
+}
+
+TEST(Makespan, ChunkingAmortizesDispatch) {
+  const std::vector<double> work(1000, 1.0);
+  md::CostParameters p;
+  p.barrier_episode_ns = 0;
+  md::CostModel m(p);
+  const double chunk1 = m.chunked_makespan_ns(work, 4, 50, 1);
+  const double chunk32 = m.chunked_makespan_ns(work, 4, 50, 32);
+  EXPECT_LT(chunk32, chunk1 / 4);
+}
+
+TEST(Makespan, SingleProcessDegeneratesToSerialSum) {
+  const std::vector<double> work(10, 5.0);
+  md::CostParameters p;
+  p.barrier_episode_ns = 0;
+  md::CostModel m(p);
+  EXPECT_DOUBLE_EQ(m.presched_makespan_ns(work, 1), 50.0);
+  // Selfsched adds one dispatch per iteration plus the final empty grab.
+  EXPECT_DOUBLE_EQ(m.selfsched_makespan_ns(work, 1, 2), 50.0 + 10 * 2 + 2);
+}
+
+TEST(Makespan, EmptyLoopCostsOnlyOverhead) {
+  md::CostParameters p;
+  p.barrier_episode_ns = 9;
+  md::CostModel m(p);
+  EXPECT_DOUBLE_EQ(m.presched_makespan_ns({}, 4), 9.0);
+}
+
+TEST(Makespan, BadArgumentsThrow) {
+  md::CostModel m{md::CostParameters{}};
+  EXPECT_THROW((void)m.presched_makespan_ns({1.0}, 0),
+               force::util::CheckError);
+  EXPECT_THROW((void)m.chunked_makespan_ns({1.0}, 2, 1, 0),
+               force::util::CheckError);
+}
+
+TEST(PaperShapes, MachinesOrderAsThePaperDescribes) {
+  // Process creation: HEP (subroutine call) << Alliant (stack only) <<
+  // Sequent (full fork).
+  const auto hep = md::CostModel(md::machine_spec("hep").costs);
+  const auto alliant = md::CostModel(md::machine_spec("alliant").costs);
+  const auto sequent = md::CostModel(md::machine_spec("sequent").costs);
+  const std::size_t half_mb = 512 * 1024;
+  EXPECT_LT(hep.creation_time_ns(8, 0),
+            alliant.creation_time_ns(8, half_mb));
+  EXPECT_LT(alliant.creation_time_ns(8, half_mb),
+            sequent.creation_time_ns(8, 2 * half_mb));
+  // Produce/consume: HEP hardware beats every two-lock machine.
+  const auto cray = md::CostModel(md::machine_spec("cray2").costs);
+  EXPECT_LT(hep.produce_consume_time_ns(100),
+            cray.produce_consume_time_ns(100) / 10);
+  // Raw compute: the Cray-2 is the fastest machine of the set.
+  for (const auto& name : md::machine_names()) {
+    if (name == "cray2") continue;
+    EXPECT_LE(md::machine_spec("cray2").costs.work_scale,
+              md::machine_spec(name).costs.work_scale)
+        << name;
+  }
+}

@@ -1,0 +1,91 @@
+// Tests for critical sections (paper §3.4).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/critical.hpp"
+#include "core/env.hpp"
+
+namespace fc = force::core;
+
+namespace {
+fc::ForceConfig test_config(int np, const std::string& machine = "native") {
+  fc::ForceConfig cfg;
+  cfg.nproc = np;
+  cfg.machine = machine;
+  return cfg;
+}
+}  // namespace
+
+TEST(Critical, MutualExclusionOnEveryMachine) {
+  for (const auto& machine : force::machdep::machine_names()) {
+    fc::ForceEnvironment env(test_config(4, machine));
+    fc::CriticalSection cs(env);
+    long counter = 0;  // non-atomic on purpose
+    std::atomic<int> inside{0};
+    std::atomic<bool> violated{false};
+    {
+      std::vector<std::jthread> team;
+      for (int t = 0; t < 4; ++t) {
+        team.emplace_back([&] {
+          for (int i = 0; i < 500; ++i) {
+            cs.enter([&] {
+              if (inside.fetch_add(1) != 0) violated = true;
+              ++counter;
+              inside.fetch_sub(1);
+            });
+          }
+        });
+      }
+    }
+    EXPECT_FALSE(violated.load()) << machine;
+    EXPECT_EQ(counter, 2000) << machine;
+    EXPECT_EQ(cs.entries(), 2000u) << machine;
+  }
+}
+
+TEST(Critical, ExceptionReleasesTheLock) {
+  fc::ForceEnvironment env(test_config(2));
+  fc::CriticalSection cs(env);
+  EXPECT_THROW(cs.enter([] { throw std::runtime_error("inside"); }),
+               std::runtime_error);
+  // The lock must be free again.
+  bool entered = false;
+  cs.enter([&] { entered = true; });
+  EXPECT_TRUE(entered);
+}
+
+TEST(Critical, GuardStyleWorks) {
+  fc::ForceEnvironment env(test_config(2));
+  fc::CriticalSection cs(env);
+  int value = 0;
+  {
+    fc::CriticalSection::Guard g(cs);
+    value = 42;
+  }
+  EXPECT_EQ(value, 42);
+  // Lock free after guard scope:
+  cs.enter([] {});
+}
+
+TEST(Critical, StatsAreCounted) {
+  fc::ForceEnvironment env(test_config(2));
+  fc::CriticalSection cs(env);
+  for (int i = 0; i < 7; ++i) cs.enter([] {});
+  EXPECT_EQ(env.stats().critical_entries.load(std::memory_order_relaxed),
+            7u);
+}
+
+TEST(Critical, DistinctSectionsDoNotInterfere) {
+  fc::ForceEnvironment env(test_config(2));
+  fc::CriticalSection a(env);
+  fc::CriticalSection b(env);
+  // Holding a does not block b.
+  fc::CriticalSection::Guard ga(a);
+  bool entered_b = false;
+  b.enter([&] { entered_b = true; });
+  EXPECT_TRUE(entered_b);
+}

@@ -1,0 +1,153 @@
+// Tests for the HEP tagged-memory cell emulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "machdep/hepcell.hpp"
+
+namespace md = force::machdep;
+
+TEST(HepCell, StartsEmpty) {
+  md::HepCell cell;
+  EXPECT_FALSE(cell.is_full());
+}
+
+TEST(HepCell, InitialValueConstructorStartsFull) {
+  md::HepCell cell(99);
+  EXPECT_TRUE(cell.is_full());
+  EXPECT_EQ(cell.consume(), 99u);
+  EXPECT_FALSE(cell.is_full());
+}
+
+TEST(HepCell, ProduceConsumeRoundTrip) {
+  md::HepCell cell;
+  cell.produce(12345);
+  EXPECT_TRUE(cell.is_full());
+  EXPECT_EQ(cell.consume(), 12345u);
+  EXPECT_FALSE(cell.is_full());
+}
+
+TEST(HepCell, CopyLeavesFull) {
+  md::HepCell cell;
+  cell.produce(7);
+  EXPECT_EQ(cell.copy(), 7u);
+  EXPECT_TRUE(cell.is_full());
+  EXPECT_EQ(cell.consume(), 7u);
+}
+
+TEST(HepCell, TryOperationsRespectState) {
+  md::HepCell cell;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(cell.try_consume(&out));
+  EXPECT_TRUE(cell.try_produce(1));
+  EXPECT_FALSE(cell.try_produce(2));  // already full
+  EXPECT_TRUE(cell.try_consume(&out));
+  EXPECT_EQ(out, 1u);
+}
+
+TEST(HepCell, MakeEmptyFromAnyState) {
+  md::HepCell cell;
+  cell.make_empty();  // already empty: no-op
+  EXPECT_FALSE(cell.is_full());
+  cell.produce(3);
+  cell.make_empty();  // Void on a full cell discards the value
+  EXPECT_FALSE(cell.is_full());
+  cell.produce(4);  // and the cell is usable again
+  EXPECT_EQ(cell.consume(), 4u);
+}
+
+TEST(HepCell, MakeFullInitializesLockStyle) {
+  md::HepCell cell;
+  cell.make_full(1);
+  EXPECT_TRUE(cell.is_full());
+  EXPECT_EQ(cell.consume(), 1u);
+}
+
+TEST(HepCell, SeizePublishProtocol) {
+  md::HepCell cell;
+  cell.seize_empty();
+  cell.publish_full();
+  EXPECT_TRUE(cell.is_full());
+  cell.seize_full();
+  cell.publish_empty();
+  EXPECT_FALSE(cell.is_full());
+}
+
+TEST(HepCell, TrySeizeRespectsState) {
+  md::HepCell cell;
+  EXPECT_FALSE(cell.try_seize_full());
+  ASSERT_TRUE(cell.try_seize_empty());
+  // While busy, both try-seizes fail.
+  EXPECT_FALSE(cell.try_seize_empty());
+  EXPECT_FALSE(cell.try_seize_full());
+  cell.publish_full();
+  EXPECT_TRUE(cell.try_seize_full());
+  cell.publish_empty();
+}
+
+TEST(HepCell, ProducerBlocksUntilConsumed) {
+  md::HepCell cell;
+  cell.produce(1);
+  std::atomic<bool> second_done{false};
+  std::jthread producer([&] {
+    cell.produce(2);  // blocks: cell full
+    second_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_done.load());
+  EXPECT_EQ(cell.consume(), 1u);
+  producer.join();
+  EXPECT_TRUE(second_done.load());
+  EXPECT_EQ(cell.consume(), 2u);
+}
+
+TEST(HepCell, AlternationUnderManyProducersAndConsumers) {
+  // Conservation: everything produced is consumed exactly once.
+  md::HepCell cell;
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  std::vector<std::uint64_t> consumed;
+  std::mutex consumed_mutex;
+  {
+    std::vector<std::jthread> team;
+    for (int p = 0; p < kProducers; ++p) {
+      team.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          cell.produce(static_cast<std::uint64_t>(p) * kPerProducer + i + 1);
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      team.emplace_back([&] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const std::uint64_t v = cell.consume();
+          std::lock_guard<std::mutex> g(consumed_mutex);
+          consumed.push_back(v);
+        }
+      });
+    }
+  }
+  ASSERT_EQ(consumed.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(consumed.begin(), consumed.end());
+  for (std::size_t i = 0; i < consumed.size(); ++i) {
+    ASSERT_EQ(consumed[i], i + 1);  // every token exactly once
+  }
+  EXPECT_FALSE(cell.is_full());
+}
+
+TEST(HepCell, WaitCounterAdvancesUnderBlocking) {
+  md::HepCell::reset_wait_counter();
+  md::HepCell cell;
+  std::jthread consumer([&] { (void)cell.consume(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cell.produce(1);
+  consumer.join();
+  EXPECT_GE(md::HepCell::total_waits(), 1u);
+}

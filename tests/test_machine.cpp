@@ -1,0 +1,150 @@
+// Tests for the machine registry and the lock-budget (scarcity) machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "machdep/machine.hpp"
+#include "util/check.hpp"
+
+namespace md = force::machdep;
+
+TEST(MachineRegistry, HasTheSixPaperMachinesPlusNative) {
+  const auto names = md::machine_names();
+  ASSERT_EQ(names.size(), 7u);
+  for (const char* expected :
+       {"hep", "flex32", "encore", "sequent", "alliant", "cray2", "native"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(MachineRegistry, UnknownMachineThrows) {
+  EXPECT_THROW(md::machine_spec("pdp11"), force::util::CheckError);
+}
+
+TEST(MachineRegistry, SpecsMatchThePaper) {
+  EXPECT_TRUE(md::machine_spec("hep").hardware_full_empty);
+  EXPECT_FALSE(md::machine_spec("encore").hardware_full_empty);
+  EXPECT_EQ(md::machine_spec("hep").process_model,
+            md::ProcessModelKind::kHepCreate);
+  EXPECT_EQ(md::machine_spec("alliant").process_model,
+            md::ProcessModelKind::kForkSharedData);
+  EXPECT_EQ(md::machine_spec("sequent").sharing,
+            md::SharingStrategy::kLinkTime);
+  EXPECT_EQ(md::machine_spec("encore").sharing,
+            md::SharingStrategy::kRuntimePadded);
+  EXPECT_EQ(md::machine_spec("alliant").sharing,
+            md::SharingStrategy::kPageAlignedStart);
+  EXPECT_EQ(md::machine_spec("cray2").lock_kind, md::LockKind::kSystem);
+  EXPECT_EQ(md::machine_spec("flex32").lock_kind, md::LockKind::kCombined);
+  EXPECT_EQ(md::machine_spec("sequent").lock_kind, md::LockKind::kTasSpin);
+  // The Cray-2 is the scarce-lock machine.
+  EXPECT_GT(md::machine_spec("cray2").lock_budget, 0);
+  EXPECT_LT(md::machine_spec("cray2").lock_budget, 100);
+  EXPECT_LT(md::machine_spec("hep").lock_budget, 0);  // unlimited
+}
+
+TEST(MachineModel, HandsOutNativeLocksWithinBudget) {
+  md::MachineModel m(md::machine_spec("encore"));
+  auto lock = m.new_lock();
+  EXPECT_STREQ(lock->mechanism(), "tas-spin");
+  const auto stats = m.lock_stats();
+  EXPECT_EQ(stats.logical_locks, 1u);
+  EXPECT_EQ(stats.physical_locks, 1u);
+  EXPECT_EQ(stats.striped_locks, 0u);
+}
+
+TEST(MachineModel, StripesBeyondTheBudget) {
+  md::MachineSpec spec = md::machine_spec("cray2");
+  spec.lock_budget = 4;
+  md::MachineModel m(spec);
+  std::vector<std::unique_ptr<md::BasicLock>> locks;
+  for (int i = 0; i < 10; ++i) locks.push_back(m.new_lock());
+  const auto stats = m.lock_stats();
+  EXPECT_EQ(stats.logical_locks, 10u);
+  EXPECT_EQ(stats.physical_locks, 4u);
+  EXPECT_EQ(stats.striped_locks, 6u);
+  EXPECT_STREQ(locks[0]->mechanism(), "system");
+  EXPECT_STREQ(locks[9]->mechanism(), "striped");
+}
+
+TEST(MachineModel, StripedLocksKeepSemaphoreSemantics) {
+  md::MachineSpec spec = md::machine_spec("cray2");
+  spec.lock_budget = 1;
+  md::MachineModel m(spec);
+  // Exhaust the budget, then take two striped locks that share the pool.
+  auto real = m.new_lock();
+  auto a = m.new_lock();
+  auto b = m.new_lock();
+  ASSERT_STREQ(a->mechanism(), "striped");
+  ASSERT_STREQ(b->mechanism(), "striped");
+
+  // Independence: holding a must not make b unavailable.
+  a->acquire();
+  EXPECT_TRUE(b->try_acquire());
+  b->release();
+
+  // try_acquire on a held striped lock fails.
+  EXPECT_FALSE(a->try_acquire());
+
+  // Cross-thread release works (the produce/consume requirement).
+  std::jthread other([&] { a->release(); });
+  other.join();
+  EXPECT_TRUE(a->try_acquire());
+  a->release();
+}
+
+TEST(MachineModel, StripedLocksProvideMutualExclusion) {
+  md::MachineSpec spec = md::machine_spec("cray2");
+  spec.lock_budget = 1;
+  md::MachineModel m(spec);
+  auto real = m.new_lock();
+  auto lock = m.new_lock();  // striped
+  long counter = 0;
+  std::atomic<bool> violated{false};
+  std::atomic<int> inside{0};
+  {
+    std::vector<std::jthread> team;
+    for (int t = 0; t < 3; ++t) {
+      team.emplace_back([&] {
+        for (int i = 0; i < 500; ++i) {
+          lock->acquire();
+          if (inside.fetch_add(1) != 0) violated = true;
+          ++counter;
+          inside.fetch_sub(1);
+          lock->release();
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(counter, 1500);
+}
+
+TEST(MachineModel, CountersAreSharedAcrossItsLocks) {
+  md::MachineModel m(md::machine_spec("native"));
+  auto a = m.new_lock();
+  auto b = m.new_lock();
+  a->acquire();
+  a->release();
+  b->acquire();
+  b->release();
+  EXPECT_EQ(m.counters().acquires.load(), 2u);
+}
+
+TEST(MachineModel, CostModelReflectsSpec) {
+  md::MachineModel hep(md::machine_spec("hep"));
+  md::MachineModel cray(md::machine_spec("cray2"));
+  md::LockCountersSnapshot d;
+  d.acquires = 1000;
+  // HEP synchronization is near-free; Cray-2 locks are system calls.
+  EXPECT_LT(hep.cost_model().lock_time_ns(d),
+            cray.cost_model().lock_time_ns(d) / 10);
+}
+
+TEST(MachineModel, ProcessTeamMatchesSpec) {
+  md::MachineModel m(md::machine_spec("alliant"));
+  EXPECT_EQ(m.process_team().kind(), md::ProcessModelKind::kForkSharedData);
+}

@@ -1,0 +1,142 @@
+// Tests for Forcesub / Externf / Forcecall and the startup linkage
+// (paper §3.1, §4.1.2, §4.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/force.hpp"
+#include "machdep/linkage.hpp"
+
+namespace fc = force::core;
+namespace md = force::machdep;
+
+TEST(Linkage, RegistersAndRunsStartupsInOrder) {
+  md::LinkageRegistry reg;
+  std::vector<std::string> order;
+  reg.register_module("MAIN", [&](md::SharedArena&) { order.push_back("MAIN"); });
+  reg.register_module("SUB1", [&](md::SharedArena&) { order.push_back("SUB1"); });
+  reg.register_module("SUB2", [&](md::SharedArena&) { order.push_back("SUB2"); });
+  EXPECT_TRUE(reg.has_module("SUB1"));
+  EXPECT_FALSE(reg.has_module("SUB3"));
+  md::SharedArena arena(1 << 16, 4096, md::SharingStrategy::kCompileTime);
+  EXPECT_EQ(reg.run_startup(arena), 3u);
+  EXPECT_EQ(order, (std::vector<std::string>{"MAIN", "SUB1", "SUB2"}));
+}
+
+TEST(Linkage, DuplicateModuleThrows) {
+  md::LinkageRegistry reg;
+  reg.register_module("M", [](md::SharedArena&) {});
+  EXPECT_THROW(reg.register_module("M", [](md::SharedArena&) {}),
+               force::util::CheckError);
+}
+
+TEST(Linkage, LinkTimeArenaIsLinkedByStartup) {
+  // The Sequent protocol end-to-end: startups declare, run_startup links.
+  md::LinkageRegistry reg;
+  reg.register_module("MAIN", [](md::SharedArena& a) {
+    a.declare("X", 64, 8, md::VarClass::kShared);
+  });
+  reg.register_module("SUB", [](md::SharedArena& a) {
+    a.declare("Y", 64, 8, md::VarClass::kShared);
+  });
+  md::SharedArena arena(1 << 16, 4096, md::SharingStrategy::kLinkTime);
+  reg.run_startup(arena);
+  EXPECT_TRUE(arena.linked());
+  EXPECT_NE(arena.resolve("X"), nullptr);
+  EXPECT_NE(arena.resolve("Y"), nullptr);
+}
+
+TEST(Subroutines, ForcecallRunsOnAllProcesses) {
+  force::Force f({.nproc = 4});
+  std::atomic<int> calls{0};
+  f.subroutines().register_sub(
+      "WORK", nullptr, [&](fc::Ctx& ctx) {
+        calls.fetch_add(1);
+        EXPECT_EQ(ctx.np(), 4);
+      });
+  f.run([](fc::Ctx& ctx) { ctx.call("WORK"); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(Subroutines, SubroutineUsesConstructsAndSharedState) {
+  force::Force f({.nproc = 3});
+  f.subroutines().register_sub("SUM", nullptr, [](fc::Ctx& ctx) {
+    auto& total = ctx.shared<std::int64_t>("SUBTOTAL");
+    std::int64_t local = 0;
+    ctx.selfsched_do(FORCE_SITE, 1, 60, 1,
+                     [&](std::int64_t i) { local += i; });
+    ctx.critical(FORCE_SITE, [&] { total += local; });
+    ctx.barrier();
+  });
+  f.run([](fc::Ctx& ctx) {
+    ctx.call("SUM");
+    EXPECT_EQ(ctx.shared<std::int64_t>("SUBTOTAL"), 1830);
+  });
+}
+
+TEST(Subroutines, StartupDeclaresSharedVariablesBeforeTheForce) {
+  // On a link-time machine the subroutine's startup routine must declare
+  // its shared names or the allocation would fail after link().
+  force::Force f({.nproc = 2, .machine = "sequent"});
+  f.subroutines().register_sub(
+      "S",
+      [](md::SharedArena& a) {
+        a.declare("SVAR", sizeof(std::int64_t), alignof(std::int64_t),
+                  md::VarClass::kShared);
+      },
+      [](fc::Ctx& ctx) {
+        auto& v = ctx.shared<std::int64_t>("SVAR");
+        ctx.critical(FORCE_SITE, [&] { v += 1; });
+      });
+  f.run([](fc::Ctx& ctx) { ctx.call("S"); });
+  EXPECT_EQ(*static_cast<std::int64_t*>(f.env().arena().resolve("SVAR")), 2);
+}
+
+TEST(Subroutines, UndeclaredSharedOnLinkTimeMachineFails) {
+  // Without the startup declaration, first-touch allocation after link()
+  // reproduces the Sequent linker failure.
+  force::Force f({.nproc = 1, .machine = "sequent"});
+  std::atomic<int> failures{0};
+  f.run([&](fc::Ctx& ctx) {
+    try {
+      (void)ctx.shared<std::int64_t>("NEVER_DECLARED");
+    } catch (const force::util::CheckError&) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 1);
+}
+
+TEST(Subroutines, UnknownForcecallThrows) {
+  force::Force f({.nproc = 1});
+  EXPECT_THROW(f.run([](fc::Ctx& ctx) { ctx.call("MISSING"); }),
+               force::util::CheckError);
+}
+
+TEST(Subroutines, DuplicateRegistrationThrows) {
+  force::Force f({.nproc = 1});
+  f.subroutines().register_sub("A", nullptr, [](fc::Ctx&) {});
+  EXPECT_THROW(f.subroutines().register_sub("A", nullptr, [](fc::Ctx&) {}),
+               force::util::CheckError);
+}
+
+TEST(Subroutines, NamesAreListed) {
+  force::Force f({.nproc = 1});
+  f.subroutines().register_sub("A", nullptr, [](fc::Ctx&) {});
+  f.subroutines().register_sub("B", nullptr, [](fc::Ctx&) {});
+  EXPECT_EQ(f.subroutines().names(),
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_TRUE(f.subroutines().has("A"));
+  EXPECT_FALSE(f.subroutines().has("C"));
+}
+
+TEST(Subroutines, NestedForcecall) {
+  force::Force f({.nproc = 2});
+  std::atomic<int> inner_calls{0};
+  f.subroutines().register_sub("INNER", nullptr,
+                               [&](fc::Ctx&) { inner_calls.fetch_add(1); });
+  f.subroutines().register_sub("OUTER", nullptr,
+                               [](fc::Ctx& ctx) { ctx.call("INNER"); });
+  f.run([](fc::Ctx& ctx) { ctx.call("OUTER"); });
+  EXPECT_EQ(inner_calls.load(), 2);
+}

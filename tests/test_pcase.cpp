@@ -1,0 +1,203 @@
+// Tests for Pcase (paper §3.3, §4.2).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/pcase.hpp"
+
+namespace fc = force::core;
+
+namespace {
+fc::ForceConfig test_config(int np, const std::string& machine = "native") {
+  fc::ForceConfig cfg;
+  cfg.nproc = np;
+  cfg.machine = machine;
+  return cfg;
+}
+
+void on_team(int np, const std::function<void(int)>& fn) {
+  std::vector<std::jthread> team;
+  for (int t = 0; t < np; ++t) team.emplace_back([&fn, t] { fn(t); });
+}
+}  // namespace
+
+class PcaseModeTest : public ::testing::TestWithParam<bool> {};
+// param: true = selfsched, false = presched
+
+TEST_P(PcaseModeTest, EachBlockRunsExactlyOnce) {
+  const bool selfsched = GetParam();
+  const int np = 4;
+  fc::ForceEnvironment env(test_config(np));
+  constexpr int kBlocks = 10;
+  std::vector<std::atomic<int>> runs(kBlocks);
+  for (auto& r : runs) r.store(0);
+  on_team(np, [&](int me) {
+    fc::PcaseBuilder pcase(env, me, np, "site1");
+    for (int b = 0; b < kBlocks; ++b) {
+      pcase.sect([&runs, b] { runs[static_cast<std::size_t>(b)]++; });
+    }
+    if (selfsched) {
+      pcase.run_selfsched();
+    } else {
+      pcase.run_presched();
+    }
+  });
+  for (int b = 0; b < kBlocks; ++b) {
+    EXPECT_EQ(runs[static_cast<std::size_t>(b)].load(), 1) << "block " << b;
+  }
+}
+
+TEST_P(PcaseModeTest, ConditionalBlocksRespectConditions) {
+  const bool selfsched = GetParam();
+  const int np = 3;
+  fc::ForceEnvironment env(test_config(np));
+  std::atomic<int> yes{0};
+  std::atomic<int> no{0};
+  on_team(np, [&](int me) {
+    fc::PcaseBuilder pcase(env, me, np, "site2");
+    pcase.sect_if(true, [&] { yes.fetch_add(1); })
+        .sect_if(false, [&] { no.fetch_add(1); })
+        .sect([&] { yes.fetch_add(1); });
+    if (selfsched) {
+      pcase.run_selfsched();
+    } else {
+      pcase.run_presched();
+    }
+  });
+  EXPECT_EQ(yes.load(), 2);
+  EXPECT_EQ(no.load(), 0);
+}
+
+TEST_P(PcaseModeTest, MoreBlocksThanProcesses) {
+  const bool selfsched = GetParam();
+  const int np = 2;
+  fc::ForceEnvironment env(test_config(np));
+  std::atomic<int> total{0};
+  on_team(np, [&](int me) {
+    fc::PcaseBuilder pcase(env, me, np, "site3");
+    for (int b = 0; b < 17; ++b) pcase.sect([&] { total.fetch_add(1); });
+    if (selfsched) {
+      pcase.run_selfsched();
+    } else {
+      pcase.run_presched();
+    }
+  });
+  EXPECT_EQ(total.load(), 17);
+}
+
+TEST_P(PcaseModeTest, EmptyPcaseIsANoop) {
+  const bool selfsched = GetParam();
+  const int np = 2;
+  fc::ForceEnvironment env(test_config(np));
+  on_team(np, [&](int me) {
+    fc::PcaseBuilder pcase(env, me, np, "site4");
+    if (selfsched) {
+      pcase.run_selfsched();
+    } else {
+      pcase.run_presched();
+    }
+  });
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PcaseModeTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "selfsched" : "presched";
+                         });
+
+TEST(Pcase, PreschedDealIsSequentialByProcess) {
+  // "allocates the blocks sequentially to the processes": block i runs on
+  // process i mod np.
+  const int np = 3;
+  fc::ForceEnvironment env(test_config(np));
+  constexpr int kBlocks = 9;
+  std::array<std::atomic<int>, kBlocks> ran_on;
+  for (auto& r : ran_on) r.store(-1);
+  on_team(np, [&](int me) {
+    fc::PcaseBuilder pcase(env, me, np, "site5");
+    for (int b = 0; b < kBlocks; ++b) {
+      pcase.sect([&ran_on, b, me] {
+        ran_on[static_cast<std::size_t>(b)].store(me);
+      });
+    }
+    pcase.run_presched();
+  });
+  for (int b = 0; b < kBlocks; ++b) {
+    EXPECT_EQ(ran_on[static_cast<std::size_t>(b)].load(), b % np) << b;
+  }
+}
+
+TEST(Pcase, SelfschedReusableAcrossEpisodes) {
+  const int np = 3;
+  fc::ForceEnvironment env(test_config(np));
+  std::atomic<int> total{0};
+  on_team(np, [&](int me) {
+    for (int episode = 0; episode < 5; ++episode) {
+      fc::PcaseBuilder pcase(env, me, np, "site6");
+      for (int b = 0; b < 4; ++b) pcase.sect([&] { total.fetch_add(1); });
+      pcase.run_selfsched();
+    }
+  });
+  EXPECT_EQ(total.load(), 5 * 4);
+}
+
+TEST(Pcase, SelfschedBalancesUnevenBlocks) {
+  // One huge block plus many small ones: with selfscheduling no process
+  // executes two huge blocks... here: the process stuck in the big block
+  // should not also run most small ones.
+  const int np = 2;
+  fc::ForceEnvironment env(test_config(np));
+  std::atomic<int> big_runner{-1};
+  std::atomic<int> small_by_big_runner{0};
+  on_team(np, [&](int me) {
+    fc::PcaseBuilder pcase(env, me, np, "site7");
+    pcase.sect([&, me] {
+      big_runner.store(me);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    for (int b = 0; b < 8; ++b) {
+      pcase.sect([&, me] {
+        if (big_runner.load() == me) small_by_big_runner.fetch_add(1);
+      });
+    }
+    pcase.run_selfsched();
+  });
+  // The other process should have grabbed most of the small blocks while
+  // the big one was running.
+  EXPECT_LE(small_by_big_runner.load(), 2);
+}
+
+TEST(Pcase, StatsCountExecutedBlocks) {
+  const int np = 2;
+  fc::ForceEnvironment env(test_config(np));
+  on_team(np, [&](int me) {
+    fc::PcaseBuilder pcase(env, me, np, "site8");
+    pcase.sect([] {}).sect_if(false, [] {}).sect([] {});
+    pcase.run_selfsched();
+  });
+  EXPECT_EQ(env.stats().pcase_blocks.load(std::memory_order_relaxed), 2u);
+}
+
+TEST(Pcase, NullBlockThrows) {
+  fc::ForceEnvironment env(test_config(1));
+  fc::PcaseBuilder pcase(env, 0, 1, "site9");
+  EXPECT_THROW(pcase.sect(nullptr), force::util::CheckError);
+}
+
+TEST(Pcase, WorksOnEveryMachineModel) {
+  for (const auto& machine : force::machdep::machine_names()) {
+    const int np = 3;
+    fc::ForceEnvironment env(test_config(np, machine));
+    std::atomic<int> total{0};
+    on_team(np, [&](int me) {
+      fc::PcaseBuilder pcase(env, me, np, "m-" + machine);
+      for (int b = 0; b < 6; ++b) pcase.sect([&] { total.fetch_add(1); });
+      pcase.run_selfsched();
+    });
+    EXPECT_EQ(total.load(), 6) << machine;
+  }
+}

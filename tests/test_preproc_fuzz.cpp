@@ -1,0 +1,139 @@
+// Robustness tests for forcepp: adversarial and randomized inputs must
+// produce diagnostics, never crashes, hangs or silent garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "preproc/translate.hpp"
+#include "util/rng.hpp"
+
+namespace pp = force::preproc;
+
+namespace {
+
+pp::TranslationResult run(const std::string& src) {
+  pp::TranslateOptions opts;
+  opts.machine = "native";
+  opts.source_name = "fuzz.force";
+  return pp::translate(src, opts);
+}
+
+}  // namespace
+
+TEST(PreprocFuzz, EmptyAndWhitespaceInputs) {
+  EXPECT_FALSE(run("").ok);           // no main program
+  EXPECT_FALSE(run("\n\n\n").ok);
+  EXPECT_FALSE(run("   \t  \n").ok);
+}
+
+TEST(PreprocFuzz, AdversarialStatements) {
+  // Each of these must produce a diagnostic (ok == false) or translate
+  // cleanly - never throw out of translate().
+  const char* cases[] = {
+      "Force\nJoin\n",                          // missing name
+      "Force P Q\nJoin\n",                      // junk after name
+      "Force P\nShared\nJoin\n",                // empty declaration
+      "Force P\nShared real \nJoin\n",
+      "Force P\nShared real X(\nJoin\n",        // unbalanced paren
+      "Force P\nShared real X((((\nJoin\n",
+      "Force P\nSelfsched DO\nJoin\n",
+      "Force P\nSelfsched DO 1 I=\nJoin\n",
+      "Force P\n1 End Selfsched DO\nJoin\n",    // end without begin
+      "Force P\nEnd barrier\nJoin\n",
+      "Force P\nEnd critical\nJoin\n",
+      "Force P\nEnd pcase\nJoin\n",
+      "Force P\nUsect\nJoin\n",
+      "Force P\nCsect\nJoin\n",
+      "Force P\nProduce = 5\nJoin\n",
+      "Force P\nConsume into X\nJoin\n",
+      "Force P\nReduce into X\nJoin\n",
+      "Force P\nJoin\nJoin\n",                  // double join
+      "Join\n",                                 // join without main
+      "End Forcesub\n",
+      "Forcesub\n",
+      "Force P\nForcesub S\nEnd Forcesub\nJoin\n",  // nested module
+      "Force P\nBarrier\nBarrier\nEnd barrier\nJoin\n",  // unbalanced
+      "Force P\nCritical L\nEnd barrier\nJoin\n",        // crossed ends
+      "Force P\nPcase\nUsect\nEnd barrier\nJoin\n",
+      "Force P\nSelfsched DO 5 I = 1, 10\n6 End Selfsched DO\nJoin\n",
+      "Force P\nShared integer X\nShared real X\nJoin\n",  // dup decl
+      "Force P\nReduce L into MISSING\nJoin\n",
+      "Force P\nShared real A(2)\nPrivate real L\nReduce L into A\nJoin\n",
+      "@force_main(EVIL)\nJoin\n",              // raw macro injection
+      "Force P\n@join()\n",                     // raw macro call for join
+  };
+  for (const char* src : cases) {
+    EXPECT_NO_THROW({ (void)run(src); }) << src;
+  }
+}
+
+TEST(PreprocFuzz, ErrorsCarryLineNumbers) {
+  const auto r = run("Force P\nx = 1;\nShared floatish X\nJoin\n");
+  ASSERT_FALSE(r.ok);
+  bool found = false;
+  for (const auto& d : r.diags.all()) {
+    if (d.line == 3) found = true;
+  }
+  EXPECT_TRUE(found) << r.diags.render_all("fuzz.force");
+}
+
+TEST(PreprocFuzz, RandomLineSoupNeverCrashes) {
+  // Random printable soup interleaved with statement fragments; translate
+  // must always terminate with a verdict.
+  force::util::Xoshiro256 rng(0xF022);
+  const char* fragments[] = {
+      "Force P",     "Join",           "Barrier",       "End barrier",
+      "Critical L",  "End critical",   "Usect",         "Pcase",
+      "End pcase",   "Shared real X",  "Private integer I",
+      "Produce V = 1", "Consume V into X", "Selfsched DO 9 I = 1, 4",
+      "9 End Selfsched DO", "Reduce X into Y", "Forcecall Q",
+      "x += 1;",     "if (true) {",    "}",
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string src;
+    const int lines = static_cast<int>(rng.uniform_int(1, 30));
+    for (int l = 0; l < lines; ++l) {
+      if (rng.uniform01() < 0.7) {
+        src += fragments[rng.uniform_int(
+            0, static_cast<std::int64_t>(std::size(fragments)) - 1)];
+      } else {
+        const int len = static_cast<int>(rng.uniform_int(0, 40));
+        for (int c = 0; c < len; ++c) {
+          src += static_cast<char>(rng.uniform_int(32, 126));
+        }
+      }
+      src += '\n';
+    }
+    EXPECT_NO_THROW({ (void)run(src); }) << "trial " << trial << ":\n"
+                                         << src;
+  }
+}
+
+TEST(PreprocFuzz, DeepNestingIsBounded) {
+  // Hundreds of nested barriers: the translator must either accept or
+  // diagnose, in bounded time, without stack issues.
+  std::string src = "Force P\n";
+  for (int i = 0; i < 300; ++i) src += "Barrier\n";
+  for (int i = 0; i < 300; ++i) src += "End barrier\n";
+  src += "Join\n";
+  const auto r = run(src);
+  EXPECT_TRUE(r.ok) << r.diags.render_all("fuzz.force");
+}
+
+TEST(PreprocFuzz, VeryLongLines) {
+  std::string expr = "1";
+  for (int i = 0; i < 2000; ++i) expr += "+1";
+  const auto r = run("Force P\nShared integer X\nBarrier\nX = " + expr +
+                     ";\nEnd barrier\nJoin\n");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.cpp_code.find(expr), std::string::npos);
+}
+
+TEST(PreprocFuzz, ManyErrorsAllReported) {
+  std::string src = "Force P\n";
+  for (int i = 0; i < 20; ++i) src += "Shared floatish V" + std::to_string(i) + "\n";
+  src += "Join\n";
+  const auto r = run(src);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GE(r.diags.errors(), 20u);
+}

@@ -1,0 +1,106 @@
+// Golden tests: the generated code for the paper's selfscheduled-DO
+// example is pinned structurally, and complete translations of a reference
+// program are compared against checked-in golden files per machine.
+//
+// Regenerate the goldens after an intentional codegen change with:
+//   forcepp tests/golden/loop.force --machine <m> --o tests/golden/loop.<m>.golden.cpp
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "preproc/translate.hpp"
+
+namespace pp = force::preproc;
+
+namespace {
+
+#ifndef FORCE_TEST_DATA_DIR
+#define FORCE_TEST_DATA_DIR "."
+#endif
+
+std::string data_path(const std::string& name) {
+  return std::string(FORCE_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing test data file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+pp::TranslationResult translate_file(const std::string& file,
+                                     const std::string& machine) {
+  pp::TranslateOptions opts;
+  opts.machine = machine;
+  opts.source_name = "tests/golden/" + file;
+  return pp::translate(read_file(data_path(file)), opts);
+}
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+// The paper prints the expansion of:
+//   Selfsched DO 100 K = START, LAST, INCR
+//     (* LOOPBODY *)
+//   100 End Selfsched DO
+// Our translation routes the loop through SelfschedLoop, whose object code
+// is the paper's expansion verbatim (entry gate, locked index grab,
+// completion test, exit gate). The golden here pins the generated call and
+// the pass-1 intermediate form.
+TEST(PaperExpansion, SelfschedDoTranslationIsPinned) {
+  pp::TranslateOptions opts;
+  opts.machine = "native";
+  opts.emit_pass1 = true;
+  const auto r = pp::translate(
+      "Force P\n"
+      "Private integer K\n"
+      "Shared integer START, LAST, INCR\n"
+      "Selfsched DO 100 K = START, LAST, INCR\n"
+      "  // (* LOOPBODY *)\n"
+      "100 End Selfsched DO\n"
+      "Join\n",
+      opts);
+  ASSERT_TRUE(r.ok) << r.diags.render_all("paper.force");
+  // Pass 1: the parameterized function-macro form.
+  EXPECT_TRUE(
+      contains(r.pass1_text, "@selfsched_do(100, K, START, LAST, INCR)"));
+  EXPECT_TRUE(contains(r.pass1_text, "@end_selfsched_do(100)"));
+  // Pass 2: the machine-independent statement macro expanded onto the
+  // runtime (which holds the BARWIN/BARWOT/ZZNBAR machinery).
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "ctx.selfsched_do(FORCE_SITE_TAGGED(\"L100\"), (START), (LAST), "
+      "(INCR), [&](std::int64_t K) {"));
+}
+
+class GoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenTest, TranslationMatchesCheckedInGolden) {
+  const std::string machine = GetParam();
+  const auto r = translate_file("loop.force", machine);
+  ASSERT_TRUE(r.ok) << r.diags.render_all("loop.force");
+  const std::string golden =
+      read_file(data_path("loop." + machine + ".golden.cpp"));
+  EXPECT_EQ(r.cpp_code, golden)
+      << "generated code drifted from the golden for " << machine
+      << "; regenerate with forcepp if the change is intentional";
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, GoldenTest,
+                         ::testing::Values("hep", "sequent", "native"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Golden, GoldenSourceTranslatesOnEveryMachine) {
+  for (const char* machine : {"hep", "flex32", "encore", "sequent",
+                              "alliant", "cray2", "native"}) {
+    const auto r = translate_file("loop.force", machine);
+    EXPECT_TRUE(r.ok) << machine << "\n"
+                      << r.diags.render_all("loop.force");
+  }
+}

@@ -1,0 +1,154 @@
+// Tests for the macro processor (the "m4" stage): templates, natives,
+// utility macros, inline expansion, recursion limits.
+#include <gtest/gtest.h>
+
+#include "preproc/macro.hpp"
+#include "preproc/textutil.hpp"
+
+namespace pp = force::preproc;
+
+namespace {
+std::string expand1(pp::MacroProcessor& mp, const std::string& line) {
+  pp::DiagSink diags;
+  auto out = mp.expand_line(line, 1, diags);
+  EXPECT_TRUE(diags.ok()) << diags.render_all("<test>");
+  return pp::join_lines(out);
+}
+}  // namespace
+
+TEST(Macro, TemplateSubstitution) {
+  pp::MacroProcessor mp;
+  mp.define("greet", "hello $1, from $0 with $# args");
+  EXPECT_EQ(expand1(mp, "@greet(world, extra)"),
+            "hello world, from greet with 2 args\n");
+}
+
+TEST(Macro, DollarStarJoinsAllArgs) {
+  pp::MacroProcessor mp;
+  mp.define("list", "[$*]");
+  EXPECT_EQ(expand1(mp, "@list(a, b, c)"), "[a, b, c]\n");
+}
+
+TEST(Macro, MissingArgsSubstituteEmpty) {
+  pp::MacroProcessor mp;
+  mp.define("pair", "($1|$2)");
+  EXPECT_EQ(expand1(mp, "@pair(x)"), "(x|)\n");
+}
+
+TEST(Macro, MultiLineTemplateBody) {
+  pp::MacroProcessor mp;
+  mp.define("block", "begin $1\nend $1");
+  pp::DiagSink diags;
+  auto out = mp.expand_line("@block(x)", 1, diags);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "begin x");
+  EXPECT_EQ(out[1], "end x");
+}
+
+TEST(Macro, NestedExpansion) {
+  pp::MacroProcessor mp;
+  mp.define("inner", "<$1>");
+  mp.define("outer", "@inner($1)");
+  EXPECT_EQ(expand1(mp, "@outer(y)"), "<y>\n");
+}
+
+TEST(Macro, InlineExpansionInsideALine) {
+  pp::MacroProcessor mp;
+  mp.define("name", "FORCE");
+  EXPECT_EQ(expand1(mp, "the @name() library"), "the FORCE library\n");
+}
+
+TEST(Macro, UndefinedCallsPassThrough) {
+  pp::MacroProcessor mp;
+  EXPECT_EQ(expand1(mp, "mail @example.com(x)"), "mail @example.com(x)\n");
+}
+
+TEST(Macro, NativeMacroReceivesArgs) {
+  pp::MacroProcessor mp;
+  mp.define_native("rev", [](const std::vector<std::string>& args, int,
+                             pp::DiagSink&) -> std::vector<std::string> {
+    std::string out;
+    for (auto it = args.rbegin(); it != args.rend(); ++it) {
+      if (!out.empty()) out += ",";
+      out += *it;
+    }
+    return {out};
+  });
+  EXPECT_EQ(expand1(mp, "@rev(1, 2, 3)"), "3,2,1\n");
+}
+
+TEST(Macro, RedefinitionAndUndefine) {
+  pp::MacroProcessor mp;
+  mp.define("m", "one");
+  EXPECT_EQ(expand1(mp, "@m()"), "one\n");
+  mp.define("m", "two");
+  EXPECT_EQ(expand1(mp, "@m()"), "two\n");
+  mp.undefine("m");
+  EXPECT_FALSE(mp.has("m"));
+  EXPECT_EQ(expand1(mp, "@m()"), "@m()\n");  // now passes through
+}
+
+TEST(Macro, RecursiveMacroIsDiagnosed) {
+  pp::MacroProcessor mp;
+  mp.define("loop", "@loop()");
+  pp::DiagSink diags;
+  (void)mp.expand_line("@loop()", 1, diags);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(Macro, BalancedParensInArgs) {
+  pp::MacroProcessor mp;
+  mp.define("call", "$1;");
+  EXPECT_EQ(expand1(mp, "@call(f(g(1), 2))"), "f(g(1), 2);\n");
+}
+
+// --- the paper's utility macros ---------------------------------------------------
+
+TEST(UtilityMacros, First) {
+  pp::MacroProcessor mp;
+  EXPECT_EQ(expand1(mp, "@first(a, b, c)"), "a\n");
+  EXPECT_EQ(expand1(mp, "@first()"), "\n");
+}
+
+TEST(UtilityMacros, Rest) {
+  pp::MacroProcessor mp;
+  EXPECT_EQ(expand1(mp, "@rest(a, b, c)"), "b, c\n");
+}
+
+TEST(UtilityMacros, ConcatAndLen) {
+  pp::MacroProcessor mp;
+  EXPECT_EQ(expand1(mp, "@concat(LOOP, 100)"), "LOOP100\n");
+  EXPECT_EQ(expand1(mp, "@len(a, b, c, d)"), "4\n");
+}
+
+TEST(UtilityMacros, Ifelse) {
+  pp::MacroProcessor mp;
+  EXPECT_EQ(expand1(mp, "@ifelse(x, x, same, diff)"), "same\n");
+  EXPECT_EQ(expand1(mp, "@ifelse(x, y, same, diff)"), "diff\n");
+  EXPECT_EQ(expand1(mp, "@ifelse(x, y, same)"), "\n");
+}
+
+TEST(UtilityMacros, StoreAndFetch) {
+  pp::MacroProcessor mp;
+  EXPECT_EQ(expand1(mp, "@store(mode, selfsched)"), "\n");
+  EXPECT_EQ(expand1(mp, "@fetch(mode)"), "selfsched\n");
+  EXPECT_EQ(expand1(mp, "@fetch(missing, fallback)"), "fallback\n");
+}
+
+TEST(UtilityMacros, ComposeStatefulConstructs) {
+  // The paper's "storing and retrieving definitions" in action: a macro
+  // whose expansion depends on stored state.
+  pp::MacroProcessor mp;
+  mp.define("open_or_close",
+            "@ifelse(@fetch(open, 0), 1, closing, opening)@store(open, 1)");
+  EXPECT_EQ(expand1(mp, "@open_or_close()"), "opening\n");
+  EXPECT_EQ(expand1(mp, "@open_or_close()"), "closing\n");
+}
+
+TEST(Macro, ExpansionCountAdvances) {
+  pp::MacroProcessor mp;
+  mp.define("a", "x");
+  const auto before = mp.expansions();
+  (void)expand1(mp, "@a() @a()");
+  EXPECT_EQ(mp.expansions(), before + 2);
+}

@@ -1,0 +1,228 @@
+// Tests for pass 1 (the "sed" stage) of forcepp plus the text utilities.
+#include <gtest/gtest.h>
+
+#include "preproc/pass1.hpp"
+#include "preproc/textutil.hpp"
+
+namespace pp = force::preproc;
+
+namespace {
+std::string one(const std::string& line) {
+  pp::DiagSink diags;
+  auto out = pp::rewrite_line(line, 1, diags);
+  EXPECT_TRUE(diags.ok()) << diags.render_all("<test>");
+  EXPECT_EQ(out.size(), 1u);
+  return out.empty() ? "" : out[0];
+}
+}  // namespace
+
+// --- textutil -------------------------------------------------------------------
+
+TEST(TextUtil, Trim) {
+  EXPECT_EQ(pp::trim("  a b  "), "a b");
+  EXPECT_EQ(pp::trim(""), "");
+  EXPECT_EQ(pp::trim(" \t "), "");
+}
+
+TEST(TextUtil, MatchKeywordIsCaseInsensitiveAndBoundaryAware) {
+  EXPECT_EQ(*pp::match_keyword("Barrier", "barrier"), "");
+  EXPECT_EQ(*pp::match_keyword("CRITICAL Lock1", "Critical"), "Lock1");
+  EXPECT_FALSE(pp::match_keyword("Barriers", "Barrier").has_value());
+  EXPECT_FALSE(pp::match_keyword("Bar", "Barrier").has_value());
+}
+
+TEST(TextUtil, MatchKeywordsSequence) {
+  EXPECT_EQ(*pp::match_keywords("End  Presched   DO",
+                                {"End", "Presched", "DO"}),
+            "");
+  EXPECT_FALSE(
+      pp::match_keywords("End Selfsched DO", {"End", "Presched", "DO"})
+          .has_value());
+}
+
+TEST(TextUtil, SplitArgsRespectsNesting) {
+  EXPECT_EQ(pp::split_args("a, f(b, c), d"),
+            (std::vector<std::string>{"a", "f(b, c)", "d"}));
+  EXPECT_EQ(pp::split_args("\"x,y\", z"),
+            (std::vector<std::string>{"\"x,y\"", "z"}));
+  EXPECT_TRUE(pp::split_args("").empty());
+}
+
+TEST(TextUtil, SplitLabel) {
+  auto l = pp::split_label("100 End Selfsched DO");
+  ASSERT_TRUE(l.label.has_value());
+  EXPECT_EQ(*l.label, 100);
+  EXPECT_EQ(l.rest, "End Selfsched DO");
+  EXPECT_FALSE(pp::split_label("End barrier").label.has_value());
+  EXPECT_FALSE(pp::split_label("42").label.has_value());  // bare number
+}
+
+TEST(TextUtil, IsIdentifier) {
+  EXPECT_TRUE(pp::is_identifier("X"));
+  EXPECT_TRUE(pp::is_identifier("my_var2"));
+  EXPECT_FALSE(pp::is_identifier("2x"));
+  EXPECT_FALSE(pp::is_identifier("a b"));
+  EXPECT_FALSE(pp::is_identifier(""));
+}
+
+// --- statement rewriting ----------------------------------------------------------
+
+TEST(Pass1, ProgramStructure) {
+  EXPECT_EQ(one("Force MYPROG"), "@force_main(MYPROG)");
+  EXPECT_EQ(one("Forcesub HELPER"), "@forcesub(HELPER)");
+  EXPECT_EQ(one("End Forcesub"), "@end_forcesub()");
+  EXPECT_EQ(one("Externf HELPER"), "@externf(HELPER)");
+  EXPECT_EQ(one("Forcecall HELPER"), "@forcecall(HELPER)");
+  EXPECT_EQ(one("Join"), "@join()");
+  EXPECT_EQ(one("End declarations"), "@end_declarations()");
+}
+
+TEST(Pass1, Declarations) {
+  EXPECT_EQ(one("Shared real X(100)"), "@shared_decl(real, X, 100)");
+  EXPECT_EQ(one("Private integer I"), "@private_decl(integer, I)");
+  EXPECT_EQ(one("Async real V"), "@async_decl(real, V)");
+  EXPECT_EQ(one("Shared double precision D"),
+            "@shared_decl(double precision, D)");
+  EXPECT_EQ(one("Shared integer A(10,20)"),
+            "@shared_decl(integer, A, 10, 20)");
+}
+
+TEST(Pass1, MultipleDeclaratorsExpandToMultipleCalls) {
+  pp::DiagSink diags;
+  auto out = pp::rewrite_line("Shared real X(8), Y, Z(4)", 1, diags);
+  ASSERT_TRUE(diags.ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "@shared_decl(real, X, 8)");
+  EXPECT_EQ(out[1], "@shared_decl(real, Y)");
+  EXPECT_EQ(out[2], "@shared_decl(real, Z, 4)");
+}
+
+TEST(Pass1, Synchronization) {
+  EXPECT_EQ(one("Barrier"), "@barrier_begin()");
+  EXPECT_EQ(one("End barrier"), "@barrier_end()");
+  EXPECT_EQ(one("Critical LOCK1"), "@critical_begin(LOCK1)");
+  EXPECT_EQ(one("End critical"), "@critical_end()");
+}
+
+TEST(Pass1, DoLoops) {
+  EXPECT_EQ(one("Selfsched DO 100 K = START, LAST, INCR"),
+            "@selfsched_do(100, K, START, LAST, INCR)");
+  EXPECT_EQ(one("Selfsched DO 100 K = 1, N"),
+            "@selfsched_do(100, K, 1, N, 1)");  // default increment
+  EXPECT_EQ(one("Presched DO 20 I = 0, 99, 2"),
+            "@presched_do(20, I, 0, 99, 2)");
+  EXPECT_EQ(one("100 End Selfsched DO"), "@end_selfsched_do(100)");
+  EXPECT_EQ(one("20 End Presched DO"), "@end_presched_do(20)");
+}
+
+TEST(Pass1, Do2AndGuidedLoops) {
+  EXPECT_EQ(one("Presched DO2 30 I = 1, 8 ; J = 1, 8"),
+            "@presched_do2(30, I, 1, 8, 1, J, 1, 8, 1)");
+  EXPECT_EQ(one("Selfsched DO2 40 I = 0, 7, 1 ; J = 10, 2, -2"),
+            "@selfsched_do2(40, I, 0, 7, 1, J, 10, 2, -2)");
+  EXPECT_EQ(one("Guided DO 50 K = 1, 1000"),
+            "@guided_do(50, K, 1, 1000, 1)");
+  EXPECT_EQ(one("30 End Presched DO2"), "@end_presched_do2(30)");
+  EXPECT_EQ(one("40 End Selfsched DO2"), "@end_selfsched_do2(40)");
+  EXPECT_EQ(one("50 End Guided DO"), "@end_guided_do(50)");
+}
+
+TEST(Pass1, Do2Errors) {
+  auto expect_error = [](const std::string& line) {
+    pp::DiagSink diags;
+    (void)pp::rewrite_line(line, 1, diags);
+    EXPECT_FALSE(diags.ok()) << line;
+  };
+  expect_error("Presched DO2 30 I = 1, 8");        // missing second control
+  expect_error("Selfsched DO2 I = 1, 8 ; J = 1, 8");  // missing label
+  expect_error("Presched DO2 30 I = 1 ; J = 1, 8");   // too few bounds
+}
+
+TEST(Pass1, Pcase) {
+  EXPECT_EQ(one("Pcase"), "@pcase_begin(presched)");
+  EXPECT_EQ(one("Pcase Selfsched"), "@pcase_begin(selfsched)");
+  EXPECT_EQ(one("Usect"), "@usect()");
+  EXPECT_EQ(one("Csect (x > 0)"), "@csect(x > 0)");
+  EXPECT_EQ(one("End pcase"), "@pcase_end()");
+}
+
+TEST(Pass1, AskforStatements) {
+  EXPECT_EQ(one("Askfor 300 T of integer"), "@askfor_begin(300, T, integer)");
+  EXPECT_EQ(one("Seedwork 300 N*2"), "@seedwork(300, N*2)");
+  EXPECT_EQ(one("Putwork T + 1"), "@putwork(T + 1)");
+  EXPECT_EQ(one("Probend"), "@probend()");
+  EXPECT_EQ(one("300 End Askfor"), "@end_askfor(300)");
+  auto expect_error = [](const std::string& line) {
+    pp::DiagSink diags;
+    (void)pp::rewrite_line(line, 1, diags);
+    EXPECT_FALSE(diags.ok()) << line;
+  };
+  expect_error("Askfor T of integer");   // missing label
+  expect_error("Askfor 300 T");          // missing type
+  expect_error("Seedwork 300");          // missing expression
+  expect_error("Putwork");               // missing expression
+  expect_error("Probend now");           // stray operand
+}
+
+TEST(Pass1, RawLockStatements) {
+  EXPECT_EQ(one("Lock MYLOCK"), "@rawlock(MYLOCK)");
+  EXPECT_EQ(one("Unlock MYLOCK"), "@rawunlock(MYLOCK)");
+  pp::DiagSink diags;
+  (void)pp::rewrite_line("Lock", 1, diags);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(Pass1, ReduceStatement) {
+  EXPECT_EQ(one("Reduce L into TOTAL"), "@reduce_stmt(TOTAL, +, L)");
+  EXPECT_EQ(one("Reduce L*2.0 into TOTAL with max"),
+            "@reduce_stmt(TOTAL, max, L*2.0)");
+  EXPECT_EQ(one("Reduce P into PROD with *"), "@reduce_stmt(PROD, *, P)");
+  pp::DiagSink diags;
+  (void)pp::rewrite_line("Reduce L", 1, diags);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(Pass1, AsyncAccesses) {
+  EXPECT_EQ(one("Produce V = A + B"), "@produce(V, A + B)");
+  EXPECT_EQ(one("Consume V into X"), "@consume(V, X)");
+  EXPECT_EQ(one("Copy V into X"), "@copyasync(V, X)");
+  EXPECT_EQ(one("Void V"), "@voidasync(V)");
+  EXPECT_EQ(one("Isfull V into FLAG"), "@isfull(V, FLAG)");
+}
+
+TEST(Pass1, CommentsAndPassthrough) {
+  EXPECT_EQ(one("! a comment"), "// a comment");
+  EXPECT_EQ(one("x = y + 1;"), "x = y + 1;");  // C++ passes through
+  EXPECT_EQ(one(""), "");
+}
+
+TEST(Pass1, KeywordsAreCaseInsensitive) {
+  EXPECT_EQ(one("SELFSCHED do 7 k = 1, 5"), "@selfsched_do(7, k, 1, 5, 1)");
+  EXPECT_EQ(one("end BARRIER"), "@barrier_end()");
+}
+
+TEST(Pass1, Errors) {
+  auto expect_error = [](const std::string& line) {
+    pp::DiagSink diags;
+    (void)pp::rewrite_line(line, 1, diags);
+    EXPECT_FALSE(diags.ok()) << line;
+  };
+  expect_error("Shared");                       // no type/vars
+  expect_error("Shared floatish X");            // unknown type
+  expect_error("Selfsched DO K = 1, 10");       // missing label
+  expect_error("Selfsched DO 9 K = 1");         // too few bounds
+  expect_error("Produce V");                    // no '='
+  expect_error("Consume V");                    // no 'into'
+  expect_error("Critical");                     // no lock name
+  expect_error("17 Something else");            // stray label
+  expect_error("Csect ()");                     // empty condition
+}
+
+TEST(Pass1, FullRewriteKeepsOriginLines) {
+  const std::string src = "Force P\nShared real A, B\nJoin\n";
+  pp::DiagSink diags;
+  const auto result = pp::rewrite_force_syntax(src, diags);
+  ASSERT_TRUE(diags.ok());
+  ASSERT_EQ(result.lines.size(), 4u);  // Force, 2 decls, Join
+  EXPECT_EQ(result.origin, (std::vector<int>{1, 2, 2, 3}));
+}

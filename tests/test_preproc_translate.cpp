@@ -1,0 +1,406 @@
+// Tests for the complete forcepp pipeline (paper §4.3): statement macro
+// expansion, module/driver generation, machine-dependent differences, and
+// structural error detection.
+#include <gtest/gtest.h>
+
+#include "preproc/translate.hpp"
+
+namespace pp = force::preproc;
+
+namespace {
+
+pp::TranslationResult run(const std::string& src,
+                          const std::string& machine = "native") {
+  pp::TranslateOptions opts;
+  opts.machine = machine;
+  opts.source_name = "test.force";
+  opts.emit_pass1 = true;
+  return pp::translate(src, opts);
+}
+
+constexpr const char* kMinimal = "Force P\nJoin\n";
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+TEST(Translate, MinimalProgramProducesDriverAndBody) {
+  const auto r = run(kMinimal);
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(r.cpp_code, "static void P_body(force::core::Ctx& ctx)"));
+  EXPECT_TRUE(contains(r.cpp_code, "int main("));
+  EXPECT_TRUE(contains(r.cpp_code, "config.machine = \"native\";"));
+  EXPECT_TRUE(contains(r.cpp_code, "force_.run(P_body);"));
+  EXPECT_TRUE(contains(r.cpp_code, "#include \"theforce.hpp\""));
+}
+
+TEST(Translate, DeclarationsBindVariables) {
+  const auto r = run(
+      "Force P\n"
+      "Shared real X(100)\n"
+      "Shared integer N\n"
+      "Private real T\n"
+      "Async real V\n"
+      "Join\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "auto& X = ctx.shared<std::array<double, 100>>(\"X\");"));
+  EXPECT_TRUE(contains(r.cpp_code, "auto& N = ctx.shared<std::int64_t>(\"N\");"));
+  EXPECT_TRUE(contains(r.cpp_code, "double T{};"));
+  EXPECT_TRUE(contains(r.cpp_code,
+                       "auto& V = ctx.async_named<double>(\"V\");"));
+}
+
+TEST(Translate, TwoDimensionalArraysNestRowMajor) {
+  const auto r = run("Force P\nShared real A(10,20)\nJoin\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "ctx.shared<std::array<std::array<double, 20>, 10>>(\"A\")"));
+}
+
+TEST(Translate, ConstructsExpandToRuntimeCalls) {
+  const auto r = run(
+      "Force P\n"
+      "Shared integer S\n"
+      "Private integer I\n"
+      "Barrier\n"
+      "  S = 0;\n"
+      "End barrier\n"
+      "Selfsched DO 10 I = 1, 100, 2\n"
+      "  S += I;\n"
+      "10 End Selfsched DO\n"
+      "Critical L1\n"
+      "  S += 1;\n"
+      "End critical\n"
+      "Join\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(r.cpp_code, "ctx.barrier([&] {"));
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "ctx.selfsched_do(FORCE_SITE_TAGGED(\"L10\"), (1), (100), (2), "
+      "[&](std::int64_t I) {"));
+  EXPECT_TRUE(
+      contains(r.cpp_code, "ctx.critical(FORCE_SITE_TAGGED(\"L1\"), [&] {"));
+}
+
+TEST(Translate, Do2AndGuidedExpandToRuntimeCalls) {
+  const auto r = run(
+      "Force P\n"
+      "Private integer I, J, K\n"
+      "Selfsched DO2 30 I = 0, 7 ; J = 0, 7\n"
+      "  (void)(I + J);\n"
+      "30 End Selfsched DO2\n"
+      "Presched DO2 40 I = 1, 4 ; J = 1, 4\n"
+      "  (void)(I * J);\n"
+      "40 End Presched DO2\n"
+      "Guided DO 50 K = 1, 100\n"
+      "  (void)K;\n"
+      "50 End Guided DO\n"
+      "Join\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "ctx.selfsched_do2(FORCE_SITE_TAGGED(\"L30\"), (0), (7), (1), (0), "
+      "(7), (1), [&](std::int64_t I, std::int64_t J) {"));
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "ctx.presched_do2((1), (4), (1), (1), (4), (1), [&](std::int64_t I, "
+      "std::int64_t J) {"));
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "ctx.guided_do(FORCE_SITE_TAGGED(\"L50\"), (1), (100), (1), "
+      "[&](std::int64_t K) {"));
+}
+
+TEST(Translate, AskforBlockExpandsToMonitorWork) {
+  const auto r = run(
+      "Force P\n"
+      "Seedwork 300 1\n"
+      "Askfor 300 T of real\n"
+      "  Putwork T / 2.0\n"
+      "  Probend\n"
+      "300 End Askfor\n"
+      "Join\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  // The Seedwork precedes the block but gets the block's task type (real).
+  EXPECT_TRUE(contains(r.cpp_code,
+                       "ctx.askfor_named<double>(\"L300\").put(1);"));
+  EXPECT_TRUE(contains(r.cpp_code, "auto& askfor__ = ctx.askfor_named<double>(\"L300\");"));
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "askfor__.work([&](double& T, force::core::Askfor<double>& "
+      "askfor_self__) {"));
+  EXPECT_TRUE(contains(r.cpp_code, "askfor_self__.put(T / 2.0);"));
+  EXPECT_TRUE(contains(r.cpp_code, "askfor_self__.probend();"));
+}
+
+TEST(Translate, AskforErrors) {
+  // Putwork outside a block.
+  EXPECT_FALSE(run("Force P\nPutwork 1\nJoin\n").ok);
+  // Probend outside a block.
+  EXPECT_FALSE(run("Force P\nProbend\nJoin\n").ok);
+  // Seedwork without a matching block.
+  EXPECT_FALSE(run("Force P\nSeedwork 9 1\nJoin\n").ok);
+  // Mismatched End label.
+  EXPECT_FALSE(run("Force P\nAskfor 1 T of integer\n2 End Askfor\nJoin\n").ok);
+}
+
+TEST(Translate, RawLockStatements) {
+  const auto r = run(
+      "Force P\nLock GUARD\nx();\nUnlock GUARD\nJoin\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(r.cpp_code, "ctx.named_lock(\"GUARD\").acquire();"));
+  EXPECT_TRUE(contains(r.cpp_code, "ctx.named_lock(\"GUARD\").release();"));
+}
+
+TEST(Translate, ReduceStatementUsesDeclaredType) {
+  const auto r = run(
+      "Force P\n"
+      "Shared real TOTAL\n"
+      "Shared integer COUNT\n"
+      "Private real L\n"
+      "Private integer N\n"
+      "Reduce L into TOTAL with max\n"
+      "Reduce N into COUNT\n"
+      "Join\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "ctx.reduce_into<double>(FORCE_SITE_TAGGED(\"RTOTAL\"), (L), TOTAL, "
+      "[](double a, double b) { return a > b ? a : b; });"));
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "ctx.reduce_into<std::int64_t>(FORCE_SITE_TAGGED(\"RCOUNT\"), (N), "
+      "COUNT, [](std::int64_t a, std::int64_t b) { return a + b; });"));
+}
+
+TEST(Translate, ReduceErrors) {
+  // Undeclared target.
+  EXPECT_FALSE(run("Force P\nPrivate real L\nReduce L into GHOST\nJoin\n").ok);
+  // Private target (must be a shared scalar).
+  EXPECT_FALSE(
+      run("Force P\nPrivate real L, T\nReduce L into T\nJoin\n").ok);
+  // Array target.
+  EXPECT_FALSE(
+      run("Force P\nShared real A(4)\nPrivate real L\nReduce L into A\nJoin\n")
+          .ok);
+  // Unknown operator.
+  EXPECT_FALSE(run("Force P\nShared real T\nPrivate real L\n"
+                   "Reduce L into T with xor\nJoin\n")
+                   .ok);
+}
+
+TEST(Translate, PcaseExpandsBlocks) {
+  const auto r = run(
+      "Force P\n"
+      "Pcase Selfsched\n"
+      "Usect\n"
+      "  int x = 1;\n"
+      "Csect (2 > 1)\n"
+      "  int y = 2;\n"
+      "End pcase\n"
+      "Join\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(r.cpp_code, "auto pcase__ = ctx.pcase(FORCE_SITE);"));
+  EXPECT_TRUE(contains(r.cpp_code, "pcase__.sect([&] {"));
+  EXPECT_TRUE(contains(r.cpp_code, "pcase__.sect_if((2 > 1), [&] {"));
+  EXPECT_TRUE(contains(r.cpp_code, "pcase__.run_selfsched();"));
+}
+
+TEST(Translate, AsyncStatements) {
+  const auto r = run(
+      "Force P\n"
+      "Async real V\n"
+      "Private real T\n"
+      "Produce V = 1.5\n"
+      "Consume V into T\n"
+      "Copy V into T\n"
+      "Isfull V into T\n"
+      "Void V\n"
+      "Join\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(r.cpp_code, "V.produce(1.5);"));
+  EXPECT_TRUE(contains(r.cpp_code, "T = V.consume();"));
+  EXPECT_TRUE(contains(r.cpp_code, "T = V.copy();"));
+  EXPECT_TRUE(contains(r.cpp_code, "T = V.is_full();"));
+  EXPECT_TRUE(contains(r.cpp_code, "V.void_state();"));
+}
+
+TEST(Translate, ForcesubGeneratesFunctionAndRegistration) {
+  const auto r = run(
+      "Force P\n"
+      "Externf SUB1\n"
+      "Forcecall SUB1\n"
+      "Join\n"
+      "Forcesub SUB1\n"
+      "Barrier\n"
+      "End barrier\n"
+      "End Forcesub\n");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(r.cpp_code,
+                       "static void SUB1_body(force::core::Ctx& ctx)"));
+  EXPECT_TRUE(contains(r.cpp_code, "ctx.call(\"SUB1\");"));
+  EXPECT_TRUE(contains(
+      r.cpp_code,
+      "force_.subroutines().register_sub(\"SUB1\", nullptr, SUB1_body);"));
+}
+
+// --- the machine-dependent layer in generated code --------------------------------
+
+TEST(Translate, CompileTimeMachinesStripToCommon) {
+  const auto r = run("Force P\nShared real X\nJoin\n", "hep");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(contains(r.cpp_code, "// COMMON /X/"));
+  EXPECT_FALSE(contains(r.cpp_code, "_startup"));  // no startup routines
+}
+
+TEST(Translate, SequentGeneratesStartupRoutines) {
+  const auto r = run(
+      "Force P\n"
+      "Shared real X(10)\n"
+      "Join\n"
+      "Forcesub S\n"
+      "Shared integer Y\n"
+      "End Forcesub\n",
+      "sequent");
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(r.cpp_code,
+                       "static void P_startup(force::machdep::SharedArena"));
+  EXPECT_TRUE(contains(r.cpp_code,
+                       "static void S_startup(force::machdep::SharedArena"));
+  EXPECT_TRUE(contains(r.cpp_code, "arena.declare(\"X\""));
+  EXPECT_TRUE(contains(r.cpp_code, "arena.declare(\"Y\""));
+  // Driver wires main first, then subroutines (the paper's call order).
+  const auto main_pos = r.cpp_code.find("register_module(\"P\"");
+  const auto sub_pos = r.cpp_code.find("register_module(\"S\"");
+  ASSERT_NE(main_pos, std::string::npos);
+  ASSERT_NE(sub_pos, std::string::npos);
+  EXPECT_LT(main_pos, sub_pos);
+}
+
+TEST(Translate, MachineNameAppearsInDriver) {
+  for (const char* machine : {"hep", "flex32", "encore", "sequent",
+                              "alliant", "cray2", "native"}) {
+    const auto r = run(kMinimal, machine);
+    ASSERT_TRUE(r.ok) << machine;
+    EXPECT_TRUE(contains(r.cpp_code,
+                         std::string("config.machine = \"") + machine +
+                             "\";"))
+        << machine;
+  }
+}
+
+TEST(Translate, SameSourceDiffersOnlyInMachineLayer) {
+  // The machine-independent part of the generated code is identical: the
+  // bodies differ only in comments and the generated driver/startup.
+  const auto hep = run(kMinimal, "hep");
+  const auto cray = run(kMinimal, "cray2");
+  EXPECT_TRUE(contains(hep.cpp_code, "P_body"));
+  EXPECT_TRUE(contains(cray.cpp_code, "P_body"));
+  EXPECT_NE(hep.cpp_code, cray.cpp_code);  // drivers differ
+}
+
+// --- structural errors -------------------------------------------------------------
+
+TEST(Translate, MissingMainIsAnError) {
+  const auto r = run("Barrier\nEnd barrier\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Translate, MissingJoinIsAnError) {
+  const auto r = run("Force P\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Translate, MismatchedDoLabelsAreErrors) {
+  const auto r = run(
+      "Force P\n"
+      "Private integer I\n"
+      "Selfsched DO 10 I = 1, 5\n"
+      "20 End Selfsched DO\n"
+      "Join\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Translate, UnclosedConstructIsAnError) {
+  const auto r = run("Force P\nBarrier\nJoin\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Translate, UsectOutsidePcaseIsAnError) {
+  const auto r = run("Force P\nUsect\nJoin\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Translate, DuplicateDeclarationIsAnError) {
+  const auto r = run("Force P\nShared real X\nShared integer X\nJoin\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Translate, SecondMainIsAnError) {
+  const auto r = run("Force P\nJoin\nForce Q\nJoin\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Translate, ExternfWithoutLocalForcesubWiresCrossUnitRegistration) {
+  const auto r = run("Force P\nExternf GHOST\nForcecall GHOST\nJoin\n");
+  EXPECT_TRUE(r.ok);
+  // The driver declares and calls the separately compiled module's
+  // registration entry point.
+  EXPECT_TRUE(contains(r.cpp_code, "void force_register_GHOST(force::Force&);"));
+  EXPECT_TRUE(contains(r.cpp_code, "force_register_GHOST(force_);"));
+}
+
+TEST(Translate, ModuleModeEmitsRegistrationsAndNoDriver) {
+  pp::TranslateOptions opts;
+  opts.machine = "sequent";
+  opts.module_mode = true;
+  const auto r = pp::translate(
+      "Forcesub HELPER\n"
+      "Shared integer HVAR\n"
+      "Critical HL\n"
+      "  HVAR = HVAR + 1;\n"
+      "End critical\n"
+      "End Forcesub\n",
+      opts);
+  ASSERT_TRUE(r.ok) << r.diags.render_all("mod.force");
+  EXPECT_TRUE(contains(r.cpp_code,
+                       "void force_register_HELPER(force::Force& force_)"));
+  EXPECT_TRUE(contains(r.cpp_code, "register_module(\"HELPER\""));
+  EXPECT_TRUE(contains(r.cpp_code, "register_sub(\"HELPER\""));
+  EXPECT_FALSE(contains(r.cpp_code, "int main("));
+}
+
+TEST(Translate, ModuleModeRejectsMainPrograms) {
+  pp::TranslateOptions opts;
+  opts.module_mode = true;
+  EXPECT_FALSE(pp::translate("Force P\nJoin\n", opts).ok);
+  EXPECT_FALSE(pp::translate("! nothing\n", opts).ok);
+}
+
+TEST(Translate, Pass1TextIsEmittedOnRequest) {
+  const auto r = run(kMinimal);
+  EXPECT_TRUE(contains(r.pass1_text, "@force_main(P)"));
+  EXPECT_TRUE(contains(r.pass1_text, "@join()"));
+}
+
+TEST(Translate, ExpansionCountIsReported) {
+  const auto r = run(kMinimal);
+  EXPECT_GE(r.macro_expansions, 2u);
+}
+
+TEST(Translate, ContextExposesModules) {
+  const auto r = run(
+      "Force MAIN1\nShared real X\nJoin\nForcesub HELPER\nEnd Forcesub\n");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.context.modules.size(), 2u);
+  EXPECT_EQ(r.context.modules[0].name, "MAIN1");
+  EXPECT_TRUE(r.context.modules[0].is_main);
+  EXPECT_EQ(r.context.modules[0].shared_variables().size(), 1u);
+  EXPECT_EQ(r.context.modules[1].name, "HELPER");
+  EXPECT_FALSE(r.context.modules[1].is_main);
+}

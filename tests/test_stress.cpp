@@ -1,0 +1,204 @@
+// Stress / property tests: randomized SPMD programs must compute identical
+// results on every machine model and for every force size - the paper's
+// portability and NP-independence claims under adversarial composition.
+//
+// A seeded RNG builds a random sequence of construct "ops"; the same
+// sequence (same seed) is executed everywhere and its deterministic digest
+// compared. Digests fold in only order-independent quantities (sums over
+// commutative reductions), so any divergence is a genuine semantics bug.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+
+#include "core/force.hpp"
+#include "util/rng.hpp"
+
+namespace fc = force::core;
+
+namespace {
+
+/// One randomized program: `ops` constructs drawn from the full set.
+/// Returns an order-independent digest of everything it computed.
+std::uint64_t run_random_program(const std::string& machine, int np,
+                                 std::uint64_t seed, int ops) {
+  fc::ForceConfig cfg;
+  cfg.machine = machine;
+  cfg.nproc = np;
+  cfg.seed = seed;
+  force::Force f(cfg);
+  auto& digest = f.shared<std::atomic<std::uint64_t>>("digest");
+
+  // The op schedule must be identical on every process: derive it from the
+  // seed, not from the per-process RNG.
+  force::util::Xoshiro256 script(seed);
+  struct Op {
+    int kind;
+    std::int64_t a, b;
+  };
+  std::vector<Op> plan;
+  plan.reserve(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    plan.push_back({static_cast<int>(script.uniform_int(0, 6)),
+                    script.uniform_int(1, 60), script.uniform_int(1, 8)});
+  }
+
+  // Pre-declare every shared name the program will touch, as the startup
+  // routines would: on the link-time (sequent) machine, first touch after
+  // link() is an error by design.
+  for (int i = 0; i < ops; ++i) {
+    (void)f.shared<std::int64_t>("ctr" + std::to_string(i));
+    (void)f.shared<std::atomic<std::int64_t>>("pc" + std::to_string(i));
+  }
+
+  f.run([&](fc::Ctx& ctx) {
+    auto fold = [&](std::uint64_t v) {
+      // Commutative fold: addition of hashed values.
+      force::util::SplitMix64 h(v);
+      digest.fetch_add(h.next(), std::memory_order_relaxed);
+    };
+    int op_index = 0;
+    for (const Op& op : plan) {
+      const auto tag = std::to_string(op_index++);
+      switch (op.kind) {
+        case 0: {  // selfsched sum (partition-independent via reduce)
+          std::int64_t local = 0;
+          ctx.selfsched_do(FORCE_SITE_TAGGED("ss"), 1, op.a, 1,
+                           [&](std::int64_t i) { local += i * op.b; });
+          const auto total = ctx.reduce<std::int64_t>(
+              FORCE_SITE_TAGGED("ssred"), local,
+              [](std::int64_t x, std::int64_t y) { return x + y; });
+          if (ctx.leader()) fold(static_cast<std::uint64_t>(total) + 0x1000);
+          break;
+        }
+        case 1: {  // presched sum (negative stride)
+          std::int64_t local = 0;
+          ctx.presched_do(op.a, 1, -1,
+                          [&](std::int64_t i) { local += i; });
+          const auto total = ctx.reduce<std::int64_t>(
+              FORCE_SITE_TAGGED("psred"), local,
+              [](std::int64_t x, std::int64_t y) { return x + y; });
+          if (ctx.leader()) fold(static_cast<std::uint64_t>(total) + 0x2000);
+          break;
+        }
+        case 2: {  // barrier with section
+          ctx.barrier([&] { fold(0x3000 + static_cast<std::uint64_t>(op.a)); });
+          break;
+        }
+        case 3: {  // critical increment + reduce check
+          auto& counter =
+              ctx.shared<std::int64_t>("ctr" + tag);
+          ctx.critical(FORCE_SITE_TAGGED("crit"), [&] { ++counter; });
+          const auto total = ctx.reduce<std::int64_t>(
+              FORCE_SITE_TAGGED("red"), 1,
+              [](std::int64_t x, std::int64_t y) { return x + y; });
+          // total == np; fold an np-independent quantity.
+          if (ctx.leader()) {
+            fold(static_cast<std::uint64_t>(total - ctx.np()) + 0x4000);
+          }
+          break;
+        }
+        case 4: {  // pcase
+          std::atomic<std::int64_t>* acc =
+              &ctx.shared<std::atomic<std::int64_t>>("pc" + tag);
+          auto pcase = ctx.pcase(FORCE_SITE_TAGGED("pcase"));
+          for (std::int64_t b = 0; b < op.b; ++b) {
+            pcase.sect([acc, b] { acc->fetch_add(b + 1); });
+          }
+          pcase.run_selfsched();
+          ctx.barrier();
+          if (ctx.leader()) {
+            fold(static_cast<std::uint64_t>(acc->load()) + 0x5000);
+          }
+          break;
+        }
+        case 5: {  // askfor splitting tasks
+          auto& monitor =
+              ctx.askfor<std::int64_t>(FORCE_SITE_TAGGED(("af" + tag).c_str()));
+          if (ctx.leader()) monitor.put(op.b);
+          ctx.barrier();
+          std::int64_t local = 0;
+          monitor.work(
+              [&](std::int64_t& v, fc::Askfor<std::int64_t>& self) {
+                local += v;
+                if (v > 1) {
+                  self.put(v - 1);
+                }
+              });
+          const auto total = ctx.reduce<std::int64_t>(
+              FORCE_SITE_TAGGED("afred"), local,
+              [](std::int64_t x, std::int64_t y) { return x + y; });
+          if (ctx.leader()) fold(static_cast<std::uint64_t>(total) + 0x6000);
+          break;
+        }
+        default: {  // async relay
+          auto& relay =
+              ctx.async_var<std::int64_t>(FORCE_SITE_TAGGED("relay"));
+          if (ctx.leader()) relay.produce(op.a);
+          const std::int64_t v = relay.consume();
+          relay.produce(v + 1);
+          // Final value is op.a + np; fold the np-independent part.
+          const int np = ctx.np();
+          ctx.barrier([&, np] {
+            fold(static_cast<std::uint64_t>(relay.consume() - np) + 0x7000);
+          });
+          break;
+        }
+      }
+    }
+    ctx.barrier();
+  });
+  return digest.load();
+}
+
+}  // namespace
+
+TEST(Stress, SameDigestOnEveryMachine) {
+  constexpr std::uint64_t kSeed = 0xBADC0FFEE;
+  constexpr int kOps = 12;
+  const std::uint64_t reference =
+      run_random_program("native", 4, kSeed, kOps);
+  for (const auto& machine : force::machdep::machine_names()) {
+    EXPECT_EQ(run_random_program(machine, 4, kSeed, kOps), reference)
+        << machine;
+  }
+}
+
+TEST(Stress, SameDigestForEveryForceSize) {
+  constexpr std::uint64_t kSeed = 0x5EEDBEEF;
+  constexpr int kOps = 10;
+  const std::uint64_t reference = run_random_program("native", 1, kSeed, kOps);
+  for (int np : {2, 3, 5, 8}) {
+    EXPECT_EQ(run_random_program("native", np, kSeed, kOps), reference)
+        << "np=" << np;
+  }
+}
+
+TEST(Stress, ManySeedsOnTwoExtremeMachines) {
+  // hep (hardware full/empty, cheap create) and cray2 (system locks,
+  // scarce budget) are the most different lower layers; sweep seeds.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto a = run_random_program("hep", 3, seed * 7919, 8);
+    const auto b = run_random_program("cray2", 3, seed * 7919, 8);
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(Stress, RepeatedRunsOfOneForceAccumulateConsistently) {
+  force::Force f({.nproc = 4});
+  auto& total = f.shared<std::int64_t>("total");
+  for (int round = 0; round < 10; ++round) {
+    f.run([&](fc::Ctx& ctx) {
+      std::int64_t local = 0;
+      ctx.guided_do(FORCE_SITE, 1, 200, 1,
+                    [&](std::int64_t i) { local += i; });
+      ctx.critical(FORCE_SITE, [&] { total += local; });
+      ctx.barrier();
+      ctx.selfsched_do2(FORCE_SITE, 1, 5, 1, 1, 5, 1,
+                        [&](std::int64_t, std::int64_t) {});
+      ctx.barrier();
+    });
+  }
+  EXPECT_EQ(total, 10 * 20100);
+}

@@ -1,0 +1,276 @@
+// Unit tests for the util substrate: timing, RNG, stats, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace fu = force::util;
+
+// --- check ------------------------------------------------------------------
+
+TEST(Check, ThrowsWithMessageAndLocation) {
+  try {
+    FORCE_CHECK(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const fu::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(FORCE_CHECK(true, "never"));
+}
+
+// --- timing -----------------------------------------------------------------
+
+TEST(Timing, MonotonicClock) {
+  const auto a = fu::now_ns();
+  const auto b = fu::now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Timing, WallTimerAccumulates) {
+  fu::WallTimer t;
+  t.start();
+  fu::spin_for_ns(1'000'000);
+  t.stop();
+  const auto first = t.elapsed_ns();
+  EXPECT_GE(first, 900'000);
+  t.start();
+  fu::spin_for_ns(1'000'000);
+  t.stop();
+  EXPECT_GT(t.elapsed_ns(), first);
+}
+
+TEST(Timing, TimerMisuseThrows) {
+  fu::WallTimer t;
+  EXPECT_THROW(t.stop(), fu::CheckError);
+  t.start();
+  EXPECT_THROW(t.start(), fu::CheckError);
+}
+
+TEST(Timing, ScopedTimer) {
+  fu::WallTimer t;
+  {
+    fu::ScopedTimer s(t);
+    fu::spin_for_ns(100'000);
+  }
+  EXPECT_FALSE(t.running());
+  EXPECT_GT(t.elapsed_ns(), 0);
+}
+
+TEST(Timing, FormatDurationPicksUnits) {
+  EXPECT_EQ(fu::format_duration_ns(1.5e9), "1.500 s");
+  EXPECT_EQ(fu::format_duration_ns(2.5e6), "2.500 ms");
+  EXPECT_EQ(fu::format_duration_ns(3.25e3), "3.250 us");
+  EXPECT_EQ(fu::format_duration_ns(42), "42.000 ns");
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  fu::Xoshiro256 a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  fu::Xoshiro256 a2(123);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, Uniform01InRange) {
+  fu::Xoshiro256 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  fu::Xoshiro256 g(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  fu::Xoshiro256 g(9);
+  EXPECT_THROW(g.uniform_int(5, 4), fu::CheckError);
+}
+
+TEST(Rng, SubstreamsDiffer) {
+  fu::Xoshiro256 base(42);
+  auto s1 = base.substream(1);
+  auto s2 = base.substream(2);
+  EXPECT_NE(s1.next(), s2.next());
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  fu::Xoshiro256 g(11);
+  fu::OnlineStats st;
+  for (int i = 0; i < 50000; ++i) st.add(g.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  fu::Xoshiro256 g(12);
+  fu::OnlineStats st;
+  for (int i = 0; i < 50000; ++i) st.add(g.exponential(2.0));
+  EXPECT_NEAR(st.mean(), 0.5, 0.03);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  fu::Xoshiro256 g(13);
+  for (int i = 0; i < 1000; ++i) ASSERT_GT(g.lognormal(0.0, 1.0), 0.0);
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(Stats, OnlineStatsBasics) {
+  fu::OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, OnlineStatsMergeMatchesSequential) {
+  fu::Xoshiro256 g(5);
+  fu::OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = g.uniform(-3, 3);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, MergeWithEmpty) {
+  fu::OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Stats, SampleSetPercentiles) {
+  fu::SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_THROW((void)s.percentile(101), fu::CheckError);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  fu::Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to bin 0
+  h.add(100.0);   // clamps to last
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Stats, LoadImbalance) {
+  EXPECT_DOUBLE_EQ(fu::load_imbalance({1, 1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(fu::load_imbalance({2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(fu::load_imbalance({}), 0.0);
+}
+
+// --- table ------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  fu::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numbers right-aligned: "22.5" ends its cell.
+  EXPECT_NE(out.find(" 22.5 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  fu::Table t({"a", "b"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  fu::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), fu::CheckError);
+}
+
+// --- cli --------------------------------------------------------------------
+
+TEST(Cli, ParsesOptionsFlagsAndPositionals) {
+  fu::CliParser cli;
+  cli.option("n", "4", "count").option("name", "x", "a name").flag("fast", "go");
+  const char* argv[] = {"prog", "--n=8", "--name", "batman", "--fast", "pos1"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(cli.get_int("n"), 8);
+  EXPECT_EQ(cli.get("name"), "batman");
+  EXPECT_TRUE(cli.get_flag("fast"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, DefaultsApply) {
+  fu::CliParser cli;
+  cli.option("n", "4", "count").flag("fast", "go");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 4);
+  EXPECT_FALSE(cli.get_flag("fast"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  fu::CliParser cli;
+  const char* argv[] = {"prog", "--what"};
+  EXPECT_THROW(cli.parse(2, argv), fu::CheckError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  fu::CliParser cli;
+  cli.option("n", "4", "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), fu::CheckError);
+}
+
+TEST(Cli, NonNumericIntThrows) {
+  fu::CliParser cli;
+  cli.option("n", "4", "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  ASSERT_TRUE(cli.parse(3 - 1, argv));
+  EXPECT_THROW((void)cli.get_int("n"), fu::CheckError);
+}
+
+TEST(Cli, ParseIntList) {
+  EXPECT_EQ(fu::parse_int_list("1,2,4, 8"), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_TRUE(fu::parse_int_list("").empty());
+  EXPECT_THROW(fu::parse_int_list("1,x"), fu::CheckError);
+}
