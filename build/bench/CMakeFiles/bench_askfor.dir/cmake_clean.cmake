@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_askfor.dir/bench_askfor.cpp.o"
+  "CMakeFiles/bench_askfor.dir/bench_askfor.cpp.o.d"
+  "bench_askfor"
+  "bench_askfor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_askfor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preproc.dir/bench_preproc.cpp.o"
+  "CMakeFiles/bench_preproc.dir/bench_preproc.cpp.o.d"
+  "bench_preproc"
+  "bench_preproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_process.dir/bench_process.cpp.o"
+  "CMakeFiles/bench_process.dir/bench_process.cpp.o.d"
+  "bench_process"
+  "bench_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scarcity.dir/bench_scarcity.cpp.o"
+  "CMakeFiles/bench_scarcity.dir/bench_scarcity.cpp.o.d"
+  "bench_scarcity"
+  "bench_scarcity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scarcity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

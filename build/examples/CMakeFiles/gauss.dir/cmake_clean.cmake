@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss.dir/gauss.cpp.o"
+  "CMakeFiles/gauss.dir/gauss.cpp.o.d"
+  "gauss"
+  "gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/examples/multi_main_gen.cpp" "examples/CMakeFiles/multifile_force.dir/multi_main_gen.cpp.o" "gcc" "examples/CMakeFiles/multifile_force.dir/multi_main_gen.cpp.o.d"
+  "/root/repo/build/examples/multi_stats_gen.cpp" "examples/CMakeFiles/multifile_force.dir/multi_stats_gen.cpp.o" "gcc" "examples/CMakeFiles/multifile_force.dir/multi_stats_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/force.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

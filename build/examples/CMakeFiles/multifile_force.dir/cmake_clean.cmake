@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multifile_force.dir/multi_main_gen.cpp.o"
+  "CMakeFiles/multifile_force.dir/multi_main_gen.cpp.o.d"
+  "CMakeFiles/multifile_force.dir/multi_stats_gen.cpp.o"
+  "CMakeFiles/multifile_force.dir/multi_stats_gen.cpp.o.d"
+  "multi_main_gen.cpp"
+  "multi_stats_gen.cpp"
+  "multifile_force"
+  "multifile_force.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multifile_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

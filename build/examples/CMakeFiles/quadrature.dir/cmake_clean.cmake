@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrature.dir/quadrature.cpp.o"
+  "CMakeFiles/quadrature.dir/quadrature.cpp.o.d"
+  "quadrature"
+  "quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saxpy_force.dir/saxpy_gen.cpp.o"
+  "CMakeFiles/saxpy_force.dir/saxpy_gen.cpp.o.d"
+  "saxpy_force"
+  "saxpy_force.pdb"
+  "saxpy_gen.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saxpy_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for saxpy_force.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_force.dir/stencil_gen.cpp.o"
+  "CMakeFiles/stencil_force.dir/stencil_gen.cpp.o.d"
+  "stencil_force"
+  "stencil_force.pdb"
+  "stencil_gen.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

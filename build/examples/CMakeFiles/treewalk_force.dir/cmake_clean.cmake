@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_force.dir/treewalk_gen.cpp.o"
+  "CMakeFiles/treewalk_force.dir/treewalk_gen.cpp.o.d"
+  "treewalk_force"
+  "treewalk_force.pdb"
+  "treewalk_gen.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--steps=2000" "--nproc=3")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;73;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_matmul]=] "/root/repo/build/examples/matmul" "--n=48" "--nproc=3")
+set_tests_properties([=[example_matmul]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;74;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_jacobi]=] "/root/repo/build/examples/jacobi" "--n=24" "--nproc=3" "--tol=1e-3")
+set_tests_properties([=[example_jacobi]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;75;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_gauss]=] "/root/repo/build/examples/gauss" "--n=32" "--nproc=3")
+set_tests_properties([=[example_gauss]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;76;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_pipeline]=] "/root/repo/build/examples/pipeline" "--items=300" "--nproc=4")
+set_tests_properties([=[example_pipeline]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;77;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_quadrature]=] "/root/repo/build/examples/quadrature" "--nproc=3")
+set_tests_properties([=[example_quadrature]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;78;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_nbody]=] "/root/repo/build/examples/nbody" "--n=64" "--steps=2" "--nproc=3")
+set_tests_properties([=[example_nbody]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;79;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_portability_tour]=] "/root/repo/build/examples/portability_tour" "--nproc=3" "--iters=800")
+set_tests_properties([=[example_portability_tour]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;80;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_saxpy_force]=] "/root/repo/build/examples/saxpy_force" "3")
+set_tests_properties([=[example_saxpy_force]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;82;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_treewalk_force]=] "/root/repo/build/examples/treewalk_force" "3")
+set_tests_properties([=[example_treewalk_force]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;83;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_stencil_force]=] "/root/repo/build/examples/stencil_force" "3")
+set_tests_properties([=[example_stencil_force]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;84;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_multifile_force]=] "/root/repo/build/examples/multifile_force" "3")
+set_tests_properties([=[example_multifile_force]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;85;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/askfor.cpp" "src/CMakeFiles/force.dir/core/askfor.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/askfor.cpp.o.d"
+  "/root/repo/src/core/barrier.cpp" "src/CMakeFiles/force.dir/core/barrier.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/barrier.cpp.o.d"
+  "/root/repo/src/core/critical.cpp" "src/CMakeFiles/force.dir/core/critical.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/critical.cpp.o.d"
+  "/root/repo/src/core/doall.cpp" "src/CMakeFiles/force.dir/core/doall.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/doall.cpp.o.d"
+  "/root/repo/src/core/env.cpp" "src/CMakeFiles/force.dir/core/env.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/env.cpp.o.d"
+  "/root/repo/src/core/force.cpp" "src/CMakeFiles/force.dir/core/force.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/force.cpp.o.d"
+  "/root/repo/src/core/module.cpp" "src/CMakeFiles/force.dir/core/module.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/module.cpp.o.d"
+  "/root/repo/src/core/pcase.cpp" "src/CMakeFiles/force.dir/core/pcase.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/pcase.cpp.o.d"
+  "/root/repo/src/core/resolve.cpp" "src/CMakeFiles/force.dir/core/resolve.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/resolve.cpp.o.d"
+  "/root/repo/src/core/site.cpp" "src/CMakeFiles/force.dir/core/site.cpp.o" "gcc" "src/CMakeFiles/force.dir/core/site.cpp.o.d"
+  "/root/repo/src/machdep/arena.cpp" "src/CMakeFiles/force.dir/machdep/arena.cpp.o" "gcc" "src/CMakeFiles/force.dir/machdep/arena.cpp.o.d"
+  "/root/repo/src/machdep/costmodel.cpp" "src/CMakeFiles/force.dir/machdep/costmodel.cpp.o" "gcc" "src/CMakeFiles/force.dir/machdep/costmodel.cpp.o.d"
+  "/root/repo/src/machdep/hepcell.cpp" "src/CMakeFiles/force.dir/machdep/hepcell.cpp.o" "gcc" "src/CMakeFiles/force.dir/machdep/hepcell.cpp.o.d"
+  "/root/repo/src/machdep/linkage.cpp" "src/CMakeFiles/force.dir/machdep/linkage.cpp.o" "gcc" "src/CMakeFiles/force.dir/machdep/linkage.cpp.o.d"
+  "/root/repo/src/machdep/locks.cpp" "src/CMakeFiles/force.dir/machdep/locks.cpp.o" "gcc" "src/CMakeFiles/force.dir/machdep/locks.cpp.o.d"
+  "/root/repo/src/machdep/machine.cpp" "src/CMakeFiles/force.dir/machdep/machine.cpp.o" "gcc" "src/CMakeFiles/force.dir/machdep/machine.cpp.o.d"
+  "/root/repo/src/machdep/process.cpp" "src/CMakeFiles/force.dir/machdep/process.cpp.o" "gcc" "src/CMakeFiles/force.dir/machdep/process.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/force.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/force.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/force.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/force.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/force.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/force.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/force.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/force.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timing.cpp" "src/CMakeFiles/force.dir/util/timing.cpp.o" "gcc" "src/CMakeFiles/force.dir/util/timing.cpp.o.d"
+  "/root/repo/src/util/trace.cpp" "src/CMakeFiles/force.dir/util/trace.cpp.o" "gcc" "src/CMakeFiles/force.dir/util/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forcepp.dir/preproc/forcepp_main.cpp.o"
+  "CMakeFiles/forcepp.dir/preproc/forcepp_main.cpp.o.d"
+  "forcepp"
+  "forcepp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forcepp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

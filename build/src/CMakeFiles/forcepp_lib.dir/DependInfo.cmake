@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preproc/diag.cpp" "src/CMakeFiles/forcepp_lib.dir/preproc/diag.cpp.o" "gcc" "src/CMakeFiles/forcepp_lib.dir/preproc/diag.cpp.o.d"
+  "/root/repo/src/preproc/driver_gen.cpp" "src/CMakeFiles/forcepp_lib.dir/preproc/driver_gen.cpp.o" "gcc" "src/CMakeFiles/forcepp_lib.dir/preproc/driver_gen.cpp.o.d"
+  "/root/repo/src/preproc/machmacros.cpp" "src/CMakeFiles/forcepp_lib.dir/preproc/machmacros.cpp.o" "gcc" "src/CMakeFiles/forcepp_lib.dir/preproc/machmacros.cpp.o.d"
+  "/root/repo/src/preproc/macro.cpp" "src/CMakeFiles/forcepp_lib.dir/preproc/macro.cpp.o" "gcc" "src/CMakeFiles/forcepp_lib.dir/preproc/macro.cpp.o.d"
+  "/root/repo/src/preproc/pass1.cpp" "src/CMakeFiles/forcepp_lib.dir/preproc/pass1.cpp.o" "gcc" "src/CMakeFiles/forcepp_lib.dir/preproc/pass1.cpp.o.d"
+  "/root/repo/src/preproc/textutil.cpp" "src/CMakeFiles/forcepp_lib.dir/preproc/textutil.cpp.o" "gcc" "src/CMakeFiles/forcepp_lib.dir/preproc/textutil.cpp.o.d"
+  "/root/repo/src/preproc/translate.cpp" "src/CMakeFiles/forcepp_lib.dir/preproc/translate.cpp.o" "gcc" "src/CMakeFiles/forcepp_lib.dir/preproc/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/force.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forcepp_lib.dir/preproc/diag.cpp.o"
+  "CMakeFiles/forcepp_lib.dir/preproc/diag.cpp.o.d"
+  "CMakeFiles/forcepp_lib.dir/preproc/driver_gen.cpp.o"
+  "CMakeFiles/forcepp_lib.dir/preproc/driver_gen.cpp.o.d"
+  "CMakeFiles/forcepp_lib.dir/preproc/machmacros.cpp.o"
+  "CMakeFiles/forcepp_lib.dir/preproc/machmacros.cpp.o.d"
+  "CMakeFiles/forcepp_lib.dir/preproc/macro.cpp.o"
+  "CMakeFiles/forcepp_lib.dir/preproc/macro.cpp.o.d"
+  "CMakeFiles/forcepp_lib.dir/preproc/pass1.cpp.o"
+  "CMakeFiles/forcepp_lib.dir/preproc/pass1.cpp.o.d"
+  "CMakeFiles/forcepp_lib.dir/preproc/textutil.cpp.o"
+  "CMakeFiles/forcepp_lib.dir/preproc/textutil.cpp.o.d"
+  "CMakeFiles/forcepp_lib.dir/preproc/translate.cpp.o"
+  "CMakeFiles/forcepp_lib.dir/preproc/translate.cpp.o.d"
+  "libforcepp_lib.a"
+  "libforcepp_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forcepp_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

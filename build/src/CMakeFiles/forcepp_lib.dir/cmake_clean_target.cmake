@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libforcepp_lib.a"
+)

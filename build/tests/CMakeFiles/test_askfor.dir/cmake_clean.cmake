@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_askfor.dir/test_askfor.cpp.o"
+  "CMakeFiles/test_askfor.dir/test_askfor.cpp.o.d"
+  "test_askfor"
+  "test_askfor.pdb"
+  "test_askfor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_askfor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

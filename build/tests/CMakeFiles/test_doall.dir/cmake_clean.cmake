@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doall.dir/test_doall.cpp.o"
+  "CMakeFiles/test_doall.dir/test_doall.cpp.o.d"
+  "test_doall"
+  "test_doall.pdb"
+  "test_doall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

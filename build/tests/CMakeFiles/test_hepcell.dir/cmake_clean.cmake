@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hepcell.dir/test_hepcell.cpp.o"
+  "CMakeFiles/test_hepcell.dir/test_hepcell.cpp.o.d"
+  "test_hepcell"
+  "test_hepcell.pdb"
+  "test_hepcell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hepcell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitorqueue.dir/test_monitorqueue.cpp.o"
+  "CMakeFiles/test_monitorqueue.dir/test_monitorqueue.cpp.o.d"
+  "test_monitorqueue"
+  "test_monitorqueue.pdb"
+  "test_monitorqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitorqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcase.dir/test_pcase.cpp.o"
+  "CMakeFiles/test_pcase.dir/test_pcase.cpp.o.d"
+  "test_pcase"
+  "test_pcase.pdb"
+  "test_pcase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preproc_fuzz.dir/test_preproc_fuzz.cpp.o"
+  "CMakeFiles/test_preproc_fuzz.dir/test_preproc_fuzz.cpp.o.d"
+  "test_preproc_fuzz"
+  "test_preproc_fuzz.pdb"
+  "test_preproc_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preproc_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

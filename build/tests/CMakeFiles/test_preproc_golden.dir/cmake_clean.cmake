@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preproc_golden.dir/test_preproc_golden.cpp.o"
+  "CMakeFiles/test_preproc_golden.dir/test_preproc_golden.cpp.o.d"
+  "test_preproc_golden"
+  "test_preproc_golden.pdb"
+  "test_preproc_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preproc_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

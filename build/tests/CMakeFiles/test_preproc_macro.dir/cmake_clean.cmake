@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preproc_macro.dir/test_preproc_macro.cpp.o"
+  "CMakeFiles/test_preproc_macro.dir/test_preproc_macro.cpp.o.d"
+  "test_preproc_macro"
+  "test_preproc_macro.pdb"
+  "test_preproc_macro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preproc_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

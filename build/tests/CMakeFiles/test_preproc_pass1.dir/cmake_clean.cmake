@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preproc_pass1.dir/test_preproc_pass1.cpp.o"
+  "CMakeFiles/test_preproc_pass1.dir/test_preproc_pass1.cpp.o.d"
+  "test_preproc_pass1"
+  "test_preproc_pass1.pdb"
+  "test_preproc_pass1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preproc_pass1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preproc_translate.dir/test_preproc_translate.cpp.o"
+  "CMakeFiles/test_preproc_translate.dir/test_preproc_translate.cpp.o.d"
+  "test_preproc_translate"
+  "test_preproc_translate.pdb"
+  "test_preproc_translate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preproc_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

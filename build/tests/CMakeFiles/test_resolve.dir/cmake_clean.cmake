@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolve.dir/test_resolve.cpp.o"
+  "CMakeFiles/test_resolve.dir/test_resolve.cpp.o.d"
+  "test_resolve"
+  "test_resolve.pdb"
+  "test_resolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
