@@ -120,12 +120,57 @@ Outcome run_doall_emulation(int np, int max_depth) {
   return out;
 }
 
+/// One grant-throughput measurement: a regular binary task tree with an
+/// empty body, expanded by work-stealing workers, so wall time is pure
+/// monitor traffic. `dispatch_mode` is the ForceConfig knob ("auto" or
+/// "locked").
+struct GrantThroughput {
+  std::string machine;
+  std::string engine;  // "atomic" (work stealing) or "locked" (monitor)
+  std::uint64_t grants = 0;
+  double wall_ns = 0;
+  double per_sec = 0;
+};
+
+GrantThroughput measure_grants(const std::string& machine,
+                               const std::string& dispatch_mode, int np,
+                               int depth) {
+  force::core::ForceConfig cfg;
+  cfg.nproc = np;
+  cfg.machine = machine;
+  cfg.dispatch = dispatch_mode;
+  force::core::ForceEnvironment env(cfg);
+  using TreeTask = std::pair<int, int>;  // (depth, lane)
+  force::core::Askfor<TreeTask> monitor(env);
+  // One root per process, seeded centrally; all expansion happens inside
+  // worker bodies, i.e. on the per-worker deques when the fast path is on.
+  for (int r = 0; r < np; ++r) monitor.put({1, r});
+  GrantThroughput g;
+  g.machine = machine;
+  g.engine = env.lock_free_dispatch() ? "atomic" : "locked";
+  g.wall_ns = force::bench::time_ns([&] {
+    force::bench::on_team(np, [&](int) {
+      monitor.work([&](TreeTask& t, force::core::Askfor<TreeTask>& self) {
+        if (t.first < depth) {
+          self.put({t.first + 1, t.second});
+          self.put({t.first + 1, t.second});
+        }
+      });
+    });
+  });
+  g.grants = monitor.granted();
+  g.per_sec = static_cast<double>(g.grants) / (g.wall_ns * 1e-9);
+  return g;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   force::util::CliParser cli;
   cli.option("nprocs", "2,4,8", "force sizes")
-      .option("depth", "12", "max task-tree depth");
+      .option("depth", "12", "max task-tree depth")
+      .option("json", "BENCH_askfor.json",
+              "grant-throughput record (empty disables)");
   if (!cli.parse(argc, argv)) return 0;
   const auto nprocs = force::util::parse_int_list(cli.get("nprocs"));
   const int depth = static_cast<int>(cli.get_int("depth"));
@@ -166,5 +211,71 @@ int main(int argc, char** argv) {
       "\nE8 verdict: identical task counts, but the DOALL emulation needs "
       "one barrier per tree level while Askfor needs none - run-time work "
       "creation removes the level synchronization entirely.\n");
+
+  // --- grant throughput: work stealing vs the single monitor --------------
+  //
+  // Empty-body binary task trees, expanded inside worker bodies: on the
+  // fast path the expansion lives on the per-worker Chase-Lev deques and
+  // the monitor lock stays cold; "locked" pins the seed's single-monitor
+  // engine. Lock-only machines have only the monitor engine.
+  const int np_grants = nprocs.empty() ? 8 : nprocs.back();
+  std::printf(
+      "\nGrant throughput (empty tasks, binary tree, np=%d; rate is "
+      "grants/sec):\n\n",
+      np_grants);
+  std::vector<GrantThroughput> rates;
+  for (const auto& m : force::bench::all_machines()) {
+    const bool rmw = force::machdep::machine_spec(m).hardware_atomic_rmw;
+    // Deeper trees for the (much faster) stealing engine so both engines
+    // get measurable wall times; the reported rate stays comparable.
+    rates.push_back(measure_grants(m, "auto", np_grants, rmw ? 13 : 9));
+    if (rmw) rates.push_back(measure_grants(m, "locked", np_grants, 9));
+  }
+  force::util::Table gr({"machine", "engine", "grants", "grants/s"});
+  double native_atomic = 0, native_locked = 0;
+  for (const auto& r : rates) {
+    gr.add_row({r.machine, r.engine,
+                force::util::Table::num(static_cast<std::int64_t>(r.grants)),
+                force::util::Table::num(r.per_sec)});
+    if (r.machine == "native") {
+      (r.engine == "atomic" ? native_atomic : native_locked) = r.per_sec;
+    }
+  }
+  std::fputs(gr.render().c_str(), stdout);
+  const double speedup =
+      native_locked > 0 ? native_atomic / native_locked : 0;
+  std::printf(
+      "\nnative@%d: work-stealing fast path = %.2fx the single-monitor "
+      "grant rate.\n",
+      np_grants, speedup);
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    namespace fb = force::bench;
+    std::string json = "{\n  " + fb::json_field("bench",
+                                                fb::json_str("askfor_grants"));
+    json += ",\n  " + fb::json_field("np",
+                                     fb::json_num(std::uint64_t(np_grants)));
+    json += ",\n  " + fb::json_field("native_atomic_over_locked",
+                                     fb::json_num(speedup));
+    json += ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const auto& r = rates[i];
+      json += fb::json_object(
+          {fb::json_field("machine", fb::json_str(r.machine)),
+           fb::json_field("engine", fb::json_str(r.engine)),
+           fb::json_field("grants", fb::json_num(r.grants)),
+           fb::json_field("wall_ns", fb::json_num(r.wall_ns)),
+           fb::json_field("grants_per_sec", fb::json_num(r.per_sec))},
+          "    ");
+      json += (i + 1 < rates.size() ? ",\n" : "\n");
+    }
+    json += "  ]\n}\n";
+    if (fb::write_text_file(json_path, json)) {
+      std::printf("Recorded grant throughput in %s\n", json_path.c_str());
+    } else {
+      std::printf("WARNING: could not write %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 //     paper-shape conclusions and are reproducible.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -51,6 +52,59 @@ inline double time_ns(const std::function<void()>& fn) {
   fn();
   t.stop();
   return static_cast<double>(t.elapsed_ns());
+}
+
+// --- machine-readable artifacts (BENCH_*.json) -----------------------------
+//
+// The dispatch benches additionally emit a small JSON file so the measured
+// throughput per machine model is recorded in the repo, not just scrolled
+// past on a terminal. The format is one object with a "results" array of
+// flat records; only strings and numbers appear, so a hand-rolled emitter
+// is enough (no JSON library in the container).
+
+/// One "key": value JSON field; strings must already be json_str()-quoted.
+inline std::string json_field(const std::string& key,
+                              const std::string& value) {
+  return "\"" + key + "\": " + value;
+}
+
+inline std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+inline std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+inline std::string json_num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+inline std::string json_object(const std::vector<std::string>& fields,
+                               const std::string& indent = "") {
+  std::string out = indent + "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out += (i == 0 ? "" : ", ") + fields[i];
+  }
+  return out + "}";
+}
+
+inline bool write_text_file(const std::string& path,
+                            const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace force::bench

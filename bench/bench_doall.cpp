@@ -54,6 +54,41 @@ std::vector<double> make_work(const std::string& shape, std::size_t n,
   return w;
 }
 
+/// One dispatch-throughput measurement: an empty-body selfsched DOALL at
+/// chunk 1, so wall time is pure dispatch cost. `dispatch_mode` is the
+/// ForceConfig knob ("auto" or "locked").
+struct DispatchThroughput {
+  std::string machine;
+  std::string engine;  // "atomic" or "locked" (what actually ran)
+  std::uint64_t trips = 0;
+  std::uint64_t dispatches = 0;
+  double wall_ns = 0;
+  double per_sec = 0;
+};
+
+DispatchThroughput measure_dispatch(const std::string& machine,
+                                    const std::string& dispatch_mode, int np,
+                                    std::int64_t trips) {
+  fc::ForceConfig cfg;
+  cfg.nproc = np;
+  cfg.machine = machine;
+  cfg.dispatch = dispatch_mode;
+  fc::ForceEnvironment env(cfg);
+  fc::SelfschedLoop loop(env, np);
+  DispatchThroughput r;
+  r.machine = machine;
+  r.engine = env.lock_free_dispatch() ? "atomic" : "locked";
+  r.trips = static_cast<std::uint64_t>(trips);
+  r.wall_ns = force::bench::time_ns([&] {
+    force::bench::on_team(np, [&](int me) {
+      loop.run(me, 1, trips, 1, [](std::int64_t) {}, /*chunk=*/1);
+    });
+  });
+  r.dispatches = env.stats().doall_dispatches.load();
+  r.per_sec = static_cast<double>(r.dispatches) / (r.wall_ns * 1e-9);
+  return r;
+}
+
 double measured_imbalance(const std::string& schedule,
                           const std::vector<double>& work, int np) {
   fc::ForceConfig cfg;
@@ -93,7 +128,9 @@ int main(int argc, char** argv) {
   force::util::CliParser cli;
   cli.option("n", "4096", "iterations")
       .option("np", "8", "force size")
-      .option("machine", "encore", "machine for the simulated view");
+      .option("machine", "encore", "machine for the simulated view")
+      .option("json", "BENCH_doall.json",
+              "dispatch-throughput record (empty disables)");
   if (!cli.parse(argc, argv)) return 0;
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
   const int np = static_cast<int>(cli.get_int("np"));
@@ -168,5 +205,70 @@ int main(int argc, char** argv) {
       "the static cyclic deal (and on heavy tails); at fine grain its "
       "serialized dispatch loses to presched, and chunking recovers most "
       "of the gap - the paper's trade-off.\n");
+
+  // --- dispatch throughput: the lock-free fast path vs the lock engine ----
+  //
+  // Empty body, chunk 1: every iteration is one dispatch, so the rate IS
+  // the dispatch engine's throughput. Machines with hardware_atomic_rmw
+  // run both engines (auto picks the atomic one; "locked" pins the seed's
+  // lock path); lock-only machines have only the lock engine.
+  std::printf(
+      "\nDispatch throughput (empty body, chunk=1, np=%d; rate is "
+      "dispatches/sec):\n\n",
+      np);
+  std::vector<DispatchThroughput> rates;
+  for (const auto& m : force::bench::all_machines()) {
+    const bool rmw = force::machdep::machine_spec(m).hardware_atomic_rmw;
+    // The atomic engine dispatches much faster; give it more trips so both
+    // engines get measurable wall times. Rates stay comparable.
+    rates.push_back(measure_dispatch(m, "auto", np, rmw ? 200000 : 20000));
+    if (rmw) rates.push_back(measure_dispatch(m, "locked", np, 20000));
+  }
+  force::util::Table disp({"machine", "engine", "trips", "dispatch/s"});
+  double native_atomic = 0, native_locked = 0;
+  for (const auto& r : rates) {
+    disp.add_row({r.machine, r.engine,
+                  force::util::Table::num(static_cast<std::int64_t>(r.trips)),
+                  force::util::Table::num(r.per_sec)});
+    if (r.machine == "native") {
+      (r.engine == "atomic" ? native_atomic : native_locked) = r.per_sec;
+    }
+  }
+  std::fputs(disp.render().c_str(), stdout);
+  const double speedup =
+      native_locked > 0 ? native_atomic / native_locked : 0;
+  std::printf(
+      "\nnative@%d: atomic fast path = %.2fx the lock-path dispatch rate.\n",
+      np, speedup);
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    namespace fb = force::bench;
+    std::string json = "{\n  " + fb::json_field("bench",
+                                                fb::json_str("doall_dispatch"));
+    json += ",\n  " + fb::json_field("np", fb::json_num(std::uint64_t(np)));
+    json += ",\n  " + fb::json_field("chunk", fb::json_num(std::uint64_t(1)));
+    json += ",\n  " + fb::json_field("native_atomic_over_locked",
+                                     fb::json_num(speedup));
+    json += ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const auto& r = rates[i];
+      json += fb::json_object(
+          {fb::json_field("machine", fb::json_str(r.machine)),
+           fb::json_field("engine", fb::json_str(r.engine)),
+           fb::json_field("trips", fb::json_num(r.trips)),
+           fb::json_field("dispatches", fb::json_num(r.dispatches)),
+           fb::json_field("wall_ns", fb::json_num(r.wall_ns)),
+           fb::json_field("dispatches_per_sec", fb::json_num(r.per_sec))},
+          "    ");
+      json += (i + 1 < rates.size() ? ",\n" : "\n");
+    }
+    json += "  ]\n}\n";
+    if (fb::write_text_file(json_path, json)) {
+      std::printf("Recorded dispatch throughput in %s\n", json_path.c_str());
+    } else {
+      std::printf("WARNING: could not write %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

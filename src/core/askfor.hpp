@@ -5,17 +5,34 @@
 // not known at compile time. Rather, the program can request during run
 // time that a new concurrent instance of the code segment is executed."
 //
-// AskforCore is the monitor: a queue of work tokens plus the bookkeeping
-// needed to distinguish "no work right now, but a working process may
-// still put() more" (wait) from "no work and nobody working" (done).
-// Askfor<T> is the typed façade with the canonical worker loop.
+// AskforCore is the monitor: work tokens plus the bookkeeping needed to
+// distinguish "no work right now, but a working process may still put()
+// more" (wait) from "no work and nobody working" (done). Askfor<T> is the
+// typed façade with the canonical worker loop.
 //
-// Waiting uses the monitor's generic lock plus poll-with-yield, the shape
-// the Argonne monitor macros took on lock-only machines. probend() aborts
-// the whole computation early (e.g. when a search finds its answer).
+// Dispatch has two engines, selected by the machine capability
+// (MachineSpec::hardware_atomic_rmw, via ForceEnvironment):
+//
+//   * Lock-only machines run the Argonne monitor shape unchanged: one
+//     generic lock around a central queue, poll-with-yield waiting. Every
+//     operation is one lock pass, exactly as the 1989 expansion - and
+//     exactly as the seed of this repo, so LockCounters totals for these
+//     machines are unchanged.
+//
+//   * Hardware-RMW machines add a lock-free fast path: one bounded
+//     Chase-Lev deque per worker (owner pops LIFO, thieves steal FIFO)
+//     plus a single packed pending/working counter for termination
+//     detection. The monitor lock survives as the slow path - seeding
+//     from unregistered threads, deque overflow, probend, and the final
+//     "computation drained" latch all still go through it.
+//
+// probend() aborts the whole computation early (e.g. when a search finds
+// its answer).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -23,6 +40,7 @@
 #include <thread>
 
 #include "machdep/locks.hpp"
+#include "machdep/stealdeque.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
@@ -32,10 +50,35 @@ class ForceEnvironment;
 class AskforCore {
  public:
   explicit AskforCore(ForceEnvironment& env);
+  ~AskforCore();
+
+  AskforCore(const AskforCore&) = delete;
+  AskforCore& operator=(const AskforCore&) = delete;
 
   enum class Outcome {
     kWork,  ///< a token was granted; caller must complete() afterwards
     kDone   ///< the computation is over (drained or probend)
+  };
+
+  /// Registers the calling thread as a worker for the fast path: binds it
+  /// to one of the per-worker steal deques for the guard's lifetime, so
+  /// its put() calls go to its own deque and its ask() calls pop LIFO
+  /// before stealing. Purely an optimization - threads without a slot
+  /// (seeders, oversubscribed teams, lock-only machines) fall back to the
+  /// central queue and stealing, with identical semantics.
+  class WorkerSlot {
+   public:
+    explicit WorkerSlot(AskforCore& core);
+    ~WorkerSlot();
+    WorkerSlot(const WorkerSlot&) = delete;
+    WorkerSlot& operator=(const WorkerSlot&) = delete;
+    [[nodiscard]] int slot() const { return slot_; }
+
+   private:
+    AskforCore& core_;
+    int slot_;
+    const void* saved_core_;
+    int saved_slot_;
   };
 
   /// Adds a work token (callable from inside a granted task).
@@ -48,6 +91,13 @@ class AskforCore {
   /// been fully processed (its put() calls, if any, already made).
   void complete();
 
+  /// complete() for the current task fused with ask() for the next one.
+  /// Semantically identical to the two calls in sequence; on the fast path
+  /// the common case (next task from the caller's own deque) collapses the
+  /// two inflight-counter updates into a single atomic subtract. On the
+  /// lock engine it IS the two calls - same monitor passes as the seed.
+  Outcome next(std::size_t* token);
+
   /// Ends the computation immediately; subsequent and pending ask()s
   /// return kDone. Idempotent.
   void probend();
@@ -55,13 +105,52 @@ class AskforCore {
   [[nodiscard]] bool ended() const;
   [[nodiscard]] std::size_t granted() const;
 
+  /// True when this monitor runs the work-stealing fast path.
+  [[nodiscard]] bool lock_free() const { return deques_ != nullptr; }
+
  private:
+  friend class WorkerSlot;
+
+  [[nodiscard]] int current_slot() const;
+  int grab_slot();
+  void release_slot(int slot);
+  void grant_fast(int slot);
+  Outcome ask_fast(std::size_t* token);
+  Outcome ask_locked(std::size_t* token);
+
   ForceEnvironment& env_;
   std::unique_ptr<machdep::BasicLock> monitor_;
-  std::deque<std::size_t> queue_;   // guarded by *monitor_
-  int working_ = 0;                 // guarded by *monitor_
-  bool ended_ = false;              // guarded by *monitor_
-  std::size_t granted_ = 0;         // guarded by *monitor_
+  std::deque<std::size_t> queue_;  // central queue, guarded by *monitor_
+  int working_ = 0;                // lock engine only, guarded by *monitor_
+
+  // Shared by both engines. The lock engine only touches them under the
+  // monitor (the atomics are then just storage); the fast path reads them
+  // lock-free.
+  std::atomic<bool> ended_{false};
+  std::atomic<std::size_t> granted_{0};
+
+  // Fast path only (null / unused on lock-only machines):
+  int nslots_ = 0;
+  std::unique_ptr<machdep::StealDeque[]> deques_;
+  std::unique_ptr<std::atomic<bool>[]> slot_taken_;
+  /// Per-slot grant accounting on its own cache line: the slot owner
+  /// tallies grants with a relaxed increment (exclusive line, no
+  /// contention) instead of two shared fetch-adds per grant; the tally is
+  /// cumulative and granted() sums it, while the env-stats delta is
+  /// flushed when the slot is released.
+  struct alignas(64) SlotTally {
+    std::atomic<std::uint64_t> grants{0};
+    std::uint64_t stats_reported = 0;  // touched only at grab/release
+  };
+  std::unique_ptr<SlotTally[]> slot_tally_;
+  /// Tokens queued anywhere (low 32 bits) and tasks being executed (high
+  /// 32 bits), packed so one load decides termination race-free: a grant
+  /// moves one unit from pending to working in a single atomic add, so no
+  /// interleaving can show "0 pending, 0 working" while work is alive.
+  std::atomic<std::uint64_t> inflight_{0};
+  /// Hint that queue_ is nonempty, so the fast path only pays a monitor
+  /// pass when there is central work to fetch.
+  std::atomic<std::int64_t> central_count_{0};
 };
 
 /// Typed askfor: stores tasks by value (stable storage) and runs the
@@ -70,18 +159,13 @@ class AskforCore {
 template <typename T>
 class Askfor {
  public:
-  explicit Askfor(ForceEnvironment& env) : core_(env), guard_(nullptr) {
-    // Task storage needs its own tiny mutex: deque growth must not race.
-    // (The monitor lock cannot be reused: put() may be called while the
-    // caller does not hold it.)
-    guard_ = std::make_unique<std::mutex>();
-  }
+  explicit Askfor(ForceEnvironment& env) : core_(env) {}
 
   /// Adds a task; thread-safe, callable before or during work().
   void put(T task) {
     std::size_t token;
     {
-      std::lock_guard<std::mutex> g(*guard_);
+      std::lock_guard<std::mutex> g(guard_);
       tasks_.push_back(std::move(task));
       token = tasks_.size() - 1;
     }
@@ -92,13 +176,17 @@ class Askfor {
   /// `body(task, *this)`; the body may put() new tasks and may probend().
   /// Returns the number of tasks this process executed.
   std::size_t work(const std::function<void(T&, Askfor<T>&)>& body) {
+    // Register with the dispatch fast path for the duration of the loop
+    // (no-op on lock-only machines).
+    AskforCore::WorkerSlot worker(core_);
     std::size_t executed = 0;
     std::size_t token = 0;
-    while (core_.ask(&token) == AskforCore::Outcome::kWork) {
+    AskforCore::Outcome outcome = core_.ask(&token);
+    while (outcome == AskforCore::Outcome::kWork) {
       T* task = nullptr;
       {
-        std::lock_guard<std::mutex> g(*guard_);
-        task = &tasks_[token];  // deque: stable under push_back
+        std::lock_guard<std::mutex> g(guard_);
+        task = &tasks_[token];
       }
       try {
         body(*task, *this);
@@ -106,8 +194,10 @@ class Askfor {
         core_.complete();
         throw;
       }
-      core_.complete();
       ++executed;
+      // Fused complete+ask: one inflight update when the next task comes
+      // from this worker's own deque.
+      outcome = core_.next(&token);
     }
     return executed;
   }
@@ -120,8 +210,17 @@ class Askfor {
 
  private:
   AskforCore core_;
-  std::unique_ptr<std::mutex> guard_;
-  std::deque<T> tasks_;  // grows only; references stay valid
+  /// Guards growth of tasks_ only. The monitor lock cannot be reused
+  /// (put() may be called while the caller does not hold it), and a plain
+  /// mutex suffices: this is task *storage*, not dispatch.
+  std::mutex guard_;
+  /// Task storage. INVARIANT: tasks_ is a std::deque and only ever grows
+  /// (push_back; never erase/clear/pop while workers run), so a reference
+  /// obtained from tasks_[token] stays valid for the task's whole
+  /// execution even while other threads put() concurrently - deque growth
+  /// never relocates existing elements. Replacing the container or adding
+  /// removal would break every outstanding `T&` held by worker bodies.
+  std::deque<T> tasks_;
 };
 
 }  // namespace force::core

@@ -1,7 +1,5 @@
 #include "core/doall.hpp"
 
-#include <algorithm>
-
 #include "core/env.hpp"
 #include "util/check.hpp"
 #include "util/timing.hpp"
@@ -49,16 +47,19 @@ void presched_do2(int me0, int np, std::int64_t i_start, std::int64_t i_last,
 // ---------------------------------------------------------------------------
 // SelfschedLoop - the paper's macro expansion, object-ified.
 //
-//   entry:  lock(BARWIN); if first arriver, initialize the shared index;
-//           report arrival; the LAST arriver unlocks BARWOT (exits may now
-//           drain), every other arriver unlocks BARWIN (the next process
-//           may enter).
-//   body:   lock(LOOP); K = K_shared; K_shared = K + INCR; unlock(LOOP);
-//           if K in range, execute and repeat; otherwise fall through.
+//   entry:  lock(BARWIN); if first arriver, initialize the dispatch
+//           counter; report arrival; the LAST arriver unlocks BARWOT
+//           (exits may now drain), every other arriver unlocks BARWIN
+//           (the next process may enter).
+//   body:   claim trips from the DispatchCounter - one fetch-add on
+//           hardware-RMW machines, one generic-lock pass (the paper's
+//           lock(LOOP); K = K_shared; K_shared = K + INCR; unlock(LOOP))
+//           on lock-only machines. If the claim is nonempty, execute and
+//           repeat; otherwise fall through.
 //   exit:   lock(BARWOT); report departure; the LAST process out unlocks
 //           BARWIN (the loop may be re-entered), every other unlocks
 //           BARWOT. There is deliberately NO exit barrier: a process
-//           leaves as soon as it draws an exhausted index.
+//           leaves as soon as it draws an exhausted claim.
 // ---------------------------------------------------------------------------
 
 SelfschedLoop::SelfschedLoop(ForceEnvironment& env, int width)
@@ -66,7 +67,7 @@ SelfschedLoop::SelfschedLoop(ForceEnvironment& env, int width)
       width_(width),
       barwin_(env.new_lock()),
       barwot_(env.new_lock()),
-      loop_lock_(env.new_lock()) {
+      dispatch_(env.new_dispatch_counter()) {
   FORCE_CHECK(width_ > 0, "selfsched loop width must be positive");
   barwot_->acquire();  // exits blocked until all have entered the episode
 }
@@ -76,10 +77,12 @@ bool SelfschedLoop::enter_episode(std::int64_t start, std::int64_t last,
   bool ok = true;
   barwin_->acquire();
   if (zznbar_ == 0) {
-    k_shared_ = start;
+    start_ = start;
     last_ = last;
     incr_ = incr;
-    remaining_ = loop_trip_count(start, last, incr);
+    trips_ = loop_trip_count(start, last, incr);
+    // Gate-guarded single-writer reset; the BARWIN release publishes it.
+    dispatch_->reset(0);
   } else {
     // SPMD discipline: every process must reach this site with the same
     // bounds. A divergent call would silently corrupt the distribution on
@@ -121,23 +124,35 @@ void SelfschedLoop::run(int me0, std::int64_t start, std::int64_t last,
     ~Departure() { loop->leave_episode(); }
   } departure{this};
   FORCE_CHECK(spmd_ok, "selfsched DO reached with divergent loop bounds");
-  auto& stats = env_.stats();
   util::Tracer* tracer = env_.tracer();
   const std::int64_t trace_begin = tracer ? util::now_ns() : 0;
+  // Stats are tallied per process and flushed once per episode: two shared
+  // fetch-adds per *claim* would serialize the processes on the stats
+  // cache lines and swamp the lock-free dispatch itself. Flushed from the
+  // departure guard so a throwing body still reports its progress.
+  struct EpisodeStats {
+    RuntimeStats& stats;
+    std::uint64_t dispatches = 0;
+    std::uint64_t iterations = 0;
+    ~EpisodeStats() {
+      stats.doall_dispatches.fetch_add(dispatches, std::memory_order_relaxed);
+      stats.doall_iterations.fetch_add(iterations, std::memory_order_relaxed);
+    }
+  } tally{env_.stats()};
+  // Bounds are episode-stable (SPMD-checked above), so the hot loop works
+  // from the call arguments; trips_ was fixed by the first arriver.
+  const std::int64_t trips = trips_;
   for (;;) {
-    loop_lock_->acquire();
-    const std::int64_t k = k_shared_;
-    k_shared_ = k + incr * chunk;
-    if (remaining_ > 0) remaining_ = std::max<std::int64_t>(0, remaining_ - chunk);
-    loop_lock_->release();
-    stats.doall_dispatches.fetch_add(1, std::memory_order_relaxed);
-    if (tracer) tracer->instant(me0, util::TraceKind::kLoopDispatch, k);
-    if (!loop_index_in_range(k, last, incr)) break;
-    for (std::int64_t c = 0, idx = k;
-         c < chunk && loop_index_in_range(idx, last, incr);
-         ++c, idx += incr) {
-      body(idx);
-      stats.doall_iterations.fetch_add(1, std::memory_order_relaxed);
+    const machdep::DispatchClaim c = dispatch_->claim(chunk, trips);
+    ++tally.dispatches;
+    if (tracer) {
+      tracer->instant(me0, util::TraceKind::kLoopDispatch,
+                      start + c.begin * incr);
+    }
+    if (c.count == 0) break;
+    for (std::int64_t t = c.begin; t < c.begin + c.count; ++t) {
+      body(start + t * incr);
+      ++tally.iterations;
     }
   }
   if (tracer) {
@@ -156,28 +171,35 @@ void SelfschedLoop::run_guided(int me0, std::int64_t start, std::int64_t last,
     ~Departure() { loop->leave_episode(); }
   } departure{this};
   FORCE_CHECK(spmd_ok, "selfsched DO reached with divergent loop bounds");
-  auto& stats = env_.stats();
   util::Tracer* tracer = env_.tracer();
   const std::int64_t trace_begin = tracer ? util::now_ns() : 0;
+  // Per-process tally, flushed once per episode (see run()).
+  struct EpisodeStats {
+    RuntimeStats& stats;
+    std::uint64_t dispatches = 0;
+    std::uint64_t iterations = 0;
+    ~EpisodeStats() {
+      stats.doall_dispatches.fetch_add(dispatches, std::memory_order_relaxed);
+      stats.doall_iterations.fetch_add(iterations, std::memory_order_relaxed);
+    }
+  } tally{env_.stats()};
+  const std::int64_t trips = trips_;
   for (;;) {
-    loop_lock_->acquire();
-    const std::int64_t k = k_shared_;
     // Guided selfscheduling: claim a fraction of the remaining trips so
     // early claims are big (low dispatch overhead) and late claims small
-    // (good load balance at the tail).
-    const std::int64_t claim =
-        std::max<std::int64_t>(1, remaining_ / (2 * width_));
-    k_shared_ = k + incr * claim;
-    remaining_ = std::max<std::int64_t>(0, remaining_ - claim);
-    loop_lock_->release();
-    stats.doall_dispatches.fetch_add(1, std::memory_order_relaxed);
-    if (tracer) tracer->instant(me0, util::TraceKind::kLoopDispatch, k);
-    if (!loop_index_in_range(k, last, incr)) break;
-    for (std::int64_t c = 0, idx = k;
-         c < claim && loop_index_in_range(idx, last, incr);
-         ++c, idx += incr) {
-      body(idx);
-      stats.doall_iterations.fetch_add(1, std::memory_order_relaxed);
+    // (good load balance at the tail). On the lock-free engine this is a
+    // CAS loop on the remaining-trips value.
+    const machdep::DispatchClaim c =
+        dispatch_->claim_fraction(trips, 2 * width_);
+    ++tally.dispatches;
+    if (tracer) {
+      tracer->instant(me0, util::TraceKind::kLoopDispatch,
+                      start + c.begin * incr);
+    }
+    if (c.count == 0) break;
+    for (std::int64_t t = c.begin; t < c.begin + c.count; ++t) {
+      body(start + t * incr);
+      ++tally.iterations;
     }
   }
   if (tracer) {

@@ -6,13 +6,18 @@
 //   of executing processes is needed": iteration k goes to process
 //   k mod NP. It is a pure function of (me, np) - no shared state at all.
 //
-// * Selfsched DO is a faithful port of the macro expansion printed in the
-//   paper: a shared loop index protected by a generic lock, an entry gate
-//   built from two locks (BARWIN / BARWOT) and an arrival counter (ZZNBAR)
-//   whose only job is to initialize the index once per episode and to keep
-//   the loop from being re-entered before every process has left it.
-//   Faithfully to the paper, there is NO exit barrier: a process leaves as
-//   soon as it draws an index beyond LAST.
+// * Selfsched DO keeps the paper's episode protocol exactly - an entry
+//   gate built from two locks (BARWIN / BARWOT) and an arrival counter
+//   (ZZNBAR) whose only job is to initialize the dispatch once per episode
+//   and to keep the loop from being re-entered before every process has
+//   left it. Faithfully to the paper, there is NO exit barrier: a process
+//   leaves as soon as it draws an index beyond LAST.
+//
+//   The shared loop index itself now lives in a machdep::DispatchCounter:
+//   on machines with hardware atomic RMW a claim is one fetch-add (guided:
+//   one CAS) with no lock at all; on lock-only machines it is the paper's
+//   lock-protected expansion, byte-for-byte in lock traffic - one generic
+//   lock pass per claim, on a lock from MachineModel::new_lock().
 //
 // Iteration ranges follow Fortran DO semantics: start/last/incr with
 // positive or negative increments; an empty range executes nothing.
@@ -84,11 +89,14 @@ class SelfschedLoop {
   // The paper's shared environment variables for this loop site:
   std::unique_ptr<machdep::BasicLock> barwin_;   // entry gate
   std::unique_ptr<machdep::BasicLock> barwot_;   // exit gate (starts locked)
-  std::unique_ptr<machdep::BasicLock> loop_lock_;  // protects k_shared
+  /// The asynchronous loop index, counted in *trips claimed* (0-based)
+  /// rather than raw index values so claims clamp at the trip count and
+  /// can never overflow, and so chunked/guided/2D all share one engine.
+  std::unique_ptr<machdep::DispatchCounter> dispatch_;
   int zznbar_ = 0;                // arrival counter, guarded by gates
-  std::int64_t k_shared_ = 0;     // the asynchronous loop index
-  std::int64_t remaining_ = 0;    // trip count left (for guided chunks)
-  std::int64_t last_ = 0;         // loop bound of the current episode
+  std::int64_t trips_ = 0;        // trip count of the current episode
+  std::int64_t start_ = 0;        // bounds of the current episode
+  std::int64_t last_ = 0;
   std::int64_t incr_ = 1;
 };
 

@@ -19,6 +19,8 @@ void RuntimeStats::reset() {
 ForceEnvironment::ForceEnvironment(ForceConfig config)
     : config_(std::move(config)) {
   FORCE_CHECK(config_.nproc > 0, "ForceConfig::nproc must be positive");
+  FORCE_CHECK(config_.dispatch == "auto" || config_.dispatch == "locked",
+              "ForceConfig::dispatch must be 'auto' or 'locked'");
   const machdep::MachineSpec& spec = machdep::machine_spec(config_.machine);
   machine_ = std::make_unique<machdep::MachineModel>(spec);
   arena_ = std::make_unique<machdep::SharedArena>(

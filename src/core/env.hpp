@@ -38,6 +38,12 @@ struct ForceConfig {
   /// Barrier algorithm for ctx.barrier(): paper-lock (faithful to the
   /// two-lock/counter structure), central-sense, tree, or dissemination.
   std::string barrier_algorithm = "paper-lock";
+  /// Dispatch engine selection. "auto" (default) follows the machine's
+  /// hardware_atomic_rmw capability: lock-free fetch-add/CAS dispatch and
+  /// work stealing where the hardware has atomic RMW, the paper's
+  /// lock-protected expansion everywhere else. "locked" forces the lock
+  /// engine even on capable machines (benches/tests comparing engines).
+  std::string dispatch = "auto";
   /// Shared arena capacity (rounded up to whole pages).
   std::size_t arena_bytes = 4u << 20;
   /// Private data / stack region sizes per process.
@@ -91,6 +97,19 @@ class ForceEnvironment {
   /// Generic lock factory (budget-aware, instrumented).
   std::unique_ptr<machdep::BasicLock> new_lock() {
     return machine_->new_lock();
+  }
+
+  /// True when dispatch-heavy constructs (selfsched DOALL, Askfor) may use
+  /// the lock-free fast path on this run: the machine declares
+  /// hardware_atomic_rmw and the config does not force "locked".
+  [[nodiscard]] bool lock_free_dispatch() const {
+    return machine_->spec().hardware_atomic_rmw &&
+           config_.dispatch != "locked";
+  }
+
+  /// Dispatch-counter factory honouring lock_free_dispatch().
+  std::unique_ptr<machdep::DispatchCounter> new_dispatch_counter() {
+    return machine_->new_dispatch_counter(!lock_free_dispatch());
   }
 
   /// The environment barrier used by un-sited ctx.barrier() calls on the

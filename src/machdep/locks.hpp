@@ -213,6 +213,71 @@ class SystemLock final : public BasicLock {
   LockCounters* counters_;
 };
 
+// ---------------------------------------------------------------------------
+// DispatchCounter - the capability-gated dispatch fast path (§4.1.3).
+//
+// Every selfscheduled DOALL claim (and similar central-counter dispatch)
+// is an atomic read-modify-write on one shared integer. Machines whose
+// hardware exposes atomic RMW directly (MachineSpec::hardware_atomic_rmw)
+// run it as a padded std::atomic fetch-add / CAS - no lock, no serialized
+// critical section, no lock-holder preemption. Lock-only machines fall
+// back to exactly the paper's expansion: the counter lives behind one
+// generic lock obtained from the machine model, so every claim remains
+// visible to LockCounters and the lock-scarcity experiments.
+// ---------------------------------------------------------------------------
+
+/// One dispatch grant: trips [begin, begin+count) of the current episode.
+/// count == 0 means the work is exhausted (the claim still counts as a
+/// dispatch, matching the paper's one-exhausted-grab-per-process shape).
+struct DispatchClaim {
+  std::int64_t begin = 0;
+  std::int64_t count = 0;
+};
+
+/// A monotone trips-claimed counter with two interchangeable engines:
+/// a cache-line-padded atomic (hardware RMW machines) or a lock-guarded
+/// plain value (everything else). Both engines clamp at `limit`, so the
+/// stored value never runs away past the episode's trip count no matter
+/// how many exhausted processes keep probing (signed-overflow guard).
+class DispatchCounter {
+ public:
+  /// Lock-free engine (requires hardware_atomic_rmw).
+  DispatchCounter();
+  /// Lock-guarded engine; `lock` must come from MachineModel::new_lock()
+  /// so claims stay on the machine's instrumented, budgeted locks.
+  explicit DispatchCounter(std::unique_ptr<BasicLock> lock);
+
+  DispatchCounter(const DispatchCounter&) = delete;
+  DispatchCounter& operator=(const DispatchCounter&) = delete;
+
+  [[nodiscard]] bool lock_free() const { return lock_ == nullptr; }
+
+  /// Resets to `v`. NOT thread-safe: callers synchronize externally (the
+  /// DOALL entry gate runs this in the first-arriver critical section and
+  /// publishes it through the gate-lock release).
+  void reset(std::int64_t v);
+
+  /// Current value (diagnostic; one lock pass on the lock engine).
+  [[nodiscard]] std::int64_t value() const;
+
+  /// Claims up to `want` trips, never past `limit`. Fast path: a single
+  /// fetch-add. A result that lands at or beyond `limit` claims nothing.
+  DispatchClaim claim(std::int64_t want, std::int64_t limit);
+
+  /// Guided claim: max(1, remaining / divisor) trips where remaining =
+  /// limit - current. Fast path: a CAS loop on the remaining trips (the
+  /// claim size depends on the value being replaced, so plain fetch-add
+  /// cannot express it). Lock engine: one lock pass, like the paper.
+  DispatchClaim claim_fraction(std::int64_t limit, std::int64_t divisor);
+
+ private:
+  // Padded so a hot dispatch counter never false-shares with neighbours
+  // (or with the cold fields of its owning construct).
+  alignas(64) std::atomic<std::int64_t> value_{0};
+  char pad_[64 - sizeof(std::atomic<std::int64_t>)];
+  std::unique_ptr<BasicLock> lock_;  // null => lock-free engine
+};
+
 /// Combined lock (Flex/32): spin for `combined_spin_budget` probes, then
 /// fall back to the blocking path. Best of both worlds for mixed hold times.
 class CombinedLock final : public BasicLock {

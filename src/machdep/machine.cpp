@@ -149,6 +149,9 @@ std::vector<MachineSpec> build_registry() {
     m.lock_kind = LockKind::kTtasSpin;
     m.sharing = SharingStrategy::kPageAlignedStart;
     m.process_model = ProcessModelKind::kForkSharedData;
+    // The FX/8 CEs have interlocked memory ops (the concurrency bus);
+    // test&set implies the RMW needed for fetch-add style dispatch.
+    m.hardware_atomic_rmw = true;
     m.lock_budget = 2048;
     m.costs.lock_uncontended_ns = 600;
     m.costs.lock_contended_extra_ns = 1200;
@@ -170,6 +173,9 @@ std::vector<MachineSpec> build_registry() {
     m.lock_kind = LockKind::kSystem;
     m.sharing = SharingStrategy::kCompileTime;
     m.process_model = ProcessModelKind::kForkJoinCopy;
+    // Scarce *locks*, but the CPU has atomic semaphore/RMW instructions:
+    // dispatch counters must not burn the 32-lock budget on loop indices.
+    m.hardware_atomic_rmw = true;
     m.lock_budget = 32;  // the scarce-resource machine
     m.costs.lock_uncontended_ns = 15000;  // a system call each way
     m.costs.lock_contended_extra_ns = 10000;
@@ -190,6 +196,7 @@ std::vector<MachineSpec> build_registry() {
     m.lock_kind = LockKind::kTicket;
     m.sharing = SharingStrategy::kRuntimePadded;
     m.process_model = ProcessModelKind::kHepCreate;
+    m.hardware_atomic_rmw = true;  // std::atomic RMW is native here
     m.lock_budget = -1;
     m.costs.lock_uncontended_ns = 40;
     m.costs.lock_contended_extra_ns = 120;
@@ -252,6 +259,14 @@ std::unique_ptr<BasicLock> MachineModel::new_lock() {
   auto physical = stripe_pool_[next_stripe_];
   next_stripe_ = (next_stripe_ + 1) % stripe_pool_.size();
   return std::make_unique<StripedLock>(std::move(physical));
+}
+
+std::unique_ptr<DispatchCounter> MachineModel::new_dispatch_counter(
+    bool force_locked) {
+  if (spec_.hardware_atomic_rmw && !force_locked) {
+    return std::make_unique<DispatchCounter>();
+  }
+  return std::make_unique<DispatchCounter>(new_lock());
 }
 
 LockAllocationStats MachineModel::lock_stats() const {

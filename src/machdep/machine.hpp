@@ -32,6 +32,12 @@ struct MachineSpec {
   SharingStrategy sharing = SharingStrategy::kCompileTime;
   ProcessModelKind process_model = ProcessModelKind::kHepCreate;
   bool hardware_full_empty = false;  ///< HEP only: 1-cell async variables
+  /// True when the machine exposes atomic read-modify-write instructions
+  /// (fetch&add / compare&swap) to user code. Dispatch-heavy constructs
+  /// (selfscheduled DOALL claims, Askfor work stealing) then bypass the
+  /// generic lock layer entirely; without it they fall back to the
+  /// paper's lock-protected expansion (§4.1.3's efficiency concession).
+  bool hardware_atomic_rmw = false;
   /// Physical locks available; < 0 means unlimited. When the budget is
   /// exhausted further logical locks are multiplexed over a shared pool
   /// ("locks may be scarce resources ... some parallel programs may not
@@ -75,6 +81,15 @@ class MachineModel {
   /// a small shared pool (still correct binary-semaphore semantics, just
   /// slower - the paper's scarcity effect).
   std::unique_ptr<BasicLock> new_lock();
+
+  /// Creates a dispatch counter on the machine's best engine: lock-free
+  /// when the spec declares hardware_atomic_rmw (and `force_locked` is
+  /// not set), otherwise lock-guarded over new_lock() - so on lock-only
+  /// machines dispatch stays on the instrumented, budgeted lock layer.
+  /// `force_locked` exists for benches/tests that compare both engines
+  /// on one machine model.
+  std::unique_ptr<DispatchCounter> new_dispatch_counter(
+      bool force_locked = false);
 
   [[nodiscard]] LockAllocationStats lock_stats() const;
 

@@ -1,0 +1,109 @@
+// Bounded Chase-Lev work-stealing deque (machine-dependent layer).
+//
+// This is the second lock-free structure gated on
+// MachineSpec::hardware_atomic_rmw (the first is DispatchCounter): a
+// single-owner double-ended queue where the owner pushes and pops at the
+// bottom (LIFO, cache-warm) and any number of thieves steal from the top
+// (FIFO, oldest task first). The Askfor monitor uses one per worker as its
+// dispatch fast path; the monitor's generic lock remains the slow path for
+// seeding, overflow, blocking and termination, so lock-only machines never
+// reach this file.
+//
+// The memory ordering follows Le, Pop, Cohen & Zappa Nardelli, "Correct
+// and Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013). The
+// deque is deliberately *bounded*: a full push returns false and the
+// caller routes the token to the monitor's central queue instead - no
+// allocation, no buffer growth race, and a natural backpressure valve.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace force::machdep {
+
+class StealDeque {
+ public:
+  /// Capacity must be a power of two (index masking).
+  static constexpr std::size_t kCapacity = 1024;
+
+  StealDeque() {
+    for (auto& slot : buffer_) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only. False when full (caller falls back to the central queue).
+  bool push(std::size_t value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+    buffer_[index(b)].store(value, std::memory_order_relaxed);
+    // The value store must be visible before the new bottom is.
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Owner only: LIFO pop. False when empty.
+  bool pop(std::size_t* value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    // The bottom decrement must be ordered before the top read, or an
+    // owner and a thief could both take the last element.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      *value = buffer_[index(b)].load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it via top.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+      }
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Any thread: FIFO steal. False when empty or when the CAS lost a race
+  /// (callers treat both as "try elsewhere").
+  bool steal(std::size_t* value) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    const std::size_t v = buffer_[index(t)].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    *value = v;
+    return true;
+  }
+
+  /// Racy size hint (diagnostics and fast empty checks only).
+  [[nodiscard]] std::int64_t size_hint() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  static std::size_t index(std::int64_t i) {
+    return static_cast<std::size_t>(i) & (kCapacity - 1);
+  }
+
+  // top and bottom on their own cache lines: thieves hammer top, the
+  // owner hammers bottom.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<std::size_t> buffer_[kCapacity];
+};
+
+}  // namespace force::machdep

@@ -13,10 +13,12 @@
 namespace fc = force::core;
 
 namespace {
-fc::ForceConfig test_config(int np, const std::string& machine = "native") {
+fc::ForceConfig test_config(int np, const std::string& machine = "native",
+                            const std::string& dispatch = "auto") {
   fc::ForceConfig cfg;
   cfg.nproc = np;
   cfg.machine = machine;
+  cfg.dispatch = dispatch;
   return cfg;
 }
 
@@ -179,6 +181,53 @@ TEST(Askfor, ThrowingBodyCompletesItsGrant) {
   EXPECT_EQ(executed.load(), 10);
   EXPECT_TRUE(monitor.ended());
 }
+
+// --- steal-heavy: one seeder, many thieves ---------------------------------------
+
+class AskforStealTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AskforStealTest, OneSeederManyThievesExactlyOnce) {
+  // The worst case for work stealing: a single root task seeds the whole
+  // frontier into ONE worker's deque, so the other seven workers can only
+  // make progress by stealing, and every task recursively put()s so the
+  // deques keep refilling. Every generated (depth, id) must execute
+  // exactly once, on both dispatch engines.
+  const int np = 8;
+  fc::ForceEnvironment env(test_config(np, "native", GetParam()));
+  using Task = std::pair<int, std::uint32_t>;  // (depth, heap id)
+  fc::Askfor<Task> monitor(env);
+  constexpr int kDepth = 9;
+  std::mutex m;
+  std::multiset<Task> executed;
+  monitor.put({0, 1});  // the root; whichever worker grants it seeds
+  on_team(np, [&](int) {
+    monitor.work([&](Task& task, fc::Askfor<Task>& self) {
+      if (task.first == 0) {
+        // The seeder: eight subtree roots, all into the seeder's deque.
+        for (std::uint32_t r = 2; r <= 9; ++r) self.put({1, r});
+      } else if (task.first < kDepth) {
+        self.put({task.first + 1, task.second * 2});
+        self.put({task.first + 1, task.second * 2 + 1});
+      }
+      std::lock_guard<std::mutex> g(m);
+      executed.insert(task);
+    });
+  });
+  // The root plus eight binary subtrees spanning depths 1..kDepth, each
+  // with 2^kDepth - 1 nodes. Heap ids are unique per depth level, so
+  // (depth, id) identifies a task globally.
+  const std::size_t expected = 8u * ((1u << kDepth) - 1u) + 1u;
+  ASSERT_EQ(executed.size(), expected);
+  for (const auto& task : executed) {
+    EXPECT_EQ(executed.count(task), 1u)
+        << task.first << ":" << task.second;
+  }
+  EXPECT_EQ(monitor.granted(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, AskforStealTest,
+                         ::testing::Values("auto", "locked"),
+                         [](const auto& info) { return info.param; });
 
 TEST(Askfor, WorksOnEveryMachineModel) {
   for (const auto& machine : force::machdep::machine_names()) {

@@ -18,10 +18,12 @@ namespace fc = force::core;
 
 namespace {
 
-fc::ForceConfig test_config(int np, const std::string& machine = "native") {
+fc::ForceConfig test_config(int np, const std::string& machine = "native",
+                            const std::string& dispatch = "auto") {
   fc::ForceConfig cfg;
   cfg.nproc = np;
   cfg.machine = machine;
+  cfg.dispatch = dispatch;
   return cfg;
 }
 
@@ -290,6 +292,84 @@ TEST(Selfsched2D, EmptyInnerRangeExecutesNothing) {
   });
   EXPECT_EQ(runs.load(), 0);
 }
+
+// --- contention sweep: every machine x both dispatch engines --------------------
+//
+// The dispatch rewrite's safety net: exactly-once coverage for chunked,
+// guided and 2-D selfscheduled loops under real contention (8 threads) on
+// all seven machine models, with the dispatch engine both auto-selected
+// and forced to the lock path. On lock-only machines "locked" equals
+// "auto"; on hardware-RMW machines it pins the seed's lock engine, so the
+// sweep exercises the atomic fast path AND its fallback everywhere.
+
+class DispatchContentionTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+ protected:
+  static constexpr int kNp = 8;
+  fc::ForceConfig config() const {
+    const auto& [machine, dispatch] = GetParam();
+    return test_config(kNp, machine, dispatch);
+  }
+};
+
+TEST_P(DispatchContentionTest, ChunkedCoversExactlyOnce) {
+  fc::ForceEnvironment env(config());
+  fc::SelfschedLoop loop(env, kNp);
+  std::mutex m;
+  std::map<std::int64_t, int> counts;
+  on_team(kNp, [&](int me) {
+    loop.run(
+        me, 0, 1499, 1,
+        [&](std::int64_t i) {
+          std::lock_guard<std::mutex> g(m);
+          counts[i]++;
+        },
+        /*chunk=*/16);
+  });
+  ASSERT_EQ(counts.size(), 1500u);
+  for (auto& [idx, n] : counts) EXPECT_EQ(n, 1) << idx;
+}
+
+TEST_P(DispatchContentionTest, GuidedCoversExactlyOnce) {
+  fc::ForceEnvironment env(config());
+  fc::SelfschedLoop loop(env, kNp);
+  std::mutex m;
+  std::map<std::int64_t, int> counts;
+  on_team(kNp, [&](int me) {
+    loop.run_guided(me, 1, 1500, 1, [&](std::int64_t i) {
+      std::lock_guard<std::mutex> g(m);
+      counts[i]++;
+    });
+  });
+  ASSERT_EQ(counts.size(), 1500u);
+  for (auto& [idx, n] : counts) EXPECT_EQ(n, 1) << idx;
+}
+
+TEST_P(DispatchContentionTest, TwoDimensionalCoversExactlyOnce) {
+  fc::ForceEnvironment env(config());
+  fc::Selfsched2Loop loop(env, kNp);
+  std::mutex m;
+  std::map<std::pair<std::int64_t, std::int64_t>, int> counts;
+  on_team(kNp, [&](int me) {
+    loop.run(
+        me, 1, 30, 1, 40, 2, -2,
+        [&](std::int64_t i, std::int64_t j) {
+          std::lock_guard<std::mutex> g(m);
+          counts[{i, j}]++;
+        },
+        /*chunk=*/4);
+  });
+  ASSERT_EQ(counts.size(), 30u * 20u);
+  for (auto& [pair, n] : counts) EXPECT_EQ(n, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachinesBothEngines, DispatchContentionTest,
+    ::testing::Combine(::testing::ValuesIn(force::machdep::machine_names()),
+                       ::testing::Values("auto", "locked")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
 
 // --- exception safety -------------------------------------------------------------
 
