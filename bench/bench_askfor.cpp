@@ -128,6 +128,7 @@ struct GrantThroughput {
   std::string machine;
   std::string engine;  // "atomic" (work stealing) or "locked" (monitor)
   std::uint64_t grants = 0;
+  std::uint64_t expected = 0;  // np complete binary trees of `depth` levels
   double wall_ns = 0;
   double per_sec = 0;
 };
@@ -159,6 +160,10 @@ GrantThroughput measure_grants(const std::string& machine,
     });
   });
   g.grants = monitor.granted();
+  // np complete binary trees, `depth` levels each: np * (2^depth - 1) tasks,
+  // every one granted exactly once.
+  g.expected = static_cast<std::uint64_t>(np) *
+               ((std::uint64_t{1} << depth) - 1);
   g.per_sec = static_cast<double>(g.grants) / (g.wall_ns * 1e-9);
   return g;
 }
@@ -170,10 +175,13 @@ int main(int argc, char** argv) {
   cli.option("nprocs", "2,4,8", "force sizes")
       .option("depth", "12", "max task-tree depth")
       .option("json", "BENCH_askfor.json",
-              "grant-throughput record (empty disables)");
+              "grant-throughput record (empty disables)")
+      .flag("quick", "CI smoke mode: np=2, shallow trees");
   if (!cli.parse(argc, argv)) return 0;
-  const auto nprocs = force::util::parse_int_list(cli.get("nprocs"));
-  const int depth = static_cast<int>(cli.get_int("depth"));
+  const bool quick = cli.get_flag("quick");
+  const auto nprocs = quick ? std::vector<int>{2}
+                            : force::util::parse_int_list(cli.get("nprocs"));
+  const int depth = quick ? 8 : static_cast<int>(cli.get_int("depth"));
 
   force::bench::print_header(
       "E8  Askfor vs DOALL emulation on an irregular task tree",
@@ -224,19 +232,34 @@ int main(int argc, char** argv) {
       "grants/sec):\n\n",
       np_grants);
   std::vector<GrantThroughput> rates;
+  const int atomic_depth = quick ? 8 : 13;
+  const int locked_depth = quick ? 6 : 9;
   for (const auto& m : force::bench::all_machines()) {
     const bool rmw = force::machdep::machine_spec(m).hardware_atomic_rmw;
     // Deeper trees for the (much faster) stealing engine so both engines
     // get measurable wall times; the reported rate stays comparable.
-    rates.push_back(measure_grants(m, "auto", np_grants, rmw ? 13 : 9));
-    if (rmw) rates.push_back(measure_grants(m, "locked", np_grants, 9));
+    rates.push_back(measure_grants(m, "auto", np_grants,
+                                   rmw ? atomic_depth : locked_depth));
+    if (rmw) {
+      rates.push_back(measure_grants(m, "locked", np_grants, locked_depth));
+    }
   }
   force::util::Table gr({"machine", "engine", "grants", "grants/s"});
   double native_atomic = 0, native_locked = 0;
+  bool grants_ok = true;
   for (const auto& r : rates) {
     gr.add_row({r.machine, r.engine,
                 force::util::Table::num(static_cast<std::int64_t>(r.grants)),
                 force::util::Table::num(r.per_sec)});
+    // Correctness gate: a grant lost or duplicated by the monitor or the
+    // work-stealing deques is a dispatch regression.
+    if (r.grants != r.expected) {
+      std::printf("MISMATCH: %s/%s granted %llu of %llu tasks\n",
+                  r.machine.c_str(), r.engine.c_str(),
+                  static_cast<unsigned long long>(r.grants),
+                  static_cast<unsigned long long>(r.expected));
+      grants_ok = false;
+    }
     if (r.machine == "native") {
       (r.engine == "atomic" ? native_atomic : native_locked) = r.per_sec;
     }
@@ -277,5 +300,5 @@ int main(int argc, char** argv) {
       std::printf("WARNING: could not write %s\n", json_path.c_str());
     }
   }
-  return 0;
+  return grants_ok ? 0 : 1;
 }

@@ -8,8 +8,11 @@
 //     paper-shape conclusions and are reproducible.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <thread>
@@ -100,10 +103,26 @@ inline std::string json_object(const std::vector<std::string>& fields,
 
 inline bool write_text_file(const std::string& path,
                             const std::string& text) {
+  // Artifact paths may point into a directory that does not exist yet
+  // (e.g. a CI upload dir); create it, and say why a write failed.
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
+  if (f == nullptr) {
+    std::fprintf(stderr, "write_text_file: cannot open %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    std::fprintf(stderr, "write_text_file: short write to %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
   return true;
 }
 

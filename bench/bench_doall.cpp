@@ -61,6 +61,7 @@ struct DispatchThroughput {
   std::string machine;
   std::string engine;  // "atomic" or "locked" (what actually ran)
   std::uint64_t trips = 0;
+  std::uint64_t iterations = 0;  // executed-body count; must equal trips
   std::uint64_t dispatches = 0;
   double wall_ns = 0;
   double per_sec = 0;
@@ -84,6 +85,7 @@ DispatchThroughput measure_dispatch(const std::string& machine,
       loop.run(me, 1, trips, 1, [](std::int64_t) {}, /*chunk=*/1);
     });
   });
+  r.iterations = env.stats().doall_iterations.load();
   r.dispatches = env.stats().doall_dispatches.load();
   r.per_sec = static_cast<double>(r.dispatches) / (r.wall_ns * 1e-9);
   return r;
@@ -130,10 +132,13 @@ int main(int argc, char** argv) {
       .option("np", "8", "force size")
       .option("machine", "encore", "machine for the simulated view")
       .option("json", "BENCH_doall.json",
-              "dispatch-throughput record (empty disables)");
+              "dispatch-throughput record (empty disables)")
+      .flag("quick", "CI smoke mode: np=2, small trip counts");
   if (!cli.parse(argc, argv)) return 0;
-  const auto n = static_cast<std::size_t>(cli.get_int("n"));
-  const int np = static_cast<int>(cli.get_int("np"));
+  const bool quick = cli.get_flag("quick");
+  const auto n =
+      quick ? std::size_t{512} : static_cast<std::size_t>(cli.get_int("n"));
+  const int np = quick ? 2 : static_cast<int>(cli.get_int("np"));
   const std::string machine = cli.get("machine");
 
   force::bench::print_header(
@@ -217,19 +222,32 @@ int main(int argc, char** argv) {
       "dispatches/sec):\n\n",
       np);
   std::vector<DispatchThroughput> rates;
+  const std::int64_t atomic_trips = quick ? 20000 : 200000;
+  const std::int64_t locked_trips = quick ? 2000 : 20000;
   for (const auto& m : force::bench::all_machines()) {
     const bool rmw = force::machdep::machine_spec(m).hardware_atomic_rmw;
     // The atomic engine dispatches much faster; give it more trips so both
     // engines get measurable wall times. Rates stay comparable.
-    rates.push_back(measure_dispatch(m, "auto", np, rmw ? 200000 : 20000));
-    if (rmw) rates.push_back(measure_dispatch(m, "locked", np, 20000));
+    rates.push_back(measure_dispatch(m, "auto", np, rmw ? atomic_trips
+                                                        : locked_trips));
+    if (rmw) rates.push_back(measure_dispatch(m, "locked", np, locked_trips));
   }
   force::util::Table disp({"machine", "engine", "trips", "dispatch/s"});
   double native_atomic = 0, native_locked = 0;
+  bool dispatch_ok = true;
   for (const auto& r : rates) {
     disp.add_row({r.machine, r.engine,
                   force::util::Table::num(static_cast<std::int64_t>(r.trips)),
                   force::util::Table::num(r.per_sec)});
+    // Correctness gate: every trip must run exactly once, whatever the
+    // dispatch engine. A lost or doubled claim is a dispatch regression.
+    if (r.iterations != r.trips) {
+      std::printf("MISMATCH: %s/%s executed %llu of %llu trips\n",
+                  r.machine.c_str(), r.engine.c_str(),
+                  static_cast<unsigned long long>(r.iterations),
+                  static_cast<unsigned long long>(r.trips));
+      dispatch_ok = false;
+    }
     if (r.machine == "native") {
       (r.engine == "atomic" ? native_atomic : native_locked) = r.per_sec;
     }
@@ -270,5 +288,5 @@ int main(int argc, char** argv) {
       std::printf("WARNING: could not write %s\n", json_path.c_str());
     }
   }
-  return 0;
+  return dispatch_ok ? 0 : 1;
 }

@@ -1,6 +1,9 @@
 #include "core/askfor.hpp"
 
+#include <optional>
+
 #include "core/env.hpp"
+#include "core/sentry.hpp"
 
 namespace force::core {
 
@@ -24,7 +27,8 @@ thread_local TlsBinding tls_binding;
 }  // namespace
 
 AskforCore::AskforCore(ForceEnvironment& env)
-    : env_(env), monitor_(env.new_lock()) {
+    : env_(env),
+      monitor_(env.new_lock(machdep::LockRole::kMutex, "askfor.monitor")) {
   if (env.lock_free_dispatch()) {
     nslots_ = env.nproc();
     deques_ = std::make_unique<machdep::StealDeque[]>(
@@ -101,6 +105,7 @@ void AskforCore::release_slot(int slot) {
 // ---------------------------------------------------------------------------
 
 void AskforCore::put(std::size_t token) {
+  if (Sentry* sn = env_.sentry()) sn->fuzz();
   if (deques_ == nullptr) {
     // Lock engine: the Argonne monitor shape, one lock pass.
     monitor_->acquire();
@@ -145,7 +150,12 @@ void AskforCore::grant_fast(int slot) {
 
 AskforCore::Outcome AskforCore::ask_fast(std::size_t* token) {
   const int slot = current_slot();
+  Sentry* sn = env_.sentry();
+  // Registered lazily, on the first unproductive pass: the watchdog then
+  // sees "blocked in Askfor termination wait" if the loop never ends.
+  std::optional<Sentry::WaitScope> wait;
   for (;;) {
+    if (sn != nullptr) sn->fuzz();
     if (ended_.load(std::memory_order_acquire)) return Outcome::kDone;
     // 1. Own deque, newest first (cache-warm, depth-first on task trees).
     if (slot >= 0 && deques_[slot].pop(token)) {
@@ -191,11 +201,16 @@ AskforCore::Outcome AskforCore::ask_fast(std::size_t* token) {
       continue;
     }
     // Work may still appear: retry politely.
+    if (sn != nullptr && !wait.has_value()) {
+      wait.emplace(sn, Sentry::WaitKind::kAskfor, this, "askfor");
+    }
     std::this_thread::yield();
   }
 }
 
 AskforCore::Outcome AskforCore::ask_locked(std::size_t* token) {
+  Sentry* sn = env_.sentry();
+  std::optional<Sentry::WaitScope> wait;
   for (;;) {
     monitor_->acquire();
     if (ended_.load(std::memory_order_relaxed)) {
@@ -220,6 +235,9 @@ AskforCore::Outcome AskforCore::ask_locked(std::size_t* token) {
     }
     // Work may still appear: release the monitor and retry politely.
     monitor_->release();
+    if (sn != nullptr && !wait.has_value()) {
+      wait.emplace(sn, Sentry::WaitKind::kAskfor, this, "askfor");
+    }
     std::this_thread::yield();
   }
 }

@@ -30,6 +30,7 @@
 #include <type_traits>
 
 #include "core/env.hpp"
+#include "core/sentry.hpp"
 #include "machdep/hepcell.hpp"
 #include "machdep/locks.hpp"
 #include "util/check.hpp"
@@ -47,12 +48,16 @@ class Async {
 
  public:
   /// Creates the variable in the *empty* state (like Void at startup).
-  explicit Async(ForceEnvironment& env)
-      : env_(&env), hardware_(env.machine().spec().hardware_full_empty) {
+  /// `label` names the variable in sentry reports.
+  explicit Async(ForceEnvironment& env, std::string label = "async")
+      : env_(&env),
+        sentry_(env.sentry()),
+        hardware_(env.machine().spec().hardware_full_empty),
+        label_(std::move(label)) {
     if (!hardware_) {
-      lock_e_ = env.new_lock();
-      lock_f_ = env.new_lock();
-      void_guard_ = env.new_lock();
+      lock_e_ = env.new_lock(machdep::LockRole::kSemaphore, label_ + ".E");
+      lock_f_ = env.new_lock(machdep::LockRole::kSemaphore, label_ + ".F");
+      void_guard_ = env.new_lock(machdep::LockRole::kMutex, label_ + ".void");
       lock_e_->acquire();  // empty: E locked, F unlocked
     }
   }
@@ -64,7 +69,19 @@ class Async {
   void produce(const T& v) {
     env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
     if (hardware_) {
-      if constexpr (kInCell) {
+      if (sentry_ != nullptr) {
+        // Sentry mode always uses the wide-payload busy-window protocol so
+        // the hooks sit inside the exclusion window the cell guarantees.
+        {
+          Sentry::WaitScope ws(sentry_, Sentry::WaitKind::kProduce, this,
+                               label_);
+          cell_.seize_empty();
+        }
+        sentry_->channel_enter(this, /*is_write=*/true, "Produce");
+        value_ = v;
+        sentry_->channel_exit(this);
+        cell_.publish_full();
+      } else if constexpr (kInCell) {
         cell_.produce(encode(v));
       } else {
         cell_.seize_empty();
@@ -72,8 +89,19 @@ class Async {
         cell_.publish_full();
       }
     } else {
-      lock_f_->acquire();
-      value_ = v;
+      if (sentry_ != nullptr) {
+        {
+          Sentry::WaitScope ws(sentry_, Sentry::WaitKind::kProduce, this,
+                               label_);
+          lock_f_->acquire();
+        }
+        sentry_->channel_enter(this, /*is_write=*/true, "Produce");
+        value_ = v;
+        sentry_->channel_exit(this);
+      } else {
+        lock_f_->acquire();
+        value_ = v;
+      }
       full_.store(true, std::memory_order_release);
       lock_e_->release();
     }
@@ -83,6 +111,18 @@ class Async {
   T consume() {
     env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
     if (hardware_) {
+      if (sentry_ != nullptr) {
+        {
+          Sentry::WaitScope ws(sentry_, Sentry::WaitKind::kConsume, this,
+                               label_);
+          cell_.seize_full();
+        }
+        sentry_->channel_enter(this, /*is_write=*/false, "Consume");
+        T v = value_;
+        sentry_->channel_exit(this);
+        cell_.publish_empty();
+        return v;
+      }
       if constexpr (kInCell) {
         return decode(cell_.consume());
       } else {
@@ -91,6 +131,19 @@ class Async {
         cell_.publish_empty();
         return v;
       }
+    }
+    if (sentry_ != nullptr) {
+      {
+        Sentry::WaitScope ws(sentry_, Sentry::WaitKind::kConsume, this,
+                             label_);
+        lock_e_->acquire();
+      }
+      sentry_->channel_enter(this, /*is_write=*/false, "Consume");
+      T v = value_;
+      sentry_->channel_exit(this);
+      full_.store(false, std::memory_order_release);
+      lock_f_->release();
+      return v;
     }
     lock_e_->acquire();
     T v = value_;
@@ -102,6 +155,18 @@ class Async {
   /// Waits for full, reads, leaves full (the Force Copy access).
   T copy() {
     if (hardware_) {
+      if (sentry_ != nullptr) {
+        {
+          Sentry::WaitScope ws(sentry_, Sentry::WaitKind::kConsume, this,
+                               label_);
+          cell_.seize_full();
+        }
+        sentry_->channel_enter(this, /*is_write=*/false, "Copy");
+        T v = value_;
+        sentry_->channel_exit(this);
+        cell_.publish_full();
+        return v;
+      }
       if constexpr (kInCell) {
         return decode(cell_.copy());
       } else {
@@ -114,6 +179,18 @@ class Async {
     // Software path: momentarily consume and re-produce under E so that a
     // concurrent producer cannot interleave (it needs F, which stays
     // locked throughout).
+    if (sentry_ != nullptr) {
+      {
+        Sentry::WaitScope ws(sentry_, Sentry::WaitKind::kConsume, this,
+                             label_);
+        lock_e_->acquire();
+      }
+      sentry_->channel_enter(this, /*is_write=*/false, "Copy");
+      T v = value_;
+      sentry_->channel_exit(this);
+      lock_e_->release();
+      return v;
+    }
     lock_e_->acquire();
     T v = value_;
     lock_e_->release();
@@ -123,6 +200,15 @@ class Async {
   /// Non-blocking produce; true on success.
   bool try_produce(const T& v) {
     if (hardware_) {
+      if (sentry_ != nullptr) {
+        if (!cell_.try_seize_empty()) return false;
+        sentry_->channel_enter(this, /*is_write=*/true, "Produce");
+        value_ = v;
+        sentry_->channel_exit(this);
+        cell_.publish_full();
+        env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
       if constexpr (kInCell) {
         const bool ok = cell_.try_produce(encode(v));
         if (ok) env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
@@ -136,7 +222,13 @@ class Async {
       }
     }
     if (!lock_f_->try_acquire()) return false;
-    value_ = v;
+    if (sentry_ != nullptr) {
+      sentry_->channel_enter(this, /*is_write=*/true, "Produce");
+      value_ = v;
+      sentry_->channel_exit(this);
+    } else {
+      value_ = v;
+    }
     full_.store(true, std::memory_order_release);
     lock_e_->release();
     env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
@@ -147,6 +239,15 @@ class Async {
   bool try_consume(T* out) {
     FORCE_CHECK(out != nullptr, "try_consume needs an output slot");
     if (hardware_) {
+      if (sentry_ != nullptr) {
+        if (!cell_.try_seize_full()) return false;
+        sentry_->channel_enter(this, /*is_write=*/false, "Consume");
+        *out = value_;
+        sentry_->channel_exit(this);
+        cell_.publish_empty();
+        env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
       if constexpr (kInCell) {
         std::uint64_t bits;
         if (!cell_.try_consume(&bits)) return false;
@@ -160,7 +261,13 @@ class Async {
       return true;
     }
     if (!lock_e_->try_acquire()) return false;
-    *out = value_;
+    if (sentry_ != nullptr) {
+      sentry_->channel_enter(this, /*is_write=*/false, "Consume");
+      *out = value_;
+      sentry_->channel_exit(this);
+    } else {
+      *out = value_;
+    }
     full_.store(false, std::memory_order_release);
     lock_f_->release();
     env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
@@ -171,11 +278,15 @@ class Async {
   /// Concurrent Voids are serialized; a Void that overlaps an in-flight
   /// Produce may land before or after it, as on the original machines.
   void void_state() {
+    // Void gives no exclusion window over the payload, so the sentry only
+    // joins clocks (channel_sync), it does not record a payload access.
     if (hardware_) {
+      if (sentry_ != nullptr) sentry_->channel_sync(this);
       cell_.make_empty();
       return;
     }
     void_guard_->acquire();
+    if (sentry_ != nullptr) sentry_->channel_sync(this);
     if (full_.load(std::memory_order_acquire)) {
       lock_e_->acquire();  // consume the token without reading the value
       full_.store(false, std::memory_order_release);
@@ -208,7 +319,9 @@ class Async {
   }
 
   ForceEnvironment* env_;
+  Sentry* sentry_;  // null when validation is off (the usual case)
   bool hardware_;
+  std::string label_;
   // Software scheme state:
   std::unique_ptr<machdep::BasicLock> lock_e_;
   std::unique_ptr<machdep::BasicLock> lock_f_;
@@ -226,10 +339,12 @@ class Async {
 template <typename T>
 class AsyncArray {
  public:
-  AsyncArray(ForceEnvironment& env, std::size_t n) {
+  AsyncArray(ForceEnvironment& env, std::size_t n, std::string label = "async")
+      : label_(std::move(label)) {
     slots_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      slots_.push_back(std::make_unique<Async<T>>(env));
+      slots_.push_back(std::make_unique<Async<T>>(
+          env, label_ + "(" + std::to_string(i) + ")"));
     }
   }
 
@@ -240,6 +355,7 @@ class AsyncArray {
   }
 
  private:
+  std::string label_;
   std::vector<std::unique_ptr<Async<T>>> slots_;
 };
 

@@ -37,9 +37,11 @@ void wait_until(const std::atomic<T>& a, Pred pred) {
 
 PaperLockBarrier::PaperLockBarrier(ForceEnvironment& env, int width)
     : width_(width),
-      mutex_(env.new_lock()),
-      turnstile1_(env.new_lock()),
-      turnstile2_(env.new_lock()) {
+      mutex_(env.new_lock(machdep::LockRole::kMutex, "barrier.mutex")),
+      turnstile1_(env.new_lock(machdep::LockRole::kSemaphore,
+                               "barrier.turnstile1")),
+      turnstile2_(env.new_lock(machdep::LockRole::kSemaphore,
+                               "barrier.turnstile2")) {
   FORCE_CHECK(width_ > 0, "barrier width must be positive");
   turnstile1_->acquire();  // phase-1 gate starts closed
 }

@@ -4,8 +4,9 @@
 
 namespace force::core {
 
-CriticalSection::CriticalSection(ForceEnvironment& env)
-    : lock_(env.new_lock()), env_(env) {}
+CriticalSection::CriticalSection(ForceEnvironment& env, std::string label)
+    : lock_(env.new_lock(machdep::LockRole::kMutex, std::move(label))),
+      env_(env) {}
 
 void CriticalSection::enter(const std::function<void()>& body) {
   Guard g(*this);

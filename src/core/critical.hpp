@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "machdep/locks.hpp"
 
@@ -18,7 +19,9 @@ class ForceEnvironment;
 
 class CriticalSection {
  public:
-  explicit CriticalSection(ForceEnvironment& env);
+  /// `label` names the section's lock in sentry reports.
+  explicit CriticalSection(ForceEnvironment& env,
+                           std::string label = "critical");
 
   /// Runs `body` under mutual exclusion. Exception-safe: the lock is
   /// released if the body throws.

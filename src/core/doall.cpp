@@ -1,6 +1,7 @@
 #include "core/doall.hpp"
 
 #include "core/env.hpp"
+#include "core/sentry.hpp"
 #include "util/check.hpp"
 #include "util/timing.hpp"
 #include "util/trace.hpp"
@@ -65,8 +66,8 @@ void presched_do2(int me0, int np, std::int64_t i_start, std::int64_t i_last,
 SelfschedLoop::SelfschedLoop(ForceEnvironment& env, int width)
     : env_(env),
       width_(width),
-      barwin_(env.new_lock()),
-      barwot_(env.new_lock()),
+      barwin_(env.new_lock(machdep::LockRole::kSemaphore, "doall.barwin")),
+      barwot_(env.new_lock(machdep::LockRole::kSemaphore, "doall.barwot")),
       dispatch_(env.new_dispatch_counter()) {
   FORCE_CHECK(width_ > 0, "selfsched loop width must be positive");
   barwot_->acquire();  // exits blocked until all have entered the episode
@@ -142,7 +143,10 @@ void SelfschedLoop::run(int me0, std::int64_t start, std::int64_t last,
   // Bounds are episode-stable (SPMD-checked above), so the hot loop works
   // from the call arguments; trips_ was fixed by the first arriver.
   const std::int64_t trips = trips_;
+  Sentry* sentry = env_.sentry();
   for (;;) {
+    // The lock-free claim has no lock hook, so the fuzzer perturbs here.
+    if (sentry != nullptr) sentry->fuzz();
     const machdep::DispatchClaim c = dispatch_->claim(chunk, trips);
     ++tally.dispatches;
     if (tracer) {
@@ -184,7 +188,9 @@ void SelfschedLoop::run_guided(int me0, std::int64_t start, std::int64_t last,
     }
   } tally{env_.stats()};
   const std::int64_t trips = trips_;
+  Sentry* sentry = env_.sentry();
   for (;;) {
+    if (sentry != nullptr) sentry->fuzz();
     // Guided selfscheduling: claim a fraction of the remaining trips so
     // early claims are big (low dispatch overhead) and late claims small
     // (good load balance at the tail). On the lock-free engine this is a

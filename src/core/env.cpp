@@ -1,9 +1,36 @@
 #include "core/env.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/barrier.hpp"
+#include "core/sentry.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
+
+namespace {
+
+// Environment-variable fallbacks let the whole existing test suite run
+// under validation (FORCE_SENTRY=1 ctest ...) without touching each test.
+// Explicit ForceConfig settings win; the variables only ever turn things on.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+void apply_env_overrides(ForceConfig& config) {
+  if (!config.sentry && env_u64("FORCE_SENTRY", 0) != 0) config.sentry = true;
+  if (config.schedule_fuzz == 0) {
+    config.schedule_fuzz = env_u64("FORCE_SCHEDULE_FUZZ", 0);
+  }
+  if (config.schedule_fuzz != 0) config.sentry = true;
+  const std::uint64_t stall = env_u64("FORCE_SENTRY_STALL_MS", 0);
+  if (stall != 0) config.sentry_stall_ms = static_cast<int>(stall);
+}
+
+}  // namespace
 
 void RuntimeStats::reset() {
   barrier_episodes.store(0, std::memory_order_relaxed);
@@ -31,11 +58,40 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
     tracer_ = std::make_unique<util::Tracer>(
         config_.nproc, config_.trace_events_per_process);
   }
+  apply_env_overrides(config_);
+  if (config_.sentry) {
+    Sentry::Options opts;
+    opts.nproc = config_.nproc;
+    opts.fuzz_seed = config_.schedule_fuzz;
+    opts.stall_ms = config_.sentry_stall_ms;
+    sentry_ = std::make_unique<Sentry>(opts);
+  }
+  // Last: the barrier's locks may be ObservedLocks referencing sentry_.
   global_barrier_ = make_barrier(config_.nproc);
 }
 
-// Out of line so BarrierAlgorithm can stay incomplete in the header.
-ForceEnvironment::~ForceEnvironment() = default;
+// Out of line so BarrierAlgorithm/Sentry can stay incomplete in the header.
+ForceEnvironment::~ForceEnvironment() {
+  // Surface validation findings even when the program never asked: a
+  // sentry run that found something should not exit looking clean.
+  if (sentry_ != nullptr && sentry_->total_reports() > 0) {
+    std::fprintf(stderr, "[force.sentry] %zu finding(s) this run:\n",
+                 sentry_->total_reports());
+    for (const Sentry::Report& r : sentry_->reports()) {
+      std::fprintf(stderr, "[force.sentry]   [%s] %s\n",
+                   Sentry::report_kind_name(r.kind), r.what.c_str());
+    }
+  }
+}
+
+std::unique_ptr<machdep::BasicLock> ForceEnvironment::new_lock(
+    machdep::LockRole role, std::string label) {
+  std::unique_ptr<machdep::BasicLock> inner = machine_->new_lock();
+  if (sentry_ == nullptr) return inner;
+  return std::make_unique<machdep::ObservedLock>(std::move(inner),
+                                                 sentry_.get(), role,
+                                                 std::move(label));
+}
 
 BarrierAlgorithm& ForceEnvironment::global_barrier() {
   return *global_barrier_;

@@ -26,6 +26,7 @@
 namespace force::core {
 
 class BarrierAlgorithm;  // core/barrier.hpp
+class Sentry;            // core/sentry.hpp
 
 /// Configuration of one Force program execution.
 struct ForceConfig {
@@ -57,6 +58,18 @@ struct ForceConfig {
   /// cost when off is a pointer test per construct.
   bool trace = false;
   std::size_t trace_events_per_process = 64u << 10;
+  /// Enable the sentry (runtime race/deadlock validation, core/sentry.hpp).
+  /// Same cost model as tracing: a pointer test per construct when off.
+  /// Also switched on by the FORCE_SENTRY=1 environment variable so the
+  /// whole test suite can be validated without editing every test.
+  bool sentry = false;
+  /// Schedule-fuzz seed for the sentry (0 = no fuzzing). Deterministic:
+  /// the same seed explores the same perturbation schedule. Also set by
+  /// FORCE_SCHEDULE_FUZZ=<seed> (implies sentry).
+  std::uint64_t schedule_fuzz = 0;
+  /// Wait length the sentry's watchdog reports as a stall, in ms.
+  /// Also set by FORCE_SENTRY_STALL_MS=<n>.
+  int sentry_stall_ms = 1000;
 };
 
 /// Machine-independent runtime statistics, aggregated across processes.
@@ -99,6 +112,16 @@ class ForceEnvironment {
     return machine_->new_lock();
   }
 
+  /// Lock factory for construct-internal locks that the sentry should
+  /// observe. `role` tells the deadlock detector how the lock is used
+  /// (kMutex: acquire/release by the same process, participates in the
+  /// lock-order graph and locksets; kSemaphore: cross-process release is
+  /// part of the protocol, e.g. async full/empty pairs and barrier
+  /// turnstiles). `label` gives reports a human-readable name. When the
+  /// sentry is off this is exactly new_lock().
+  std::unique_ptr<machdep::BasicLock> new_lock(machdep::LockRole role,
+                                               std::string label);
+
   /// True when dispatch-heavy constructs (selfsched DOALL, Askfor) may use
   /// the lock-free fast path on this run: the machine declares
   /// hardware_atomic_rmw and the config does not force "locked".
@@ -129,6 +152,9 @@ class ForceEnvironment {
   /// The execution tracer, or null when tracing is disabled.
   [[nodiscard]] util::Tracer* tracer() { return tracer_.get(); }
 
+  /// The sentry, or null when validation is disabled.
+  [[nodiscard]] Sentry* sentry() { return sentry_.get(); }
+
  private:
   ForceConfig config_;
   std::unique_ptr<machdep::MachineModel> machine_;
@@ -138,6 +164,10 @@ class ForceEnvironment {
   SiteTable sites_;
   RuntimeStats stats_;
   std::unique_ptr<util::Tracer> tracer_;
+  /// Must outlive every ObservedLock handed out by new_lock(role, label);
+  /// declared before global_barrier_ (whose locks reference it) and
+  /// destroyed after it.
+  std::unique_ptr<Sentry> sentry_;
   std::unique_ptr<BarrierAlgorithm> global_barrier_;
 };
 

@@ -42,6 +42,16 @@ void ResolveBuilder::run() {
   const ComponentAssignment a = assign_component(parent_.me0(), sizes);
   Component& mine = components_[static_cast<std::size_t>(a.component)];
 
+  // The Unify join is a barrier over the whole team, so it carries the
+  // same happens-before edges as any barrier when the sentry is on.
+  Sentry* sn = env.sentry();
+  BarrierAlgorithm& join = st.join_barrier();
+  const auto arrive_join = [&] {
+    if (sn != nullptr) sn->barrier_publish(&join);
+    join.arrive(parent_.me0());
+    if (sn != nullptr) sn->barrier_join(&join);
+  };
+
   // Sub-context: remapped rank/width, component-sized barrier, and a
   // namespaced construct-site space so nested constructs get fresh state.
   Ctx sub(parent_.env_, parent_.subs_, a.rank, a.width,
@@ -50,10 +60,10 @@ void ResolveBuilder::run() {
     mine.body(sub);
   } catch (...) {
     // Unify even on failure so other components are not wedged forever.
-    st.join_barrier().arrive(parent_.me0());
+    arrive_join();
     throw;
   }
-  st.join_barrier().arrive(parent_.me0());
+  arrive_join();
 }
 
 Force::Force(ForceConfig config)
@@ -72,14 +82,31 @@ machdep::SpawnStats Force::run(const std::function<void(Ctx&)>& program) {
     started_ = true;
   }
 
+  Sentry* sn = env_->sentry();
+  if (sn != nullptr) {
+    // Linkage-declared shared variables become named, race-checked ranges.
+    env_->arena().for_each_allocation(
+        [sn](const std::string& name, void* addr, std::size_t bytes) {
+          sn->track_range(addr, bytes, name);
+        });
+    sn->begin_run();  // fork edge: every process starts after the driver
+  }
+
   auto team = env_->machine().process_team();
   const int np = env_->nproc();
   machdep::SpawnStats stats =
-      team.run(np, space, [this, np, &program](int proc0) {
+      team.run(np, space, [this, np, sn, &program](int proc0) {
         Ctx ctx(env_.get(), &subs_, proc0, np, "",
                 &env_->global_barrier());
-        program(ctx);
+        if (sn != nullptr) {
+          Sentry::ThreadScope scope(*sn, proc0);
+          program(ctx);
+        } else {
+          program(ctx);
+        }
       });
+
+  if (sn != nullptr) sn->end_run();  // join edge: the driver sees all writes
 
   lifetime_.create_ns += stats.create_ns;
   lifetime_.join_ns += stats.join_ns;

@@ -35,6 +35,7 @@
 #include "core/pcase.hpp"
 #include "core/reduce.hpp"
 #include "core/resolve.hpp"
+#include "core/sentry.hpp"
 #include "core/site.hpp"
 #include "machdep/process.hpp"
 #include "util/rng.hpp"
@@ -82,8 +83,10 @@ class Ctx {
   }
   /// The underlying section object (for RAII-style Guard use).
   CriticalSection& critical_section(const Site& site) {
-    return state<CriticalSection>(
-        site, "%crit", [this] { return std::make_unique<CriticalSection>(*env_); });
+    return state<CriticalSection>(site, "%crit", [this, &site] {
+      return std::make_unique<CriticalSection>(*env_,
+                                               "critical@" + site.key());
+    });
   }
 
   // --- work distribution ----------------------------------------------------
@@ -198,12 +201,24 @@ class Ctx {
     };
     const std::string key =
         (ns_.empty() ? name : ns_ + "/" + name) + "%rawlock";
-    auto& holder = env_->sites().get_or_create<Holder>(key, [this] {
+    auto& holder = env_->sites().get_or_create<Holder>(key, [this, &name] {
       auto h = std::make_unique<Holder>();
-      h->lock = env_->new_lock();
+      h->lock = env_->new_lock(machdep::LockRole::kMutex, "lock '" + name + "'");
       return h;
     });
     return *holder.lock;
+  }
+
+  // --- validation -----------------------------------------------------------
+
+  /// Annotates a read of a shared location for the sentry's race detector
+  /// (no-op unless ForceConfig::sentry). `site` is report provenance.
+  void note_read(const Site& site, const void* addr) {
+    if (Sentry* sn = env_->sentry()) sn->on_access(addr, false, site.key());
+  }
+  /// Annotates a write of a shared location for the sentry's race detector.
+  void note_write(const Site& site, const void* addr) {
+    if (Sentry* sn = env_->sentry()) sn->on_access(addr, true, site.key());
   }
 
   // --- variables ------------------------------------------------------------
@@ -212,16 +227,19 @@ class Ctx {
   /// default-constructed once, same object for every process.
   template <typename T>
   [[nodiscard]] T& shared(const std::string& name) {
-    return env_->arena().get_or_create<T>(ns_.empty() ? name : ns_ + "/" + name,
-                                          machdep::VarClass::kShared);
+    const std::string key = ns_.empty() ? name : ns_ + "/" + name;
+    T& ref = env_->arena().get_or_create<T>(key, machdep::VarClass::kShared);
+    if (Sentry* sn = env_->sentry()) sn->track_range(&ref, sizeof(T), key);
+    return ref;
   }
 
   /// Asynchronous variable at `site` (Force `Async`), with
   /// produce/consume/void/isfull semantics.
   template <typename T>
   [[nodiscard]] Async<T>& async_var(const Site& site) {
-    return state<Async<T>>(
-        site, "%async", [this] { return std::make_unique<Async<T>>(*env_); });
+    return state<Async<T>>(site, "%async", [this, &site] {
+      return std::make_unique<Async<T>>(*env_, "async@" + site.key());
+    });
   }
 
   /// Named asynchronous variable (Force `Async real V` declarations;
@@ -230,16 +248,18 @@ class Ctx {
   [[nodiscard]] Async<T>& async_named(const std::string& name) {
     const std::string key =
         (ns_.empty() ? name : ns_ + "/" + name) + "%asyncvar";
-    return env_->sites().get_or_create<Async<T>>(
-        key, [this] { return std::make_unique<Async<T>>(*env_); });
+    return env_->sites().get_or_create<Async<T>>(key, [this, &name] {
+      return std::make_unique<Async<T>>(*env_, "async '" + name + "'");
+    });
   }
 
   /// Array of async variables at `site` (Force `Async real A(n)`). All
   /// processes must request the same size.
   template <typename T>
   [[nodiscard]] AsyncArray<T>& async_array(const Site& site, std::size_t n) {
-    auto& arr = state<AsyncArray<T>>(site, "%asyncarr", [this, n] {
-      return std::make_unique<AsyncArray<T>>(*env_, n);
+    auto& arr = state<AsyncArray<T>>(site, "%asyncarr", [this, n, &site] {
+      return std::make_unique<AsyncArray<T>>(*env_, n,
+                                             "async@" + site.key());
     });
     FORCE_CHECK(arr.size() == n, "async array size disagrees across processes");
     return arr;
@@ -282,6 +302,33 @@ class Ctx {
         rng_(env->rng_for(me0)) {}
 
   void barrier_impl(const std::function<void()>& section) {
+    Sentry* sn = env_->sentry();
+    if (sn == nullptr) {
+      barrier_arrive(section);
+    } else {
+      sn->barrier_publish(team_barrier_);
+      if (section) {
+        barrier_arrive([&] {
+          // The section runs after every process has arrived (and hence
+          // published), so joining first orders the section's accesses
+          // after everything from the preceding episode ...
+          sn->barrier_join(team_barrier_);
+          section();
+          // ... and republishing while the rest of the team is still
+          // parked orders them before every process's join below.
+          sn->barrier_publish(team_barrier_);
+        });
+      } else {
+        barrier_arrive(section);
+      }
+      sn->barrier_join(team_barrier_);
+    }
+    if (me0_ == 0) {
+      env_->stats().barrier_episodes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void barrier_arrive(const std::function<void()>& section) {
     if (auto* tr = env_->tracer()) {
       const std::int64_t t0 = util::now_ns();
       if (section) {
@@ -295,9 +342,6 @@ class Ctx {
       tr->record(me0_, util::TraceKind::kBarrier, t0, util::now_ns());
     } else {
       team_barrier_->arrive(me0_, section);
-    }
-    if (me0_ == 0) {
-      env_->stats().barrier_episodes.fetch_add(1, std::memory_order_relaxed);
     }
   }
 

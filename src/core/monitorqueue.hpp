@@ -27,7 +27,8 @@ template <typename T>
 class MonitorQueue {
  public:
   MonitorQueue(ForceEnvironment& env, std::size_t capacity)
-      : capacity_(capacity), monitor_(env.new_lock()) {
+      : capacity_(capacity),
+        monitor_(env.new_lock(machdep::LockRole::kMutex, "monitor-queue")) {
     FORCE_CHECK(capacity_ > 0, "queue capacity must be positive");
   }
 

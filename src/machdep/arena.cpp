@@ -223,6 +223,17 @@ void SharedArena::corrupt_guard_for_test() {
   *(usable_base() - 1) = std::byte{0x00};
 }
 
+void SharedArena::for_each_allocation(
+    const std::function<void(const std::string&, void*, std::size_t)>& fn)
+    const {
+  std::lock_guard<std::mutex> g(mutex_);
+  auto* self = const_cast<SharedArena*>(this);
+  for (const auto& [name, alloc] : allocations_) {
+    if (!alloc.placed) continue;
+    fn(name, self->usable_base() + alloc.offset, alloc.bytes);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // PrivateSpace
 // ---------------------------------------------------------------------------

@@ -122,6 +122,13 @@ class SharedArena {
   /// Deliberately corrupts a guard byte; used by failure-injection tests.
   void corrupt_guard_for_test();
 
+  /// Visits every placed allocation as (name, address, bytes); used by the
+  /// sentry to register linkage-declared shared variables for race
+  /// checking. Holds the arena lock for the duration.
+  void for_each_allocation(
+      const std::function<void(const std::string&, void*, std::size_t)>& fn)
+      const;
+
  private:
   struct Allocation {
     std::size_t offset = 0;

@@ -5,7 +5,10 @@
 // Translates a Force-dialect source file into a C++ translation unit that
 // links against the force runtime library. Pass --emit-pass1 to also dump
 // the intermediate macro-call form (the output of the "sed" stage).
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,8 +29,15 @@ std::string read_file(const std::string& path) {
 }
 
 void write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  errno = 0;
   std::ofstream out(path, std::ios::binary);
-  FORCE_CHECK(out.good(), "cannot open output file: " + path);
+  FORCE_CHECK(out.good(), "cannot open output file: " + path + ": " +
+                              std::strerror(errno));
   out << content;
   FORCE_CHECK(out.good(), "failed writing output file: " + path);
 }

@@ -1,6 +1,10 @@
 #include "util/trace.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "util/check.hpp"
@@ -135,10 +139,29 @@ std::string Tracer::to_chrome_json() const {
 }
 
 bool Tracer::write_chrome_json(const std::string& path) const {
+  // Trace paths often point into a not-yet-existing artifact directory
+  // (CI uploads, bench output dirs); create it rather than failing.
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  errno = 0;
   std::ofstream f(path, std::ios::binary);
-  if (!f.good()) return false;
+  if (!f.good()) {
+    std::fprintf(stderr, "[force.trace] cannot open %s: %s\n", path.c_str(),
+                 errno != 0 ? std::strerror(errno) : "unknown error");
+    return false;
+  }
   f << to_chrome_json();
-  return f.good();
+  f.flush();
+  if (!f.good()) {
+    std::fprintf(stderr, "[force.trace] short write to %s: %s\n",
+                 path.c_str(),
+                 errno != 0 ? std::strerror(errno) : "unknown error");
+    return false;
+  }
+  return true;
 }
 
 }  // namespace force::util

@@ -99,7 +99,8 @@ class Tracer {
   /// Chrome trace-event JSON ("traceEvents" array; X events for spans,
   /// i events for instants; one tid per Force process).
   [[nodiscard]] std::string to_chrome_json() const;
-  /// Writes the JSON to `path`; returns false on I/O failure.
+  /// Writes the JSON to `path`, creating parent directories as needed;
+  /// returns false (with the errno reported on stderr) on I/O failure.
   bool write_chrome_json(const std::string& path) const;
 
  private:

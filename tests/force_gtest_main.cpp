@@ -1,0 +1,39 @@
+// gtest main with the Force validation knobs.
+//
+// Translates the sentry command-line flags into the environment variables
+// every ForceEnvironment honours (see core/env.cpp), then hands the
+// remaining arguments to gtest:
+//
+//   --sentry                 run every test under sentry validation
+//   --schedule-fuzz=<seed>   validation + deterministic schedule fuzzing
+//   --sentry-stall-ms=<n>    stall threshold for the watchdog
+//
+// Explicit ForceConfig settings inside a test still win over the
+// variables, so seeded-bug tests keep their own deterministic seeds.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+int main(int argc, char** argv) {
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sentry") {
+      ::setenv("FORCE_SENTRY", "1", 1);
+    } else if (arg.rfind("--schedule-fuzz=", 0) == 0) {
+      ::setenv("FORCE_SCHEDULE_FUZZ",
+               arg.c_str() + std::strlen("--schedule-fuzz="), 1);
+    } else if (arg.rfind("--sentry-stall-ms=", 0) == 0) {
+      ::setenv("FORCE_SENTRY_STALL_MS",
+               arg.c_str() + std::strlen("--sentry-stall-ms="), 1);
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+  argv[argc] = nullptr;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

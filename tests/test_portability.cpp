@@ -73,20 +73,29 @@ int construct_suite(force::Force& f) {
     // 6. resolve into two components with nested loops
     auto& rsum = ctx.shared<std::int64_t>("r_sum");
     if (ctx.np() >= 2) {
+      // One lock shared by BOTH components: a per-component critical()
+      // would namespace to two different locks, and two different locks do
+      // not exclude each other - the components run concurrently, so their
+      // rsum updates would genuinely race (TSan catches this).
+      auto& rsum_lock = ctx.named_lock("r_sum_lock");
       ctx.resolve(FORCE_SITE)
           .component("left", 1,
                      [&](fc::Ctx& sub) {
                        std::int64_t l = 0;
                        sub.selfsched_do(FORCE_SITE, 1, 50, 1,
                                         [&](std::int64_t i) { l += i; });
-                       sub.critical(FORCE_SITE, [&] { rsum += l; });
+                       rsum_lock.acquire();
+                       rsum += l;
+                       rsum_lock.release();
                      })
           .component("right", 1,
                      [&](fc::Ctx& sub) {
                        std::int64_t l = 0;
                        sub.presched_do(1, 50, 1,
                                        [&](std::int64_t i) { l += i; });
-                       sub.critical(FORCE_SITE, [&] { rsum += l; });
+                       rsum_lock.acquire();
+                       rsum += l;
+                       rsum_lock.release();
                      })
           .run();
     }
