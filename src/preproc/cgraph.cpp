@@ -1,0 +1,220 @@
+#include "preproc/cgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "preproc/textutil.hpp"
+
+namespace force::preproc {
+
+namespace {
+
+struct MacroRule {
+  StmtKind kind;
+  int name_arg = -1;          ///< which argument is the statement's name
+  std::vector<int> index_args;  ///< which arguments are DO index vars
+};
+
+const std::map<std::string, MacroRule>& macro_rules() {
+  static const std::map<std::string, MacroRule> rules = {
+      {"force_main", {StmtKind::kModuleBegin, 0, {}}},
+      {"forcesub", {StmtKind::kModuleBegin, 0, {}}},
+      {"end_forcesub", {StmtKind::kModuleEnd, -1, {}}},
+      {"end_declarations", {StmtKind::kEndDeclarations, -1, {}}},
+      {"shared_decl", {StmtKind::kSharedDecl, 1, {}}},
+      {"private_decl", {StmtKind::kPrivateDecl, 1, {}}},
+      {"async_decl", {StmtKind::kAsyncDecl, 1, {}}},
+      {"externf", {StmtKind::kExternf, 0, {}}},
+      {"barrier_begin", {StmtKind::kBarrierBegin, -1, {}}},
+      {"barrier_end", {StmtKind::kBarrierEnd, -1, {}}},
+      {"critical_begin", {StmtKind::kCriticalBegin, 0, {}}},
+      {"critical_end", {StmtKind::kCriticalEnd, -1, {}}},
+      {"rawlock", {StmtKind::kLock, 0, {}}},
+      {"rawunlock", {StmtKind::kUnlock, 0, {}}},
+      {"presched_do", {StmtKind::kDoBegin, 0, {1}}},
+      {"selfsched_do", {StmtKind::kDoBegin, 0, {1}}},
+      {"guided_do", {StmtKind::kDoBegin, 0, {1}}},
+      {"presched_do2", {StmtKind::kDoBegin, 0, {1, 5}}},
+      {"selfsched_do2", {StmtKind::kDoBegin, 0, {1, 5}}},
+      {"end_presched_do", {StmtKind::kDoEnd, 0, {}}},
+      {"end_selfsched_do", {StmtKind::kDoEnd, 0, {}}},
+      {"end_guided_do", {StmtKind::kDoEnd, 0, {}}},
+      {"end_presched_do2", {StmtKind::kDoEnd, 0, {}}},
+      {"end_selfsched_do2", {StmtKind::kDoEnd, 0, {}}},
+      {"pcase_begin", {StmtKind::kPcaseBegin, -1, {}}},
+      {"usect", {StmtKind::kUsect, -1, {}}},
+      {"csect", {StmtKind::kCsect, -1, {}}},
+      {"pcase_end", {StmtKind::kPcaseEnd, -1, {}}},
+      {"askfor_begin", {StmtKind::kAskforBegin, 0, {}}},
+      {"end_askfor", {StmtKind::kAskforEnd, 0, {}}},
+      {"seedwork", {StmtKind::kSeedwork, 0, {}}},
+      {"putwork", {StmtKind::kPutwork, -1, {}}},
+      {"probend", {StmtKind::kProbend, -1, {}}},
+      {"produce", {StmtKind::kProduce, 0, {}}},
+      {"consume", {StmtKind::kConsume, 0, {}}},
+      {"copyasync", {StmtKind::kCopy, 0, {}}},
+      {"voidasync", {StmtKind::kVoid, 0, {}}},
+      {"isfull", {StmtKind::kIsfull, 0, {}}},
+      {"reduce_stmt", {StmtKind::kReduce, 0, {}}},
+      {"forcecall", {StmtKind::kForcecall, 0, {}}},
+      {"join", {StmtKind::kJoin, -1, {}}},
+  };
+  return rules;
+}
+
+Stmt lower_line(const std::string& line, int origin) {
+  Stmt s;
+  s.line = origin;
+  s.text = line;
+  const std::string t = trim(line);
+  if (t.rfind("//", 0) == 0) {
+    s.kind = StmtKind::kComment;
+    return s;
+  }
+  if (t.empty() || t[0] != '@' || t.back() != ')') {
+    s.kind = StmtKind::kPassthrough;
+    return s;
+  }
+  const std::size_t paren = t.find('(');
+  if (paren == std::string::npos) {
+    s.kind = StmtKind::kPassthrough;
+    return s;
+  }
+  const std::string macro = t.substr(1, paren - 1);
+  const auto it = macro_rules().find(macro);
+  if (it == macro_rules().end()) {
+    // An internal or injected macro the lint IR does not model.
+    s.kind = StmtKind::kPassthrough;
+    return s;
+  }
+  const MacroRule& rule = it->second;
+  s.kind = rule.kind;
+  s.args = split_args(t.substr(paren + 1, t.size() - paren - 2));
+  if (rule.name_arg >= 0 &&
+      static_cast<std::size_t>(rule.name_arg) < s.args.size()) {
+    s.name = s.args[static_cast<std::size_t>(rule.name_arg)];
+  }
+  for (const int ix : rule.index_args) {
+    if (static_cast<std::size_t>(ix) < s.args.size()) {
+      s.index_vars.push_back(s.args[static_cast<std::size_t>(ix)]);
+    }
+  }
+  return s;
+}
+
+void record_decl(Routine& r, const Stmt& s, VarClass cls) {
+  if (s.args.empty() || s.name.empty()) return;
+  LintVar v;
+  v.name = s.name;
+  v.force_type = s.args[0];
+  v.cls = cls;
+  v.decl_line = s.line;
+  v.is_array = s.args.size() > 2;  // (type, name, dims...)
+  r.vars.emplace(v.name, std::move(v));  // first declaration wins
+}
+
+}  // namespace
+
+ConstructGraph build_construct_graph(const RewriteResult& pass1) {
+  ConstructGraph g;
+  Routine* current = nullptr;
+  for (std::size_t i = 0; i < pass1.lines.size(); ++i) {
+    const int origin =
+        i < pass1.origin.size() ? pass1.origin[i] : 0;
+    Stmt s = lower_line(pass1.lines[i], origin);
+    if (s.kind == StmtKind::kModuleBegin) {
+      Routine r;
+      r.name = s.name;
+      const std::string t = trim(pass1.lines[i]);
+      r.is_main = t.rfind("@force_main(", 0) == 0;
+      r.begin_line = origin;
+      g.routines.push_back(std::move(r));
+      current = &g.routines.back();
+      continue;
+    }
+    if (current == nullptr) {
+      g.toplevel.push_back(std::move(s));
+      continue;
+    }
+    switch (s.kind) {
+      case StmtKind::kSharedDecl:
+        record_decl(*current, s, VarClass::kShared);
+        break;
+      case StmtKind::kPrivateDecl:
+        record_decl(*current, s, VarClass::kPrivate);
+        break;
+      case StmtKind::kAsyncDecl:
+        record_decl(*current, s, VarClass::kAsync);
+        break;
+      default:
+        break;
+    }
+    const bool ends_module = s.kind == StmtKind::kModuleEnd;
+    current->stmts.push_back(std::move(s));
+    if (ends_module) current = nullptr;
+  }
+  return g;
+}
+
+void LockOrderGraph::add_edge(const std::string& outer,
+                              const std::string& inner, int line) {
+  edges[outer].emplace(inner, line);  // keep the first site
+}
+
+std::vector<std::vector<std::string>> LockOrderGraph::cycles() const {
+  // Collect the node set.
+  std::set<std::string> nodes;
+  for (const auto& [from, tos] : edges) {
+    nodes.insert(from);
+    for (const auto& [to, line] : tos) nodes.insert(to);
+  }
+  // reach[a] = every node reachable from a (graphs here are tiny: one
+  // node per distinct lock name in the program).
+  std::map<std::string, std::set<std::string>> reach;
+  for (const auto& n : nodes) {
+    std::vector<std::string> stack{n};
+    auto& r = reach[n];
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      const auto it = edges.find(cur);
+      if (it == edges.end()) continue;
+      for (const auto& [to, line] : it->second) {
+        if (r.insert(to).second) stack.push_back(to);
+      }
+    }
+  }
+  // Mutual-reachability components that contain a cycle: size > 1, or a
+  // single node that reaches itself (self-loop).
+  std::vector<std::vector<std::string>> out;
+  std::set<std::string> assigned;
+  for (const auto& n : nodes) {
+    if (assigned.count(n) != 0) continue;
+    std::vector<std::string> comp;
+    for (const auto& m : nodes) {
+      if (m == n || (reach[n].count(m) != 0 && reach[m].count(n) != 0)) {
+        comp.push_back(m);
+      }
+    }
+    const bool cyclic = comp.size() > 1 || reach[n].count(n) != 0;
+    for (const auto& m : comp) assigned.insert(m);
+    if (cyclic) out.push_back(std::move(comp));  // comp is sorted: set order
+  }
+  return out;
+}
+
+int LockOrderGraph::cycle_line(const std::vector<std::string>& cycle) const {
+  const std::set<std::string> members(cycle.begin(), cycle.end());
+  int line = 0;
+  for (const auto& from : cycle) {
+    const auto it = edges.find(from);
+    if (it == edges.end()) continue;
+    for (const auto& [to, l] : it->second) {
+      if (members.count(to) != 0) line = std::max(line, l);
+    }
+  }
+  return line;
+}
+
+}  // namespace force::preproc

@@ -1,0 +1,112 @@
+// The construct graph: forcelint's intermediate representation.
+//
+// Pass 1 turns Force syntax into a stream of parameterized macro calls
+// (@barrier_begin(), @selfsched_do(100, I, 0, 1023, 1), ...) interleaved
+// with passthrough C++ lines. build_construct_graph() lowers that stream
+// into a per-routine statement list with resolved construct kinds and a
+// variable-class table (Shared/Private/Async) - the structure the lint
+// rules (preproc/lint.{hpp,cpp}) walk. The translator proper never sees
+// this IR; it exists so correctness questions ("is this write protected?",
+// "can this barrier diverge?") are answered on a typed graph instead of
+// text.
+//
+// LockOrderGraph is the static analogue of the runtime Sentry's
+// acquisition-order graph (src/core/sentry.hpp): named critical sections
+// and raw Lock/Unlock statements become nodes, "B acquired while A is
+// held" becomes an edge A->B, and cycles() reports every strongly
+// connected knot - the same inversion class the Sentry flags at run time,
+// available at translate time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "preproc/pass1.hpp"
+
+namespace force::preproc {
+
+enum class StmtKind {
+  kPassthrough,   ///< a computational C++ line
+  kComment,       ///< a rewritten ! comment
+  kModuleBegin,   ///< Force NAME or Forcesub NAME
+  kModuleEnd,     ///< End Forcesub
+  kEndDeclarations,
+  kSharedDecl, kPrivateDecl, kAsyncDecl,
+  kExternf,
+  kBarrierBegin, kBarrierEnd,
+  kCriticalBegin, kCriticalEnd,
+  kLock, kUnlock,
+  kDoBegin, kDoEnd,    ///< presched/selfsched/guided DO and DO2
+  kPcaseBegin, kUsect, kCsect, kPcaseEnd,
+  kAskforBegin, kAskforEnd,
+  kSeedwork, kPutwork, kProbend,
+  kProduce, kConsume, kCopy, kVoid, kIsfull,
+  kReduce,
+  kForcecall,
+  kJoin,
+};
+
+/// One lowered statement. `name` is the construct's identity when it has
+/// one: the lock name for Critical/Lock, the variable for async ops, the
+/// label for DO/Askfor, the target for Reduce, the module name for
+/// ModuleBegin.
+struct Stmt {
+  StmtKind kind = StmtKind::kPassthrough;
+  int line = 0;                    ///< 1-based source line
+  std::string text;                ///< the pass-1 line
+  std::string name;
+  std::vector<std::string> args;   ///< raw macro arguments
+  std::vector<std::string> index_vars;  ///< DO index variable(s)
+};
+
+enum class VarClass { kShared, kPrivate, kAsync };
+
+struct LintVar {
+  std::string name;
+  std::string force_type;
+  VarClass cls = VarClass::kShared;
+  int decl_line = 0;
+  bool is_array = false;
+};
+
+/// One Force module (the main program or a Forcesub) with its statements
+/// and declared variables.
+struct Routine {
+  std::string name;
+  bool is_main = false;
+  int begin_line = 0;
+  std::vector<Stmt> stmts;
+  std::map<std::string, LintVar> vars;
+};
+
+struct ConstructGraph {
+  std::vector<Routine> routines;
+  std::vector<Stmt> toplevel;  ///< statements outside any routine
+};
+
+/// Lowers the pass-1 stream. Robust against malformed input: unknown
+/// macro calls and unbalanced constructs degrade to passthrough/best
+/// effort, never throw - pass1 has already diagnosed them.
+ConstructGraph build_construct_graph(const RewriteResult& pass1);
+
+/// The static lock-order graph (rule R4). Nodes are lock names; an edge
+/// A->B means B was acquired somewhere while A was held.
+struct LockOrderGraph {
+  /// outer name -> inner name -> source line of the first such acquisition.
+  std::map<std::string, std::map<std::string, int>> edges;
+
+  void add_edge(const std::string& outer, const std::string& inner, int line);
+
+  /// Every nontrivial strongly connected component (mutual-reachability
+  /// knot) plus self-loops, as sorted lock-name lists, deterministically
+  /// ordered. Each is a potential deadlock: some acquisition order within
+  /// the set contradicts another.
+  [[nodiscard]] std::vector<std::vector<std::string>> cycles() const;
+
+  /// The latest source line among the edges internal to `cycle` - where a
+  /// diagnostic for it should point.
+  [[nodiscard]] int cycle_line(const std::vector<std::string>& cycle) const;
+};
+
+}  // namespace force::preproc

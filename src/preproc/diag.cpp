@@ -1,5 +1,8 @@
 #include "preproc/diag.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace force::preproc {
 
 namespace {
@@ -15,31 +18,68 @@ const char* severity_name(Severity s) {
 
 std::string Diagnostic::render(const std::string& filename) const {
   std::string out = filename;
-  if (line > 0) out += ":" + std::to_string(line);
+  if (line > 0) {
+    out += ":" + std::to_string(line);
+    if (col > 0) out += ":" + std::to_string(col);
+  }
   out += ": ";
   out += severity_name(severity);
   out += ": ";
   out += message;
+  if (!rule.empty()) out += " [" + rule + "]";
+  if (!snippet.empty() && col > 0) {
+    // Caret rendering: the source line (tabs flattened so the caret
+    // column lines up), then ^~~~ under the reported range.
+    std::string shown = snippet;
+    std::replace(shown.begin(), shown.end(), '\t', ' ');
+    out += "\n  " + shown + "\n  ";
+    const std::size_t c = static_cast<std::size_t>(col - 1);
+    out += std::string(std::min(c, shown.size()), ' ');
+    out += '^';
+    if (length > 1 && c < shown.size()) {
+      const std::size_t avail = shown.size() - c;
+      out += std::string(std::min<std::size_t>(length - 1, avail), '~');
+    }
+  }
   return out;
 }
 
 void DiagSink::note(int line, std::string message) {
-  diags_.push_back({Severity::kNote, line, std::move(message)});
+  report(Severity::kNote, line, 0, 0, "", std::move(message), "");
 }
 
 void DiagSink::warning(int line, std::string message) {
-  diags_.push_back({Severity::kWarning, line, std::move(message)});
+  report(Severity::kWarning, line, 0, 0, "", std::move(message), "");
 }
 
 void DiagSink::error(int line, std::string message) {
-  diags_.push_back({Severity::kError, line, std::move(message)});
-  ++error_count_;
+  report(Severity::kError, line, 0, 0, "", std::move(message), "");
+}
+
+void DiagSink::report(Severity severity, int line, int col, int length,
+                      std::string rule, std::string message,
+                      std::string snippet) {
+  if (severity == Severity::kWarning) {
+    ++warning_count_;
+    if (werror_) severity = Severity::kError;
+  }
+  if (severity == Severity::kError) ++error_count_;
+  diags_.push_back({severity, line, col, length, std::move(rule),
+                    std::move(message), std::move(snippet)});
 }
 
 std::string DiagSink::render_all(const std::string& filename) const {
+  std::vector<std::size_t> order(diags_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (diags_[a].line != diags_[b].line)
+                       return diags_[a].line < diags_[b].line;
+                     return diags_[a].col < diags_[b].col;
+                   });
   std::string out;
-  for (const auto& d : diags_) {
-    out += d.render(filename);
+  for (const std::size_t i : order) {
+    out += diags_[i].render(filename);
     out += '\n';
   }
   return out;

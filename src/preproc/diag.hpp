@@ -10,9 +10,15 @@ enum class Severity { kNote, kWarning, kError };
 
 struct Diagnostic {
   Severity severity = Severity::kError;
-  int line = 0;  ///< 1-based source line; 0 = whole file
+  int line = 0;     ///< 1-based source line; 0 = whole file
+  int col = 0;      ///< 1-based column; 0 = whole line
+  int length = 0;   ///< source-range length in chars (0 = point)
+  std::string rule;     ///< stable diagnostic id ("force-lint-R2"); optional
   std::string message;
+  std::string snippet;  ///< the source line, for the caret rendering
 
+  /// "file:line:col: severity: message [rule]" plus, when a snippet is
+  /// attached, the source line and a caret/underline marking the range.
   [[nodiscard]] std::string render(const std::string& filename) const;
 };
 
@@ -23,14 +29,29 @@ class DiagSink {
   void warning(int line, std::string message);
   void error(int line, std::string message);
 
+  /// Full-fidelity emission with position, rule id and caret snippet.
+  /// Warnings are promoted to errors when werror mode is on.
+  void report(Severity severity, int line, int col, int length,
+              std::string rule, std::string message, std::string snippet);
+
+  /// -Werror: subsequently reported warnings are recorded as errors and
+  /// count in errors(), so ok() (and forcepp's exit code) reflects them.
+  void set_werror(bool on) { werror_ = on; }
+  [[nodiscard]] bool werror() const { return werror_; }
+
   [[nodiscard]] bool ok() const { return error_count_ == 0; }
   [[nodiscard]] std::size_t errors() const { return error_count_; }
+  [[nodiscard]] std::size_t warnings() const { return warning_count_; }
   [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  /// Renders every diagnostic sorted by (line, col); ties keep emission
+  /// order, whole-file diagnostics (line 0) come first.
   [[nodiscard]] std::string render_all(const std::string& filename) const;
 
  private:
   std::vector<Diagnostic> diags_;
   std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+  bool werror_ = false;
 };
 
 }  // namespace force::preproc

@@ -29,6 +29,12 @@ struct TranslateOptions {
   /// that the main translation unit's driver calls for every Externf -
   /// the paper's separately compiled Force subroutines (§4.2 Externf).
   bool module_mode = false;
+  /// Run forcelint (preproc/lint.hpp) over the source before translating.
+  bool lint = false;
+  /// The `--lint=` spec: rule subset and W/E severity (empty = all, W).
+  std::string lint_spec;
+  /// Promote every warning (lint findings included) to an error.
+  bool werror = false;
 };
 
 /// File header: banner + includes.

@@ -56,6 +56,11 @@ int main(int argc, char** argv) {
             "translate a separately compiled module (Forcesubs only, no "
             "driver); emits force_register_<NAME> entry points")
       .flag("emit-pass1", "also print the pass-1 macro-call form")
+      .optional_value_option(
+          "lint", "all",
+          "run forcelint; optional spec selects rules and severity, e.g. "
+          "--lint=R2,R4,E (R1..R6 subset, W=warnings, E=errors)")
+      .flag("Werror", "treat warnings (lint findings included) as errors")
       .flag("list-machines", "list the supported machine models and exit");
 
   try {
@@ -77,6 +82,9 @@ int main(int argc, char** argv) {
     options.source_name = input;
     options.emit_pass1 = cli.get_flag("emit-pass1");
     options.module_mode = cli.get_flag("module");
+    options.lint = cli.seen("lint");
+    options.lint_spec = cli.get("lint");
+    options.werror = cli.get_flag("Werror");
 
     const auto result =
         force::preproc::translate(read_file(input), options);

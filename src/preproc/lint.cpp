@@ -1,0 +1,821 @@
+#include "preproc/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "preproc/textutil.hpp"
+
+namespace force::preproc {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t'; }
+
+/// Whole-word containment ("I" in "I+1" but not in "MIN").
+bool contains_word(const std::string& s, const std::string& word) {
+  if (word.empty()) return false;
+  std::size_t i = 0;
+  while ((i = s.find(word, i)) != std::string::npos) {
+    const bool left_ok = i == 0 || !is_word_char(s[i - 1]);
+    const std::size_t after = i + word.size();
+    const bool right_ok = after >= s.size() || !is_word_char(s[after]);
+    if (left_ok && right_ok) return true;
+    ++i;
+  }
+  return false;
+}
+
+/// Blanks out string literals, character literals and comments so the
+/// write scanner and control tracker never match inside them. Offsets are
+/// preserved (replaced chars become spaces).
+std::string strip_code(const std::string& line) {
+  std::string out = line;
+  bool in_str = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    if (in_str) {
+      if (c == '\\' && i + 1 < out.size()) {
+        out[i] = ' ';
+        out[++i] = ' ';
+        continue;
+      }
+      if (c == '"') in_str = false;
+      out[i] = ' ';
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+      out[i] = ' ';
+      continue;
+    }
+    if (c == '\'') {
+      // A character literal unless it is a digit separator (1'000).
+      if (i > 0 && is_word_char(out[i - 1])) continue;
+      std::size_t j = i + 1;
+      if (j < out.size() && out[j] == '\\') ++j;
+      if (j < out.size()) ++j;
+      if (j < out.size() && out[j] == '\'') {
+        for (std::size_t k = i; k <= j; ++k) out[k] = ' ';
+        i = j;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+      for (std::size_t k = i; k < out.size(); ++k) out[k] = ' ';
+      break;
+    }
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+      const std::size_t close = out.find("*/", i + 2);
+      const std::size_t end = close == std::string::npos ? out.size()
+                                                         : close + 2;
+      for (std::size_t k = i; k < end; ++k) out[k] = ' ';
+      i = end == 0 ? 0 : end - 1;
+      continue;
+    }
+  }
+  return out;
+}
+
+// --- write scanner ----------------------------------------------------------
+
+struct WriteHit {
+  std::size_t pos = 0;                  ///< offset of the variable name
+  std::vector<std::string> subscripts;  ///< consecutive [..] groups
+  bool compound = false;                ///< +=, ++, ... (reads and writes)
+  bool rhs_reads_target = false;        ///< plain '=' whose RHS names the var
+};
+
+/// Finds assignment-shaped uses of `name` in a stripped line: `name = ..`,
+/// `name[..] op= ..`, `name++`, `++name`. Comparison operators are not
+/// writes.
+std::vector<WriteHit> find_writes(const std::string& s,
+                                  const std::string& name) {
+  std::vector<WriteHit> hits;
+  std::size_t from = 0;
+  std::size_t i = 0;
+  while ((i = s.find(name, from)) != std::string::npos) {
+    from = i + 1;
+    if (i > 0 && is_word_char(s[i - 1])) continue;
+    const std::size_t after = i + name.size();
+    if (after < s.size() && is_word_char(s[after])) continue;
+
+    WriteHit hit;
+    hit.pos = i;
+
+    // Prefix increment/decrement.
+    std::size_t back = i;
+    while (back > 0 && is_space(s[back - 1])) --back;
+    if (back >= 2 && ((s[back - 1] == '+' && s[back - 2] == '+') ||
+                      (s[back - 1] == '-' && s[back - 2] == '-'))) {
+      hit.compound = true;
+      hits.push_back(std::move(hit));
+      continue;
+    }
+
+    // Consecutive balanced subscript groups.
+    std::size_t j = after;
+    bool malformed = false;
+    while (true) {
+      while (j < s.size() && is_space(s[j])) ++j;
+      if (j >= s.size() || s[j] != '[') break;
+      int depth = 1;
+      const std::size_t start = j + 1;
+      std::size_t k = start;
+      while (k < s.size() && depth > 0) {
+        if (s[k] == '[') ++depth;
+        if (s[k] == ']') --depth;
+        ++k;
+      }
+      if (depth != 0) {
+        malformed = true;
+        break;
+      }
+      hit.subscripts.push_back(s.substr(start, k - 1 - start));
+      j = k;
+    }
+    if (malformed) continue;
+    while (j < s.size() && is_space(s[j])) ++j;
+    if (j >= s.size()) continue;
+
+    const char c = s[j];
+    const char c2 = j + 1 < s.size() ? s[j + 1] : '\0';
+    bool is_write = false;
+    if (c == '=' && c2 != '=') {
+      is_write = true;
+    } else if ((c == '+' && c2 == '+') || (c == '-' && c2 == '-')) {
+      is_write = true;
+      hit.compound = true;
+    } else if (std::string("+-*/%&|^").find(c) != std::string::npos &&
+               c2 == '=') {
+      is_write = true;
+      hit.compound = true;
+    } else if (((c == '<' && c2 == '<') || (c == '>' && c2 == '>')) &&
+               j + 2 < s.size() && s[j + 2] == '=') {
+      is_write = true;
+      hit.compound = true;
+    }
+    if (!is_write) continue;
+    if (c == '=' && !hit.compound) {
+      hit.rhs_reads_target = contains_word(s.substr(j + 1), name);
+    }
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+// --- passthrough control-flow tracker ---------------------------------------
+
+/// Tracks C++ control regions opened by passthrough lines: brace-balanced
+/// regions with a divergence flag (if/else/switch bodies may be entered by
+/// a subset of the force; while/for bodies are assumed schedule-uniform,
+/// the dialect's documented discipline - see docs/LANGUAGE.md "SPMD
+/// discipline").
+class ControlTracker {
+ public:
+  [[nodiscard]] bool divergent_now() const {
+    if (pending_single_ > 0 && pending_divergent_) return true;
+    return std::any_of(stack_.begin(), stack_.end(),
+                       [](const Region& r) { return r.divergent; });
+  }
+  [[nodiscard]] bool inside_any() const {
+    return !stack_.empty() || pending_single_ > 0;
+  }
+  /// A construct statement consumes a braceless single-statement control.
+  void consume_statement() {
+    if (pending_single_ > 0) --pending_single_;
+  }
+
+  /// Updates the region stack from one stripped passthrough line; returns
+  /// true when any region opened or closed (async states go unknown).
+  bool feed(const std::string& s) {
+    bool changed = false;
+    std::size_t i = 0;
+    while (i < s.size() && is_space(s[i])) ++i;
+    if (pending_single_ > 0 && i < s.size()) {
+      if (s[i] == '{') {
+        // The braceless control's compound statement: inherit divergence.
+        stack_.push_back({pending_divergent_});
+        changed = true;
+        ++i;
+      }
+      pending_single_ = 0;
+    }
+    enum class Pend { kNone, kCond, kLoop };
+    Pend pend = Pend::kNone;
+    int paren = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (is_word_char(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        while (j < s.size() && is_word_char(s[j])) ++j;
+        const std::string word = s.substr(i, j - i);
+        if (word == "if" || word == "else" || word == "switch") {
+          pend = Pend::kCond;
+        } else if (word == "while" || word == "for" || word == "do") {
+          if (pend != Pend::kCond) pend = Pend::kLoop;
+        }
+        i = j;
+        continue;
+      }
+      if (c == '(') ++paren;
+      if (c == ')' && paren > 0) --paren;
+      if (c == ';' && paren == 0) pend = Pend::kNone;
+      if (c == '{') {
+        stack_.push_back({pend == Pend::kCond});
+        pend = Pend::kNone;
+        changed = true;
+      }
+      if (c == '}' && !stack_.empty()) {
+        stack_.pop_back();
+        changed = true;
+      }
+      ++i;
+    }
+    if (pend != Pend::kNone && paren == 0) {
+      // "if (cond)" / "for (...)" with the controlled statement on the
+      // next line.
+      pending_single_ = 1;
+      pending_divergent_ = pend == Pend::kCond;
+      changed = true;
+    }
+    return changed;
+  }
+
+ private:
+  struct Region {
+    bool divergent = false;
+  };
+  std::vector<Region> stack_;
+  int pending_single_ = 0;
+  bool pending_divergent_ = false;
+};
+
+// --- suppression directives -------------------------------------------------
+
+/// Region-scoped suppression: `!force$ lint off(R2[,R5])` disables the
+/// rules from that line until `!force$ lint on(...)` or end of file;
+/// without a rule list every rule is toggled.
+class Suppressions {
+ public:
+  explicit Suppressions(const std::vector<std::string>& lines) {
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+      parse_line(trim(lines[n]), static_cast<int>(n) + 1);
+    }
+  }
+
+  [[nodiscard]] bool suppressed(LintRule rule, int line) const {
+    bool off_all = false;
+    std::set<LintRule> off;
+    for (const Event& ev : events_) {
+      if (ev.line > line) break;
+      if (ev.all) {
+        off_all = ev.off;
+        off.clear();
+      } else if (ev.off) {
+        off.insert(ev.rule);
+      } else {
+        off.erase(ev.rule);
+      }
+    }
+    return off_all || off.count(rule) != 0;
+  }
+
+ private:
+  struct Event {
+    int line = 0;
+    bool off = false;
+    bool all = false;
+    LintRule rule = LintRule::kR1;
+  };
+
+  void parse_line(const std::string& trimmed, int lineno) {
+    std::string rest;
+    const std::string lower = to_lower(trimmed);
+    for (const char* prefix : {"!force$", "! force$", "//force$", "// force$"}) {
+      if (lower.rfind(prefix, 0) == 0) {
+        rest = trim(lower.substr(std::string(prefix).size()));
+        break;
+      }
+    }
+    if (rest.empty()) return;
+    if (rest.rfind("lint", 0) != 0) return;
+    rest = trim(rest.substr(4));
+    // Allow a trailing comment on the directive line.
+    if (const std::size_t bang = rest.find('!'); bang != std::string::npos) {
+      rest = trim(rest.substr(0, bang));
+    }
+    if (const std::size_t sl = rest.find("//"); sl != std::string::npos) {
+      rest = trim(rest.substr(0, sl));
+    }
+    bool off = false;
+    if (rest.rfind("off", 0) == 0) {
+      off = true;
+      rest = trim(rest.substr(3));
+    } else if (rest.rfind("on", 0) == 0) {
+      rest = trim(rest.substr(2));
+    } else {
+      return;
+    }
+    if (rest.empty()) {
+      events_.push_back({lineno, off, true, LintRule::kR1});
+      return;
+    }
+    if (rest.front() != '(' || rest.back() != ')') return;
+    for (const auto& tok : split_args(rest.substr(1, rest.size() - 2))) {
+      const std::string t = to_lower(tok);
+      if (t.size() == 2 && t[0] == 'r' && t[1] >= '1' && t[1] <= '6') {
+        events_.push_back(
+            {lineno, off, false,
+             static_cast<LintRule>(t[1] - '1')});
+      }
+    }
+  }
+
+  std::vector<Event> events_;
+};
+
+// --- the rule engine --------------------------------------------------------
+
+enum class ProtKind { kBarrier, kCritical, kLockHeld, kDoall, kAskfor };
+
+struct Prot {
+  ProtKind kind;
+  std::string name;
+  std::vector<std::string> index_vars;
+};
+
+enum class AsyncState { kEmpty, kFull, kUnknown };
+
+bool is_collective(StmtKind k) {
+  switch (k) {
+    case StmtKind::kBarrierBegin:
+    case StmtKind::kBarrierEnd:
+    case StmtKind::kDoBegin:
+    case StmtKind::kDoEnd:
+    case StmtKind::kPcaseBegin:
+    case StmtKind::kPcaseEnd:
+    case StmtKind::kUsect:
+    case StmtKind::kCsect:
+    case StmtKind::kAskforBegin:
+    case StmtKind::kAskforEnd:
+    case StmtKind::kSeedwork:
+    case StmtKind::kReduce:
+    case StmtKind::kForcecall:
+    case StmtKind::kJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Linter {
+ public:
+  Linter(const LintOptions& opts, DiagSink& diags,
+         std::vector<std::string> src_lines)
+      : opts_(opts), diags_(diags), src_lines_(std::move(src_lines)),
+        suppress_(src_lines_) {}
+
+  LintResult run(const ConstructGraph& graph) {
+    for (const Routine& r : graph.routines) lint_routine(r);
+    report_lock_cycles();
+    return std::move(result_);
+  }
+
+ private:
+  // --- emission -------------------------------------------------------------
+
+  [[nodiscard]] std::string source_line(int line) const {
+    if (line < 1 || static_cast<std::size_t>(line) > src_lines_.size())
+      return "";
+    return src_lines_[static_cast<std::size_t>(line) - 1];
+  }
+
+  /// Column of the statement's first token in the original source line.
+  [[nodiscard]] int stmt_col(int line) const {
+    const std::string src = source_line(line);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      if (!is_space(src[i])) return static_cast<int>(i) + 1;
+    }
+    return src.empty() ? 0 : 1;
+  }
+
+  void emit(LintRule rule, int line, int col, int length, std::string msg) {
+    if (opts_.rules.count(rule) == 0) return;
+    if (suppress_.suppressed(rule, line)) return;
+    const Severity sev = opts_.findings_are_errors ? Severity::kError
+                                                   : Severity::kWarning;
+    diags_.report(sev, line, col, length, lint_rule_id(rule),
+                  std::move(msg), source_line(line));
+    ++result_.findings;
+  }
+
+  void emit_stmt(LintRule rule, const Stmt& s, std::string msg) {
+    const int col = stmt_col(s.line);
+    const int length = static_cast<int>(trim(source_line(s.line)).size());
+    emit(rule, s.line, col, length, std::move(msg));
+  }
+
+  /// Point a finding at the variable name inside the statement's line.
+  void emit_at_name(LintRule rule, const Stmt& s, const std::string& name,
+                    std::string msg) {
+    const std::string src = source_line(s.line);
+    std::size_t pos = std::string::npos;
+    std::size_t from = 0;
+    while ((pos = src.find(name, from)) != std::string::npos) {
+      const bool left = pos == 0 || !is_word_char(src[pos - 1]);
+      const std::size_t after = pos + name.size();
+      const bool right = after >= src.size() || !is_word_char(src[after]);
+      if (left && right) break;
+      from = pos + 1;
+    }
+    if (pos == std::string::npos) {
+      emit_stmt(rule, s, std::move(msg));
+      return;
+    }
+    emit(rule, s.line, static_cast<int>(pos) + 1,
+         static_cast<int>(name.size()), std::move(msg));
+  }
+
+  // --- protection helpers ---------------------------------------------------
+
+  [[nodiscard]] bool write_protected_here() const {
+    for (const Prot& p : prot_) {
+      if (p.kind == ProtKind::kBarrier || p.kind == ProtKind::kCritical ||
+          p.kind == ProtKind::kLockHeld) {
+        return true;
+      }
+    }
+    return std::any_of(pcase_sect_.begin(), pcase_sect_.end(),
+                       [](bool b) { return b; });
+  }
+
+  [[nodiscard]] bool inside(ProtKind k) const {
+    return std::any_of(prot_.begin(), prot_.end(),
+                       [k](const Prot& p) { return p.kind == k; });
+  }
+
+  [[nodiscard]] std::vector<std::string> doall_index_vars() const {
+    std::vector<std::string> out;
+    for (const Prot& p : prot_) {
+      if (p.kind != ProtKind::kDoall) continue;
+      out.insert(out.end(), p.index_vars.begin(), p.index_vars.end());
+    }
+    return out;
+  }
+
+  void pop_last(ProtKind k) {
+    for (auto it = prot_.rbegin(); it != prot_.rend(); ++it) {
+      if (it->kind == k) {
+        prot_.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<std::string> held_locks() const {
+    std::vector<std::string> out;
+    for (const Prot& p : prot_) {
+      if (p.kind == ProtKind::kCritical || p.kind == ProtKind::kLockHeld) {
+        out.push_back(p.name);
+      }
+    }
+    return out;
+  }
+
+  void acquire_lock(const Stmt& s, ProtKind kind) {
+    for (const std::string& outer : held_locks()) {
+      result_.lock_graph.add_edge(outer, s.name, s.line);
+    }
+    prot_.push_back({kind, s.name, {}});
+  }
+
+  // --- async protocol (R3) --------------------------------------------------
+
+  [[nodiscard]] bool async_context_unknown() const {
+    return inside(ProtKind::kDoall) || inside(ProtKind::kAskfor) ||
+           tracker_.inside_any();
+  }
+
+  void async_all_unknown() {
+    for (auto& [name, st] : async_) st = AsyncState::kUnknown;
+  }
+
+  void async_op(const Routine& r, const Stmt& s) {
+    const auto var = r.vars.find(s.name);
+    if (var == r.vars.end() || var->second.cls != VarClass::kAsync) return;
+    if (async_context_unknown()) {
+      async_[s.name] = AsyncState::kUnknown;
+      return;
+    }
+    // Declared async vars were pre-seeded in lint_routine.
+    AsyncState& st = async_[s.name];
+    switch (s.kind) {
+      case StmtKind::kProduce:
+        if (st == AsyncState::kFull) {
+          emit_at_name(LintRule::kR3, s, s.name,
+                       "Produce on async variable '" + s.name +
+                           "' that is already full on this path - the "
+                           "producer blocks forever unless another "
+                           "process consumes");
+        }
+        st = AsyncState::kFull;
+        break;
+      case StmtKind::kConsume:
+        if (st == AsyncState::kEmpty) {
+          emit_at_name(LintRule::kR3, s, s.name,
+                       "Consume of async variable '" + s.name +
+                           "' with no reaching Produce - the consumer "
+                           "blocks forever on this path");
+        }
+        st = AsyncState::kEmpty;
+        break;
+      case StmtKind::kCopy:
+        if (st == AsyncState::kEmpty) {
+          emit_at_name(LintRule::kR3, s, s.name,
+                       "Copy of async variable '" + s.name +
+                           "' with no reaching Produce - the reader "
+                           "blocks forever on this path");
+        }
+        break;
+      case StmtKind::kVoid:
+        if (st == AsyncState::kEmpty) {
+          emit_at_name(LintRule::kR3, s, s.name,
+                       "double Void of async variable '" + s.name +
+                           "' - it is already empty on this path");
+        }
+        st = AsyncState::kEmpty;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- shared-write rules (R2, R5) ------------------------------------------
+
+  void scan_writes(const Routine& r, const Stmt& s,
+                   const std::string& stripped) {
+    if (write_protected_here()) return;
+    const bool in_doall = inside(ProtKind::kDoall);
+    const std::vector<std::string> index_vars = doall_index_vars();
+    for (const auto& [name, var] : r.vars) {
+      if (var.cls != VarClass::kShared) continue;
+      for (const WriteHit& hit : find_writes(stripped, name)) {
+        const int col = static_cast<int>(hit.pos) + 1;
+        const int len = static_cast<int>(name.size());
+        if (!in_doall) {
+          emit(LintRule::kR2, s.line, col, len,
+               "write to shared variable '" + name +
+                   "' outside any critical section, barrier section, "
+                   "lock, or Pcase section - every process races on "
+                   "this store");
+          continue;
+        }
+        if (!hit.subscripts.empty()) {
+          bool exact = false;
+          bool offset = false;
+          for (const std::string& sub : hit.subscripts) {
+            const std::string t = trim(sub);
+            if (std::find(index_vars.begin(), index_vars.end(), t) !=
+                index_vars.end()) {
+              exact = true;
+            } else {
+              for (const std::string& iv : index_vars) {
+                if (contains_word(sub, iv)) offset = true;
+              }
+            }
+          }
+          if (exact && !offset) continue;  // partitioned by the index
+          if (offset) {
+            emit(LintRule::kR5, s.line, col, len,
+                 "write to shared array '" + name +
+                     "' at an offset of the loop index inside a DOALL "
+                     "body - a loop-carried dependence the scheduler is "
+                     "free to reorder");
+            continue;
+          }
+          emit(LintRule::kR2, s.line, col, len,
+               "write to shared array '" + name +
+                   "' whose subscript does not depend on the DOALL index "
+                   "- concurrent iterations race on the same element");
+          continue;
+        }
+        if (hit.compound || hit.rhs_reads_target) {
+          emit(LintRule::kR5, s.line, col, len,
+               "scalar reduction into shared variable '" + name +
+                   "' inside a DOALL body without the Reduce statement - "
+                   "concurrent iterations lose updates");
+        } else {
+          emit(LintRule::kR2, s.line, col, len,
+               "write to shared variable '" + name +
+                   "' inside a DOALL body with no protecting critical "
+                   "section or lock");
+        }
+      }
+    }
+  }
+
+  // --- the walk -------------------------------------------------------------
+
+  void lint_routine(const Routine& r) {
+    tracker_ = ControlTracker{};
+    prot_.clear();
+    pcase_sect_.clear();
+    async_.clear();
+    for (const auto& [name, var] : r.vars) {
+      if (var.cls == VarClass::kAsync) {
+        async_[name] = r.is_main ? AsyncState::kEmpty : AsyncState::kUnknown;
+      }
+    }
+    bool join_seen = false;
+    bool after_join_reported = false;
+
+    for (const Stmt& s : r.stmts) {
+      if (s.kind == StmtKind::kComment) continue;
+      if (s.kind == StmtKind::kPassthrough) {
+        const std::string stripped = strip_code(s.text);
+        if (trim(stripped).empty()) continue;
+        if (join_seen && !after_join_reported) {
+          after_join_reported = true;
+          emit_stmt(LintRule::kR6, s,
+                    "statement after Join is unreachable - the force has "
+                    "already been joined");
+        }
+        scan_writes(r, s, stripped);
+        if (tracker_.feed(stripped)) async_all_unknown();
+        continue;
+      }
+
+      // A construct statement.
+      if (join_seen && s.kind != StmtKind::kModuleEnd) {
+        if (s.kind == StmtKind::kJoin) {
+          emit_stmt(LintRule::kR6, s, "duplicate Join - the force is "
+                                      "already joined on every path");
+        } else if (!after_join_reported) {
+          after_join_reported = true;
+          emit_stmt(LintRule::kR6, s,
+                    "statement after Join is unreachable - the force has "
+                    "already been joined");
+        }
+      }
+      if (is_collective(s.kind) && tracker_.divergent_now()) {
+        emit_stmt(LintRule::kR1, s,
+                  "collective construct on a divergent control path - "
+                  "processes not taking this branch never arrive and the "
+                  "force deadlocks");
+      }
+      tracker_.consume_statement();
+
+      switch (s.kind) {
+        case StmtKind::kBarrierBegin:
+          prot_.push_back({ProtKind::kBarrier, "", {}});
+          break;
+        case StmtKind::kBarrierEnd:
+          pop_last(ProtKind::kBarrier);
+          break;
+        case StmtKind::kCriticalBegin:
+          acquire_lock(s, ProtKind::kCritical);
+          break;
+        case StmtKind::kCriticalEnd:
+          pop_last(ProtKind::kCritical);
+          break;
+        case StmtKind::kLock:
+          acquire_lock(s, ProtKind::kLockHeld);
+          break;
+        case StmtKind::kUnlock:
+          for (auto it = prot_.rbegin(); it != prot_.rend(); ++it) {
+            if (it->kind == ProtKind::kLockHeld && it->name == s.name) {
+              prot_.erase(std::next(it).base());
+              break;
+            }
+          }
+          break;
+        case StmtKind::kDoBegin:
+          prot_.push_back({ProtKind::kDoall, s.name, s.index_vars});
+          break;
+        case StmtKind::kDoEnd:
+          pop_last(ProtKind::kDoall);
+          break;
+        case StmtKind::kPcaseBegin:
+          pcase_sect_.push_back(false);
+          break;
+        case StmtKind::kUsect:
+        case StmtKind::kCsect:
+          if (!pcase_sect_.empty()) pcase_sect_.back() = true;
+          break;
+        case StmtKind::kPcaseEnd:
+          if (!pcase_sect_.empty()) pcase_sect_.pop_back();
+          break;
+        case StmtKind::kAskforBegin:
+          prot_.push_back({ProtKind::kAskfor, s.name, {}});
+          break;
+        case StmtKind::kAskforEnd:
+          pop_last(ProtKind::kAskfor);
+          break;
+        case StmtKind::kProduce:
+        case StmtKind::kConsume:
+        case StmtKind::kCopy:
+        case StmtKind::kVoid:
+          async_op(r, s);
+          break;
+        case StmtKind::kForcecall:
+          // The callee may produce/consume anything.
+          async_all_unknown();
+          break;
+        case StmtKind::kJoin:
+          join_seen = true;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void report_lock_cycles() {
+    for (const auto& cycle : result_.lock_graph.cycles()) {
+      std::string names;
+      for (const auto& n : cycle) {
+        if (!names.empty()) names += " -> ";
+        names += "'" + n + "'";
+      }
+      if (cycle.size() == 1) names += " -> '" + cycle[0] + "'";
+      const int line = result_.lock_graph.cycle_line(cycle);
+      emit(LintRule::kR4, line, stmt_col(line),
+           static_cast<int>(trim(source_line(line)).size()),
+           "static lock-order cycle: " + names +
+               " - a schedule interleaving these acquisition chains "
+               "deadlocks (the runtime Sentry reports the same "
+               "inversion class)");
+    }
+  }
+
+  const LintOptions& opts_;
+  DiagSink& diags_;
+  std::vector<std::string> src_lines_;
+  Suppressions suppress_;
+  LintResult result_;
+
+  ControlTracker tracker_;
+  std::vector<Prot> prot_;
+  std::vector<bool> pcase_sect_;
+  std::map<std::string, AsyncState> async_;
+};
+
+}  // namespace
+
+const char* lint_rule_id(LintRule rule) {
+  switch (rule) {
+    case LintRule::kR1: return "force-lint-R1";
+    case LintRule::kR2: return "force-lint-R2";
+    case LintRule::kR3: return "force-lint-R3";
+    case LintRule::kR4: return "force-lint-R4";
+    case LintRule::kR5: return "force-lint-R5";
+    case LintRule::kR6: return "force-lint-R6";
+  }
+  return "force-lint";
+}
+
+LintOptions parse_lint_spec(const std::string& spec) {
+  LintOptions opts;
+  std::set<LintRule> selected;
+  for (const std::string& raw : split_args(spec)) {
+    const std::string tok = to_lower(raw);
+    if (tok.empty() || tok == "all" || tok == "w") continue;
+    if (tok == "e") {
+      opts.findings_are_errors = true;
+      continue;
+    }
+    if (tok.size() == 2 && tok[0] == 'r' && tok[1] >= '1' && tok[1] <= '6') {
+      selected.insert(static_cast<LintRule>(tok[1] - '1'));
+      continue;
+    }
+    opts.unknown_tokens.push_back(raw);
+  }
+  if (!selected.empty()) opts.rules = selected;
+  return opts;
+}
+
+LintResult run_forcelint(const std::string& source, const LintOptions& opts,
+                         DiagSink& diags) {
+  if (!opts.unknown_tokens.empty()) {
+    std::string toks;
+    for (const auto& t : opts.unknown_tokens) {
+      if (!toks.empty()) toks += ", ";
+      toks += "'" + t + "'";
+    }
+    diags.note(0, "forcelint: ignoring unknown --lint token(s) " + toks +
+                      " (expected R1..R6, W, E, all)");
+  }
+  // Lint analyzes whatever pass 1 can recover; its syntax diagnostics are
+  // the translator's to report, so they go to a scratch sink here.
+  DiagSink scratch;
+  const RewriteResult pass1 = rewrite_force_syntax(source, scratch);
+  const ConstructGraph graph = build_construct_graph(pass1);
+  Linter linter(opts, diags, split_lines(source));
+  return linter.run(graph);
+}
+
+}  // namespace force::preproc

@@ -1,0 +1,81 @@
+// forcelint: a static construct-graph analyzer for Force programs.
+//
+// The paper's portability story assumes the machine-independent constructs
+// are used *correctly* - misplaced barriers, shared writes outside
+// critical sections, and broken Produce/Consume protocols are exactly the
+// bugs the structured constructs were designed to prevent, yet forcepp
+// translates them silently and the runtime Sentry (docs/VALIDATION.md)
+// only catches them while executing. forcelint runs the same small set of
+// statically recognizable shared-memory bug patterns (after McKenney) over
+// the construct graph at translate time: deterministic,
+// schedule-independent, no execution needed.
+//
+// Rules:
+//   R1  collective construct (Barrier/End, DOALL, Pcase, Reduce,
+//       Forcecall, Join, Askfor, Seedwork) on a divergent control path
+//       (inside an if/else/switch region) - barrier-divergence deadlock.
+//   R2  write to a Shared variable outside every protection region
+//       (barrier section, critical section, raw lock, Pcase section,
+//       prescheduled-index partitioning).
+//   R3  async full/empty protocol violations on straight-line paths:
+//       Produce on a maybe-full cell, Consume/Copy with no reaching
+//       Produce, double Void.
+//   R4  cycle in the static lock-order graph over named critical sections
+//       and raw locks (the runtime Sentry's inversion class, at translate
+//       time - LockOrderGraph in preproc/cgraph.hpp).
+//   R5  loop-carried dependence heuristics in DOALL bodies: a write whose
+//       subscript offsets the loop index, and scalar reductions that do
+//       not use the Reduce statement.
+//   R6  unreachable or duplicate statements after Join.
+//
+// Findings flow through DiagSink with a 1-based column, a caret snippet,
+// and a stable rule id ("force-lint-R2"). Suppress per region with
+//   !force$ lint off(R2)        ... !force$ lint on(R2)
+//   !force$ lint off            (all rules, until "on" or end of file)
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "preproc/cgraph.hpp"
+#include "preproc/diag.hpp"
+
+namespace force::preproc {
+
+enum class LintRule { kR1, kR2, kR3, kR4, kR5, kR6 };
+
+/// "force-lint-R1" ... "force-lint-R6".
+const char* lint_rule_id(LintRule rule);
+
+struct LintOptions {
+  /// Enabled rules; defaults to all six.
+  std::set<LintRule> rules = {LintRule::kR1, LintRule::kR2, LintRule::kR3,
+                              LintRule::kR4, LintRule::kR5, LintRule::kR6};
+  /// Report findings as errors instead of warnings (`--lint=E`).
+  bool findings_are_errors = false;
+  /// Spec tokens that did not parse (reported as a note by run_forcelint).
+  std::vector<std::string> unknown_tokens;
+};
+
+/// Parses a `--lint=` spec: a comma list of rule ids (R1..R6, case
+/// insensitive) selecting a subset, plus `W` (findings are warnings, the
+/// default) or `E` (findings are errors). "", "all" and "W" alone keep
+/// every rule enabled.
+LintOptions parse_lint_spec(const std::string& spec);
+
+struct LintResult {
+  std::size_t findings = 0;
+  /// The static lock-order graph, exposed so tests can cross-check it
+  /// against the runtime Sentry's acquisition-order cycles.
+  LockOrderGraph lock_graph;
+};
+
+/// Runs every enabled rule over `source` (a Force-dialect translation
+/// unit), emitting findings into `diags`. Syntax errors are NOT emitted
+/// here - the translator proper reports those; lint analyzes whatever
+/// construct stream pass 1 can recover.
+LintResult run_forcelint(const std::string& source, const LintOptions& opts,
+                         DiagSink& diags);
+
+}  // namespace force::preproc

@@ -1,5 +1,6 @@
 #include "preproc/translate.hpp"
 
+#include "preproc/lint.hpp"
 #include "preproc/machmacros.hpp"
 #include "preproc/macro.hpp"
 #include "preproc/pass1.hpp"
@@ -12,6 +13,14 @@ namespace force::preproc {
 TranslationResult translate(const std::string& source,
                             const TranslateOptions& options) {
   TranslationResult result;
+  result.diags.set_werror(options.werror);
+
+  // Step 0: forcelint - the static construct-graph analysis. Runs before
+  // translation so its findings lead the diagnostic stream even when the
+  // translator later bails out.
+  if (options.lint) {
+    run_forcelint(source, parse_lint_spec(options.lint_spec), result.diags);
+  }
 
   // Step 1: "sed" - Force syntax to parameterized macro calls.
   const RewriteResult pass1 = rewrite_force_syntax(source, result.diags);

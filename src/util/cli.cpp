@@ -28,6 +28,17 @@ CliParser& CliParser::flag(const std::string& name, const std::string& help) {
   return *this;
 }
 
+CliParser& CliParser::optional_value_option(const std::string& name,
+                                            const std::string& implicit_value,
+                                            const std::string& help) {
+  Option opt;
+  opt.implicit_value = implicit_value;
+  opt.help = help;
+  opt.optional_value = true;
+  options_[name] = std::move(opt);
+  return *this;
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -56,6 +67,8 @@ bool CliParser::parse(int argc, const char* const* argv) {
       opt.value = has_value ? value : "true";
     } else if (has_value) {
       opt.value = value;
+    } else if (opt.optional_value) {
+      opt.value = opt.implicit_value;
     } else {
       FORCE_CHECK(i + 1 < argc, "option --" + name + " needs a value");
       opt.value = argv[++i];
@@ -97,13 +110,20 @@ bool CliParser::get_flag(const std::string& name) const {
   return lookup(name).value == "true";
 }
 
+bool CliParser::seen(const std::string& name) const {
+  return lookup(name).seen;
+}
+
 std::string CliParser::usage(const std::string& program) const {
   std::string out = "usage: " + program + " [options]\n";
   for (const auto& [name, opt] : options_) {
     out += "  --" + name;
-    if (!opt.is_flag) out += "=<" + (opt.default_value.empty()
-                                         ? std::string("value")
-                                         : opt.default_value) + ">";
+    if (opt.optional_value) {
+      out += "[=<" + opt.implicit_value + ">]";
+    } else if (!opt.is_flag) {
+      out += "=<" + (opt.default_value.empty() ? std::string("value")
+                                               : opt.default_value) + ">";
+    }
     out += "\n      " + opt.help + "\n";
   }
   return out;

@@ -19,6 +19,12 @@ class CliParser {
   CliParser& option(const std::string& name, const std::string& default_value,
                     const std::string& help);
   CliParser& flag(const std::string& name, const std::string& help);
+  /// An option whose value is optional: bare `--name` takes
+  /// `implicit_value` (the next argv word is NOT consumed), `--name=x`
+  /// takes x. Use seen() to distinguish "absent" from the implicit value.
+  CliParser& optional_value_option(const std::string& name,
+                                   const std::string& implicit_value,
+                                   const std::string& help);
 
   /// Parses argv; throws util::CheckError on unknown options or a missing
   /// value. Returns false if --help was requested (usage already printed).
@@ -28,6 +34,8 @@ class CliParser {
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;
+  /// True if the option appeared on the command line at all.
+  [[nodiscard]] bool seen(const std::string& name) const;
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
@@ -38,8 +46,10 @@ class CliParser {
   struct Option {
     std::string value;
     std::string default_value;
+    std::string implicit_value;
     std::string help;
     bool is_flag = false;
+    bool optional_value = false;
     bool seen = false;
   };
   std::map<std::string, Option> options_;

@@ -1,7 +1,62 @@
-# Runs the paper's three-step pipeline for every machine model: forcepp
-# translates the Force source, then the host C++ compiler syntax-checks the
-# generated translation unit (full compile+link is exercised by the
-# saxpy_force example target).
+# Two modes, selected by which -D variables the add_test() call passes:
+#
+#  - LINT_FIXTURE_DIR set: forcelint integration. Every shipped example
+#    must translate clean under --lint --Werror; every seeded fixture
+#    r<N>_*.force must fail with its rule id (force-lint-R<N>) on stderr.
+#
+#  - otherwise: the paper's three-step pipeline for every machine model -
+#    forcepp translates the Force source, then the host C++ compiler
+#    syntax-checks the generated translation unit (full compile+link is
+#    exercised by the saxpy_force example target).
+if(LINT_FIXTURE_DIR)
+  file(GLOB clean_sources "${EXAMPLES_DIR}/*.force")
+  list(APPEND clean_sources
+    "${EXAMPLES_DIR}/multifile/main.force"
+    "${LINT_FIXTURE_DIR}/clean.force")
+  list(SORT clean_sources)
+  foreach(src ${clean_sources})
+    execute_process(
+      COMMAND ${FORCEPP} ${src} --lint --Werror --o=${WORK_DIR}/lint_out.cpp
+      RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "forcepp --lint --Werror flagged ${src}:\n${e}")
+    endif()
+    message(STATUS "lint clean: ${src}")
+  endforeach()
+  # The separately compiled module unit needs --module.
+  execute_process(
+    COMMAND ${FORCEPP} ${EXAMPLES_DIR}/multifile/stats_module.force
+      --module --lint --Werror --o=${WORK_DIR}/lint_module.cpp
+    RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "forcepp --module --lint --Werror flagged "
+                        "stats_module.force:\n${e}")
+  endif()
+  message(STATUS "lint clean: ${EXAMPLES_DIR}/multifile/stats_module.force")
+  # Each seeded fixture must fail, naming its rule.
+  foreach(rule 1 2 3 4 5 6)
+    file(GLOB fixtures "${LINT_FIXTURE_DIR}/r${rule}_*.force")
+    list(LENGTH fixtures n)
+    if(NOT n EQUAL 1)
+      message(FATAL_ERROR "expected one r${rule}_*.force fixture, got ${n}")
+    endif()
+    list(GET fixtures 0 fixture)
+    execute_process(
+      COMMAND ${FORCEPP} ${fixture} --lint --Werror
+        --o=${WORK_DIR}/lint_seeded.cpp
+      RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+    if(rc EQUAL 0)
+      message(FATAL_ERROR "seeded fixture ${fixture} was not flagged")
+    endif()
+    if(NOT e MATCHES "force-lint-R${rule}")
+      message(FATAL_ERROR
+        "${fixture} failed without mentioning force-lint-R${rule}:\n${e}")
+    endif()
+    message(STATUS "lint fixture OK: ${fixture} -> force-lint-R${rule}")
+  endforeach()
+  return()
+endif()
+
 foreach(machine hep flex32 encore sequent alliant cray2 native)
   set(out "${WORK_DIR}/pipeline_${machine}.cpp")
   execute_process(

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "preproc/lint.hpp"
 #include "preproc/translate.hpp"
 #include "util/rng.hpp"
 
@@ -16,6 +17,16 @@ pp::TranslationResult run(const std::string& src) {
   opts.machine = "native";
   opts.source_name = "fuzz.force";
   return pp::translate(src, opts);
+}
+
+/// forcelint over arbitrary soup must terminate with a verdict (possibly
+/// zero findings) and be deterministic: two runs render identically.
+void lint_is_robust_and_deterministic(const std::string& src) {
+  pp::DiagSink a;
+  pp::DiagSink b;
+  EXPECT_NO_THROW({ (void)pp::run_forcelint(src, {}, a); }) << src;
+  EXPECT_NO_THROW({ (void)pp::run_forcelint(src, {}, b); }) << src;
+  EXPECT_EQ(a.render_all("fuzz.force"), b.render_all("fuzz.force")) << src;
 }
 
 }  // namespace
@@ -64,6 +75,28 @@ TEST(PreprocFuzz, AdversarialStatements) {
   };
   for (const char* src : cases) {
     EXPECT_NO_THROW({ (void)run(src); }) << src;
+    lint_is_robust_and_deterministic(src);
+  }
+}
+
+TEST(PreprocFuzz, LintThroughTranslateNeverThrowsOnAdversarialInput) {
+  pp::TranslateOptions opts;
+  opts.machine = "native";
+  opts.source_name = "fuzz.force";
+  opts.lint = true;
+  opts.werror = true;
+  const char* cases[] = {
+      "",
+      "Force\nJoin\n",
+      "Force P\nBarrier\nJoin\n",                 // unterminated construct
+      "Force P\nLock A\nLock B\nUnlock A\nJoin\n",  // dangling lock
+      "Force P\nAsync real V\nConsume V into X\nJoin\n",
+      "Force P\nif (x\nBarrier\nEnd barrier\nJoin\n",  // unbalanced paren
+      "Force P\n!force$ lint off(\nJoin\n",       // malformed directive
+      "Force P\n!force$ lint off(R9)\nJoin\n",    // out-of-range rule
+  };
+  for (const char* src : cases) {
+    EXPECT_NO_THROW({ (void)pp::translate(src, opts); }) << src;
   }
 }
 
@@ -106,6 +139,7 @@ TEST(PreprocFuzz, RandomLineSoupNeverCrashes) {
     }
     EXPECT_NO_THROW({ (void)run(src); }) << "trial " << trial << ":\n"
                                          << src;
+    lint_is_robust_and_deterministic(src);
   }
 }
 

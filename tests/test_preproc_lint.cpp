@@ -1,0 +1,434 @@
+// forcelint: the static construct-graph analyzer (preproc/lint.hpp).
+//
+// Each seeded fixture under tests/golden/lint/ trips exactly its rule; the
+// clean fixture and every shipped example stay finding-free; suppression
+// comments, rule subsets, --Werror promotion, and diagnostic rendering
+// behave as documented.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "preproc/lint.hpp"
+#include "preproc/translate.hpp"
+
+namespace fp = force::preproc;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(FORCE_LINT_FIXTURE_DIR) + "/" + name);
+}
+
+std::string example_source(const std::string& name) {
+  return read_file(std::string(FORCE_EXAMPLES_DIR) + "/" + name);
+}
+
+/// Runs lint with default options; returns the sink for inspection.
+fp::LintResult lint(const std::string& source, fp::DiagSink& diags,
+                    fp::LintOptions opts = {}) {
+  return fp::run_forcelint(source, opts, diags);
+}
+
+bool has_rule(const fp::DiagSink& diags, const std::string& rule_id) {
+  for (const auto& d : diags.all()) {
+    if (d.rule == rule_id) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> rule_ids(const fp::DiagSink& diags) {
+  std::vector<std::string> out;
+  for (const auto& d : diags.all()) out.push_back(d.rule);
+  return out;
+}
+
+// --- per-rule fixture detection ---------------------------------------------
+
+struct RuleFixture {
+  const char* file;
+  const char* rule_id;
+};
+
+class LintFixtureTest : public ::testing::TestWithParam<RuleFixture> {};
+
+TEST_P(LintFixtureTest, SeededFixtureTripsItsRule) {
+  const RuleFixture& p = GetParam();
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(fixture(p.file), diags);
+  EXPECT_GT(res.findings, 0u) << p.file;
+  EXPECT_TRUE(has_rule(diags, p.rule_id))
+      << p.file << " did not trip " << p.rule_id << "; got:\n"
+      << diags.render_all(p.file);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixtureTest,
+    ::testing::Values(
+        RuleFixture{"r1_divergent_barrier.force", "force-lint-R1"},
+        RuleFixture{"r2_unprotected_shared.force", "force-lint-R2"},
+        RuleFixture{"r3_async_protocol.force", "force-lint-R3"},
+        RuleFixture{"r4_lock_order.force", "force-lint-R4"},
+        RuleFixture{"r5_doall_dependence.force", "force-lint-R5"},
+        RuleFixture{"r6_code_after_join.force", "force-lint-R6"}),
+    [](const auto& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('_'));
+    });
+
+TEST(LintFixtures, CleanFixtureHasZeroFindings) {
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(fixture("clean.force"), diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("clean.force");
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(LintFixtures, R3FixtureReportsAllThreeViolations) {
+  fp::DiagSink diags;
+  lint(fixture("r3_async_protocol.force"), diags);
+  std::size_t r3 = 0;
+  for (const auto& d : diags.all()) {
+    if (d.rule == "force-lint-R3") ++r3;
+  }
+  // Consume-before-Produce, Produce-on-full, double Void.
+  EXPECT_EQ(r3, 3u) << diags.render_all("r3");
+}
+
+TEST(LintFixtures, R4FixtureExposesTheLockCycle) {
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(fixture("r4_lock_order.force"), diags);
+  const auto cycles = res.lock_graph.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<std::string>{"order_a", "order_b"}));
+  EXPECT_TRUE(has_rule(diags, "force-lint-R4"));
+}
+
+// --- shipped examples stay clean --------------------------------------------
+
+class LintExampleTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LintExampleTest, ShippedExampleIsFindingFree) {
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(example_source(GetParam()), diags);
+  EXPECT_EQ(res.findings, 0u)
+      << GetParam() << ":\n" << diags.render_all(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, LintExampleTest,
+                         ::testing::Values("saxpy.force", "stencil.force",
+                                           "treewalk.force",
+                                           "multifile/main.force",
+                                           "multifile/stats_module.force"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- suppression directives -------------------------------------------------
+
+TEST(LintSuppression, OffDirectiveSilencesTheNamedRule) {
+  const std::string src =
+      "Force S\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "!force$ lint off(R2)\n"
+      "C = 1;\n"
+      "!force$ lint on(R2)\n"
+      "C = 2;\n"
+      "Join\n";
+  fp::DiagSink diags;
+  lint(src, diags);
+  ASSERT_EQ(diags.all().size(), 1u) << diags.render_all("s");
+  EXPECT_EQ(diags.all()[0].rule, "force-lint-R2");
+  EXPECT_EQ(diags.all()[0].line, 7);  // only the write after "lint on"
+}
+
+TEST(LintSuppression, BareOffSilencesEveryRule) {
+  const std::string src =
+      "Force S\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "!force$ lint off\n"
+      "C = 1;\n"
+      "Join\n"
+      "Barrier\n"
+      "End barrier\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+TEST(LintSuppression, DirectiveAcceptsTrailingComment) {
+  const std::string src =
+      "Force S\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "!force$ lint off(R2)   ! deliberate: debug counter\n"
+      "C = 1;\n"
+      "Join\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+TEST(LintSuppression, UnrelatedRuleStaysActive) {
+  const std::string src =
+      "Force S\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "!force$ lint off(R1)\n"
+      "C = 1;\n"
+      "Join\n";
+  fp::DiagSink diags;
+  lint(src, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R2"));
+}
+
+// --- spec parsing and rule subsets ------------------------------------------
+
+TEST(LintSpec, DefaultEnablesAllSixRulesAsWarnings) {
+  const fp::LintOptions opts = fp::parse_lint_spec("");
+  EXPECT_EQ(opts.rules.size(), 6u);
+  EXPECT_FALSE(opts.findings_are_errors);
+  EXPECT_TRUE(opts.unknown_tokens.empty());
+}
+
+TEST(LintSpec, SubsetAndSeverityParse) {
+  const fp::LintOptions opts = fp::parse_lint_spec("R2,r4,E");
+  EXPECT_EQ(opts.rules.size(), 2u);
+  EXPECT_EQ(opts.rules.count(fp::LintRule::kR2), 1u);
+  EXPECT_EQ(opts.rules.count(fp::LintRule::kR4), 1u);
+  EXPECT_TRUE(opts.findings_are_errors);
+}
+
+TEST(LintSpec, UnknownTokensAreCollectedAndNoted) {
+  const fp::LintOptions opts = fp::parse_lint_spec("R2,bogus");
+  ASSERT_EQ(opts.unknown_tokens.size(), 1u);
+  EXPECT_EQ(opts.unknown_tokens[0], "bogus");
+  fp::DiagSink diags;
+  lint("Force S\nEnd declarations\nJoin\n", diags, opts);
+  ASSERT_FALSE(diags.all().empty());
+  EXPECT_EQ(diags.all()[0].severity, fp::Severity::kNote);
+}
+
+TEST(LintSpec, DisabledRuleDoesNotFire) {
+  fp::DiagSink diags;
+  lint(fixture("r2_unprotected_shared.force"), diags,
+       fp::parse_lint_spec("R1"));
+  EXPECT_FALSE(has_rule(diags, "force-lint-R2"));
+}
+
+TEST(LintSpec, ErrorSeverityMakesFindingsErrors) {
+  fp::DiagSink diags;
+  lint(fixture("r2_unprotected_shared.force"), diags,
+       fp::parse_lint_spec("E"));
+  EXPECT_GT(diags.errors(), 0u);
+  EXPECT_FALSE(diags.ok());
+}
+
+// --- diagnostics: columns, carets, ordering, werror -------------------------
+
+TEST(LintDiagnostics, FindingCarriesColumnAndCaretSnippet) {
+  fp::DiagSink diags;
+  lint(fixture("r2_unprotected_shared.force"), diags);
+  ASSERT_FALSE(diags.all().empty());
+  const fp::Diagnostic& d = diags.all()[0];
+  EXPECT_EQ(d.rule, "force-lint-R2");
+  EXPECT_EQ(d.line, 7);
+  EXPECT_EQ(d.col, 1);  // COUNTER starts the line
+  EXPECT_EQ(d.length, 7);
+  const std::string rendered = d.render("r2.force");
+  EXPECT_NE(rendered.find("r2.force:7:1:"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("[force-lint-R2]"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("COUNTER = COUNTER + 1;"), std::string::npos);
+  EXPECT_NE(rendered.find("^~~~~~~"), std::string::npos) << rendered;
+}
+
+TEST(LintDiagnostics, RenderAllSortsByLineThenColumn) {
+  fp::DiagSink diags;
+  diags.report(fp::Severity::kWarning, 9, 5, 1, "force-lint-R2", "later", "");
+  diags.report(fp::Severity::kWarning, 3, 2, 1, "force-lint-R2", "early", "");
+  diags.report(fp::Severity::kWarning, 9, 1, 1, "force-lint-R2", "mid", "");
+  const std::string out = diags.render_all("f");
+  const std::size_t early = out.find("early");
+  const std::size_t mid = out.find("mid");
+  const std::size_t later = out.find("later");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(later, std::string::npos);
+  EXPECT_LT(early, mid);
+  EXPECT_LT(mid, later);
+}
+
+TEST(LintDiagnostics, WerrorPromotionCountsInErrorsAndExitState) {
+  fp::DiagSink diags;
+  diags.set_werror(true);
+  diags.report(fp::Severity::kWarning, 1, 1, 1, "force-lint-R2", "w", "");
+  EXPECT_EQ(diags.errors(), 1u);
+  EXPECT_EQ(diags.warnings(), 1u);
+  EXPECT_FALSE(diags.ok());
+  ASSERT_EQ(diags.all().size(), 1u);
+  EXPECT_EQ(diags.all()[0].severity, fp::Severity::kError);
+}
+
+TEST(LintDiagnostics, DeterministicAcrossRuns) {
+  const std::string src = fixture("r5_doall_dependence.force");
+  fp::DiagSink a;
+  fp::DiagSink b;
+  lint(src, a);
+  lint(src, b);
+  EXPECT_EQ(a.render_all("x"), b.render_all("x"));
+  EXPECT_EQ(rule_ids(a), rule_ids(b));
+}
+
+// --- translate() integration ------------------------------------------------
+
+TEST(LintTranslate, LintOptionRunsLintBeforeTranslation) {
+  fp::TranslateOptions opts;
+  opts.lint = true;
+  const auto result =
+      fp::translate(fixture("r2_unprotected_shared.force"), opts);
+  EXPECT_TRUE(has_rule(result.diags, "force-lint-R2"));
+  EXPECT_TRUE(result.ok);  // findings are warnings by default
+}
+
+TEST(LintTranslate, WerrorTurnsFindingsIntoTranslationFailure) {
+  fp::TranslateOptions opts;
+  opts.lint = true;
+  opts.werror = true;
+  const auto result =
+      fp::translate(fixture("r2_unprotected_shared.force"), opts);
+  EXPECT_TRUE(has_rule(result.diags, "force-lint-R2"));
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(LintTranslate, CleanExampleTranslatesCleanUnderWerror) {
+  fp::TranslateOptions opts;
+  opts.lint = true;
+  opts.werror = true;
+  const auto result = fp::translate(example_source("saxpy.force"), opts);
+  EXPECT_TRUE(result.ok) << result.diags.render_all("saxpy.force");
+}
+
+TEST(LintTranslate, ModuleModeExampleStaysClean) {
+  fp::TranslateOptions opts;
+  opts.lint = true;
+  opts.werror = true;
+  opts.module_mode = true;
+  const auto result =
+      fp::translate(example_source("multifile/stats_module.force"), opts);
+  EXPECT_TRUE(result.ok)
+      << result.diags.render_all("stats_module.force");
+}
+
+// --- targeted rule semantics (inline sources) -------------------------------
+
+TEST(LintRules, BarrierInsideUniformWhileLoopIsNotDivergent) {
+  const std::string src =
+      "Force S\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "while (true) {\n"
+      "Barrier\n"
+      "  C = 1;\n"
+      "End barrier\n"
+      "}\n"
+      "Join\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+TEST(LintRules, BracelessIfGuardsTheNextConstructOnly) {
+  const std::string src =
+      "Force S\n"
+      "Private integer ME\n"
+      "End declarations\n"
+      "ME = 0;\n"
+      "if (ME == 1)\n"
+      "Barrier\n"
+      "End barrier\n"
+      "Join\n";
+  fp::DiagSink diags;
+  lint(src, diags);
+  // The Barrier is divergent; End barrier follows on the unconditional path.
+  std::size_t r1 = 0;
+  for (const auto& d : diags.all()) {
+    if (d.rule == "force-lint-R1") ++r1;
+  }
+  EXPECT_EQ(r1, 1u) << diags.render_all("s");
+}
+
+TEST(LintRules, DoallIndexedWriteIsPartitionedAndClean) {
+  const std::string src =
+      "Force S\n"
+      "Shared real A(8)\n"
+      "Private integer I\n"
+      "End declarations\n"
+      "Selfsched DO 10 I = 0, 7\n"
+      "  A[I] = 1.0;\n"
+      "10 End Selfsched DO\n"
+      "Join\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+TEST(LintRules, DoallConstantSubscriptWriteIsR2) {
+  const std::string src =
+      "Force S\n"
+      "Shared real A(8)\n"
+      "Private integer I\n"
+      "End declarations\n"
+      "Selfsched DO 10 I = 0, 7\n"
+      "  A[0] = 1.0;\n"
+      "10 End Selfsched DO\n"
+      "Join\n";
+  fp::DiagSink diags;
+  lint(src, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R2")) << diags.render_all("s");
+}
+
+TEST(LintRules, DuplicateJoinIsR6) {
+  const std::string src =
+      "Force S\n"
+      "End declarations\n"
+      "Join\n"
+      "Join\n";
+  fp::DiagSink diags;
+  lint(src, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R6")) << diags.render_all("s");
+}
+
+TEST(LintRules, ForcecallMakesAsyncStateUnknown) {
+  const std::string src =
+      "Force S\n"
+      "Async real CELL\n"
+      "Private real T\n"
+      "End declarations\n"
+      "Forcecall HELPER\n"
+      "Consume CELL into T\n"
+      "Join\n"
+      "Forcesub HELPER\n"
+      "End declarations\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  // The callee may have produced CELL: no definite violation.
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+}  // namespace

@@ -17,8 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include <set>
+
 #include "core/force.hpp"
 #include "machdep/machine.hpp"
+#include "preproc/lint.hpp"
 
 namespace fc = force::core;
 
@@ -300,6 +303,76 @@ TEST(SentryKnobs, OffByDefaultAndReportKindNames) {
       "deadlock");
   EXPECT_STREQ(fc::Sentry::report_kind_name(fc::Sentry::ReportKind::kStall),
                "stall");
+}
+
+// ---------------------------------------------------------------------------
+// Static/dynamic agreement: forcelint's lock-order graph (rule R4) must
+// find the same inversion cycle on the Force-dialect version of the
+// program that the runtime sentry flags while executing it.
+// ---------------------------------------------------------------------------
+
+TEST(SentryCrossCheck, StaticLockGraphMatchesRuntimeInversionReport) {
+  // The Force-dialect twin of LockOrderInversionIsFlaggedWithoutADeadlock:
+  // a -> b in phase one, b -> a in phase two, a barrier between.
+  const std::string source =
+      "Force INVERT\n"
+      "Shared integer X\n"
+      "End declarations\n"
+      "Lock order_a\n"
+      "Lock order_b\n"
+      "  X = 1;\n"
+      "Unlock order_b\n"
+      "Unlock order_a\n"
+      "Barrier\n"
+      "End barrier\n"
+      "Lock order_b\n"
+      "Lock order_a\n"
+      "  X = 2;\n"
+      "Unlock order_a\n"
+      "Unlock order_b\n"
+      "Join\n";
+  force::preproc::DiagSink diags;
+  const force::preproc::LintResult res =
+      force::preproc::run_forcelint(source, {}, diags);
+  const auto cycles = res.lock_graph.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  const std::set<std::string> static_cycle(cycles[0].begin(),
+                                           cycles[0].end());
+
+  // Run the same acquisition pattern for real and collect the lock names
+  // the sentry's inversion report mentions (labels read "lock '<name>'").
+  fc::Force f(sentry_config(2, "native", 11));
+  f.run([&](fc::Ctx& ctx) {
+    auto& a = ctx.named_lock("order_a");
+    auto& b = ctx.named_lock("order_b");
+    a.acquire();
+    b.acquire();
+    b.release();
+    a.release();
+    ctx.barrier();
+    b.acquire();
+    a.acquire();
+    a.release();
+    b.release();
+  });
+  auto* sn = f.env().sentry();
+  ASSERT_NE(sn, nullptr);
+  ASSERT_GE(sn->report_count(fc::Sentry::ReportKind::kLockOrder), 1u);
+  std::set<std::string> runtime_cycle;
+  for (const auto& r : sn->reports()) {
+    if (r.kind != fc::Sentry::ReportKind::kLockOrder) continue;
+    const std::string& what = r.what;
+    std::size_t pos = 0;
+    while ((pos = what.find("lock '", pos)) != std::string::npos) {
+      pos += 6;
+      const std::size_t end = what.find('\'', pos);
+      if (end == std::string::npos) break;
+      runtime_cycle.insert(what.substr(pos, end - pos));
+      pos = end + 1;
+    }
+  }
+  EXPECT_EQ(static_cycle, runtime_cycle)
+      << "forcelint and the runtime sentry disagree on the inversion cycle";
 }
 
 TEST(SentryKnobs, RaceReportNamesTheTrackedVariable) {
