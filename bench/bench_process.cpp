@@ -24,6 +24,8 @@ namespace md = force::machdep;
 int main(int argc, char** argv) {
   force::util::CliParser cli;
   cli.option("np", "8", "force size");
+  cli.option("json", "BENCH_process.json",
+             "write spawn-cost records here ('' to skip)");
   if (!cli.parse(argc, argv)) return 0;
   const int np = static_cast<int>(cli.get_int("np"));
 
@@ -33,25 +35,58 @@ int main(int argc, char** argv) {
       "cost per machine; then the grain a program needs before a fork "
       "pays off.");
 
+  // The thread-emulated models plus the real thing: os-fork spawns actual
+  // fork(2) children, so its wall time is the genuine UNIX process-control
+  // cost the paper complains about, measured on this host.
+  struct SpawnRecord {
+    const char* model;
+    std::size_t kib;
+    std::uint64_t bytes_copied;
+    double wall_ns;
+  };
+  std::vector<SpawnRecord> records;
+
   std::printf("Measured spawn behaviour (np=%d):\n\n", np);
   force::util::Table meas({"model", "private KiB/proc", "bytes copied",
                            "wall create+join"});
   for (auto kind : {md::ProcessModelKind::kHepCreate,
                     md::ProcessModelKind::kForkSharedData,
-                    md::ProcessModelKind::kForkJoinCopy}) {
+                    md::ProcessModelKind::kForkJoinCopy,
+                    md::ProcessModelKind::kOsFork}) {
     for (std::size_t kib : {64, 1024}) {
       md::PrivateSpace space(kib * 1024 / 2, kib * 1024 / 2);
       md::ProcessTeam team(kind);
       const auto stats = team.run(np, &space, [](int) {});
+      const double wall =
+          static_cast<double>(stats.create_ns + stats.join_ns);
+      records.push_back({md::process_model_name(kind), kib,
+                         static_cast<std::uint64_t>(stats.bytes_copied),
+                         wall});
       meas.add_row(
           {md::process_model_name(kind),
            force::util::Table::num(static_cast<std::int64_t>(kib)),
            force::util::Table::num(
                static_cast<std::int64_t>(stats.bytes_copied)),
-           ns_cell(static_cast<double>(stats.create_ns + stats.join_ns))});
+           ns_cell(wall)});
     }
   }
   std::fputs(meas.render().c_str(), stdout);
+
+  // Thread-emulated vs real fork: how much more a genuine process team
+  // costs to stand up than the HEP's "subroutine call" creation.
+  double hep_wall = 0.0;
+  double osfork_wall = 0.0;
+  for (const auto& r : records) {
+    if (r.kib != 64) continue;
+    if (std::string(r.model) == "hep-create") hep_wall = r.wall_ns;
+    if (std::string(r.model) == "os-fork") osfork_wall = r.wall_ns;
+  }
+  if (hep_wall > 0.0 && osfork_wall > 0.0) {
+    std::printf(
+        "\nReal fork(2) spawn is %.1fx the thread-emulated hep-create "
+        "spawn at 64 KiB private space.\n",
+        osfork_wall / hep_wall);
+  }
 
   std::printf("\nSimulated creation cost (np=%d, 1 MiB private/proc):\n\n",
               np);
@@ -71,6 +106,9 @@ int main(int argc, char** argv) {
         break;
       case md::ProcessModelKind::kHepCreate:
         copied = 0;
+        break;
+      case md::ProcessModelKind::kOsFork:
+        copied = 0;  // copy-on-write: nothing is copied eagerly at spawn
         break;
     }
     const auto model = md::CostModel(spec.costs);
@@ -111,5 +149,34 @@ int main(int argc, char** argv) {
       "to amortize creation than the HEP - why the Force encloses the "
       "whole program in one force instead of forking per parallel "
       "region.\n");
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    namespace fb = force::bench;
+    std::string json =
+        "{\n  " + fb::json_field("bench", fb::json_str("process_spawn"));
+    json += ",\n  " +
+            fb::json_field("np", fb::json_num(std::uint64_t(np)));
+    if (hep_wall > 0.0 && osfork_wall > 0.0) {
+      json += ",\n  " + fb::json_field("os_fork_over_hep_create",
+                                       fb::json_num(osfork_wall / hep_wall));
+    }
+    json += ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto& r = records[i];
+      json += fb::json_object(
+          {fb::json_field("model", fb::json_str(r.model)),
+           fb::json_field("private_kib",
+                          fb::json_num(std::uint64_t(r.kib))),
+           fb::json_field("bytes_copied", fb::json_num(r.bytes_copied)),
+           fb::json_field("wall_ns", fb::json_num(r.wall_ns))},
+          "    ");
+      json += (i + 1 < records.size()) ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    if (fb::write_text_file(json_path, json)) {
+      std::printf("\nWrote %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

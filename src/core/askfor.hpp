@@ -37,15 +37,17 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <type_traits>
 
+#include "core/env.hpp"
 #include "machdep/locks.hpp"
+#include "machdep/shm.hpp"
 #include "machdep/stealdeque.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
-
-class ForceEnvironment;
 
 class AskforCore {
  public:
@@ -156,32 +158,64 @@ class AskforCore {
 /// Typed askfor: stores tasks by value (stable storage) and runs the
 /// canonical worker loop. Every process of the force calls work() with the
 /// same site-shared instance; any process may seed() or put() tasks.
+///
+/// Under the os-fork backend the monitor is a fixed-capacity FIFO ring in
+/// the MAP_SHARED arena (keyed by the construct's site key); T must then
+/// be trivially copyable, and the worker body receives a reference to a
+/// process-local *copy* of the granted task - mutations do not write back
+/// into the ring.
 template <typename T>
 class Askfor {
  public:
-  explicit Askfor(ForceEnvironment& env) : core_(env) {}
+  explicit Askfor(ForceEnvironment& env, const std::string& key = "askfor") {
+    if (env.fork_backend()) {
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        const auto stride = static_cast<std::uint32_t>(sizeof(T));
+        void* blob = env.arena().allocate_once(
+            "%askfor/" + key,
+            machdep::shm::shm_askfor_bytes(kForkRingCapacity, stride),
+            alignof(machdep::shm::ShmAskforState), machdep::VarClass::kShared,
+            [stride](void* raw) {
+              machdep::shm::shm_askfor_init(raw, kForkRingCapacity, stride);
+            });
+        shm_ = static_cast<machdep::shm::ShmAskforState*>(blob);
+        label_ = "askfor '" + key + "'";
+      } else {
+        FORCE_CHECK(false,
+                    "os-fork askfor tasks must be trivially copyable "
+                    "(they cross address spaces by memcpy)");
+      }
+      return;
+    }
+    core_ = std::make_unique<AskforCore>(env);
+  }
 
   /// Adds a task; thread-safe, callable before or during work().
   void put(T task) {
+    if (shm_ != nullptr) {
+      machdep::shm::shm_askfor_put(*shm_, &task);
+      return;
+    }
     std::size_t token;
     {
       std::lock_guard<std::mutex> g(guard_);
       tasks_.push_back(std::move(task));
       token = tasks_.size() - 1;
     }
-    core_.put(token);
+    core_->put(token);
   }
 
   /// The worker loop: repeatedly asks for work and runs
   /// `body(task, *this)`; the body may put() new tasks and may probend().
   /// Returns the number of tasks this process executed.
   std::size_t work(const std::function<void(T&, Askfor<T>&)>& body) {
+    if (shm_ != nullptr) return work_fork(body);
     // Register with the dispatch fast path for the duration of the loop
     // (no-op on lock-only machines).
-    AskforCore::WorkerSlot worker(core_);
+    AskforCore::WorkerSlot worker(*core_);
     std::size_t executed = 0;
     std::size_t token = 0;
-    AskforCore::Outcome outcome = core_.ask(&token);
+    AskforCore::Outcome outcome = core_->ask(&token);
     while (outcome == AskforCore::Outcome::kWork) {
       T* task = nullptr;
       {
@@ -191,25 +225,67 @@ class Askfor {
       try {
         body(*task, *this);
       } catch (...) {
-        core_.complete();
+        core_->complete();
         throw;
       }
       ++executed;
       // Fused complete+ask: one inflight update when the next task comes
       // from this worker's own deque.
-      outcome = core_.next(&token);
+      outcome = core_->next(&token);
     }
     return executed;
   }
 
   /// Aborts the computation (e.g. a search hit).
-  void probend() { core_.probend(); }
+  void probend() {
+    if (shm_ != nullptr) {
+      machdep::shm::shm_askfor_probend(*shm_);
+      return;
+    }
+    core_->probend();
+  }
 
-  [[nodiscard]] bool ended() const { return core_.ended(); }
-  [[nodiscard]] std::size_t granted() const { return core_.granted(); }
+  [[nodiscard]] bool ended() const {
+    if (shm_ != nullptr) return machdep::shm::shm_askfor_ended(*shm_);
+    return core_->ended();
+  }
+  [[nodiscard]] std::size_t granted() const {
+    if (shm_ != nullptr) {
+      return static_cast<std::size_t>(
+          shm_->granted.load(std::memory_order_relaxed));
+    }
+    return core_->granted();
+  }
 
  private:
-  AskforCore core_;
+  /// Ring capacity under os-fork; put() beyond this many queued-but-
+  /// ungranted tasks is a checked error (the thread engines' unbounded
+  /// stable storage cannot be shared across address spaces).
+  static constexpr std::uint32_t kForkRingCapacity = 4096;
+
+  std::size_t work_fork(const std::function<void(T&, Askfor<T>&)>& body) {
+    std::size_t executed = 0;
+    // Raw storage instead of T{}: the ring memcpy fully initializes it,
+    // and T need not be default constructible (only trivially copyable,
+    // which the constructor already checked).
+    alignas(T) unsigned char raw[sizeof(T)];
+    T* task = reinterpret_cast<T*>(raw);
+    while (machdep::shm::shm_askfor_ask(*shm_, raw, label_.c_str())) {
+      try {
+        body(*task, *this);
+      } catch (...) {
+        machdep::shm::shm_askfor_complete(*shm_);
+        throw;
+      }
+      ++executed;
+      machdep::shm::shm_askfor_complete(*shm_);
+    }
+    return executed;
+  }
+
+  std::unique_ptr<AskforCore> core_;  // thread backends only
+  machdep::shm::ShmAskforState* shm_ = nullptr;  // os-fork only
+  std::string label_;
   /// Guards growth of tasks_ only. The monitor lock cannot be reused
   /// (put() may be called while the caller does not hold it), and a plain
   /// mutex suffices: this is task *storage*, not dispatch.

@@ -33,6 +33,7 @@
 #include "core/sentry.hpp"
 #include "machdep/hepcell.hpp"
 #include "machdep/locks.hpp"
+#include "machdep/shm.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
@@ -52,8 +53,31 @@ class Async {
   explicit Async(ForceEnvironment& env, std::string label = "async")
       : env_(&env),
         sentry_(env.sentry()),
-        hardware_(env.machine().spec().hardware_full_empty),
+        hardware_(!env.fork_backend() &&
+                  env.machine().spec().hardware_full_empty),
         label_(std::move(label)) {
+    if (env.fork_backend()) {
+      // Both per-process schemes (lock pair + value_ member, HEP cell +
+      // value_ member) keep the payload in this object, which a sibling
+      // process cannot see. Under os-fork the full/empty word and the
+      // payload live together in one arena blob keyed by the label (labels
+      // are construct-unique: sites, names, array elements).
+      if constexpr (std::is_trivially_copyable_v<T> && alignof(T) <= 64) {
+        void* blob = env.arena().allocate_once(
+            "%async/" + label_,
+            sizeof(machdep::shm::ShmCellState) + sizeof(T),
+            alignof(machdep::shm::ShmCellState), machdep::VarClass::kShared,
+            [](void* raw) { ::new (raw) machdep::shm::ShmCellState(); });
+        shm_cell_ = static_cast<machdep::shm::ShmCellState*>(blob);
+        shm_payload_ = static_cast<std::byte*>(blob) +
+                       sizeof(machdep::shm::ShmCellState);
+      } else {
+        FORCE_CHECK(false,
+                    "os-fork async payloads must be trivially copyable "
+                    "(they cross address spaces by memcpy)");
+      }
+      return;
+    }
     if (!hardware_) {
       lock_e_ = env.new_lock(machdep::LockRole::kSemaphore, label_ + ".E");
       lock_f_ = env.new_lock(machdep::LockRole::kSemaphore, label_ + ".F");
@@ -68,6 +92,11 @@ class Async {
   /// Waits for empty, writes `v`, leaves full.
   void produce(const T& v) {
     env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+    if (shm_cell_ != nullptr) {
+      machdep::shm::shm_cell_produce(*shm_cell_, shm_payload_, &v, sizeof(T),
+                                     label_.c_str());
+      return;
+    }
     if (hardware_) {
       if (sentry_ != nullptr) {
         // Sentry mode always uses the wide-payload busy-window protocol so
@@ -110,6 +139,12 @@ class Async {
   /// Waits for full, reads, leaves empty.
   T consume() {
     env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
+    if (shm_cell_ != nullptr) {
+      T v{};
+      machdep::shm::shm_cell_consume(*shm_cell_, shm_payload_, &v, sizeof(T),
+                                     label_.c_str());
+      return v;
+    }
     if (hardware_) {
       if (sentry_ != nullptr) {
         {
@@ -154,6 +189,12 @@ class Async {
 
   /// Waits for full, reads, leaves full (the Force Copy access).
   T copy() {
+    if (shm_cell_ != nullptr) {
+      T v{};
+      machdep::shm::shm_cell_copy(*shm_cell_, shm_payload_, &v, sizeof(T),
+                                  label_.c_str());
+      return v;
+    }
     if (hardware_) {
       if (sentry_ != nullptr) {
         {
@@ -199,6 +240,13 @@ class Async {
 
   /// Non-blocking produce; true on success.
   bool try_produce(const T& v) {
+    if (shm_cell_ != nullptr) {
+      const bool ok = machdep::shm::shm_cell_try_produce(*shm_cell_,
+                                                         shm_payload_, &v,
+                                                         sizeof(T));
+      if (ok) env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+      return ok;
+    }
     if (hardware_) {
       if (sentry_ != nullptr) {
         if (!cell_.try_seize_empty()) return false;
@@ -238,6 +286,13 @@ class Async {
   /// Non-blocking consume; true on success.
   bool try_consume(T* out) {
     FORCE_CHECK(out != nullptr, "try_consume needs an output slot");
+    if (shm_cell_ != nullptr) {
+      const bool ok = machdep::shm::shm_cell_try_consume(*shm_cell_,
+                                                         shm_payload_, out,
+                                                         sizeof(T));
+      if (ok) env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
+      return ok;
+    }
     if (hardware_) {
       if (sentry_ != nullptr) {
         if (!cell_.try_seize_full()) return false;
@@ -278,6 +333,10 @@ class Async {
   /// Concurrent Voids are serialized; a Void that overlaps an in-flight
   /// Produce may land before or after it, as on the original machines.
   void void_state() {
+    if (shm_cell_ != nullptr) {
+      machdep::shm::shm_cell_void(*shm_cell_);
+      return;
+    }
     // Void gives no exclusion window over the payload, so the sentry only
     // joins clocks (channel_sync), it does not record a payload access.
     if (hardware_) {
@@ -297,6 +356,7 @@ class Async {
 
   /// Tests the state (Force's Isfull). Inherently a snapshot.
   [[nodiscard]] bool is_full() const {
+    if (shm_cell_ != nullptr) return machdep::shm::shm_cell_is_full(*shm_cell_);
     if (hardware_) return cell_.is_full();
     return full_.load(std::memory_order_acquire);
   }
@@ -329,6 +389,10 @@ class Async {
   std::atomic<bool> full_{false};
   // Hardware scheme state:
   machdep::HepCell cell_;
+  // os-fork scheme state: full/empty word + payload window in the
+  // MAP_SHARED arena (null on thread backends).
+  machdep::shm::ShmCellState* shm_cell_ = nullptr;
+  void* shm_payload_ = nullptr;
   // Payload (software scheme, or hardware scheme with wide payloads):
   T value_{};
 };

@@ -27,6 +27,11 @@ void wait_until(const std::atomic<T>& a, Pred pred) {
 
 }  // namespace
 
+const std::function<void()>& BarrierAlgorithm::no_section() {
+  static const std::function<void()> kEmpty;
+  return kEmpty;
+}
+
 // ---------------------------------------------------------------------------
 // PaperLockBarrier: the reusable two-turnstile barrier built exclusively
 // from generic Force locks (binary semaphores) - the construction available
@@ -54,7 +59,7 @@ void PaperLockBarrier::arrive(int proc0, const std::function<void()>& section) {
   ++count_;
   if (count_ == width_) {
     turnstile2_->acquire();
-    if (section) section();
+    run_section(section);
     turnstile1_->release();
   }
   mutex_->release();
@@ -99,7 +104,7 @@ void CentralSenseBarrier::arrive(int proc0,
     // Champion: everyone else has arrived and is (or will be) waiting on
     // the sense word; safe to run the section and flip.
     count_.store(0, std::memory_order_relaxed);
-    if (section) section();
+    run_section(section);
     sense_.store(mine, std::memory_order_release);
     sense_.notify_all();
   } else {
@@ -141,7 +146,7 @@ void TreeBarrier::arrive(int proc0, const std::function<void()>& section) {
   }
 
   if (proc0 == 0) {
-    if (section) section();
+    run_section(section);
     release_.store(ep, std::memory_order_release);
     release_.notify_all();
   } else {
@@ -180,7 +185,7 @@ void DisseminationBarrier::arrive(int proc0,
     wait_until(in.stamp, [ep](std::uint64_t v) { return v >= ep; });
   }
 
-  if (section) {
+  if (has_section(section)) {
     // No natural champion: rank 0 runs the section behind one extra flag.
     if (proc0 == 0) {
       section();
@@ -190,6 +195,28 @@ void DisseminationBarrier::arrive(int proc0,
       wait_until(section_done_, [ep](std::uint64_t v) { return v >= ep; });
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// ProcessSharedBarrier
+// ---------------------------------------------------------------------------
+
+ProcessSharedBarrier::ProcessSharedBarrier(ForceEnvironment& env, int width,
+                                           const std::string& shm_key)
+    : width_(width), label_("barrier '" + shm_key + "'") {
+  FORCE_CHECK(width_ > 0, "barrier width must be positive");
+  FORCE_CHECK(env.arena().process_shared(),
+              "process-shared barrier needs a MAP_SHARED arena "
+              "(ForceConfig::process_model = \"os-fork\")");
+  state_ = &env.arena().get_or_create<machdep::shm::ShmBarrierState>(shm_key);
+}
+
+void ProcessSharedBarrier::arrive(int proc0,
+                                  const std::function<void()>& section) {
+  FORCE_CHECK(proc0 >= 0 && proc0 < width_, "barrier process id out of range");
+  machdep::shm::shm_barrier_arrive(*state_,
+                                   static_cast<std::uint32_t>(width_),
+                                   section, label_.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -23,9 +23,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "machdep/locks.hpp"
+#include "machdep/shm.hpp"
 
 namespace force::core {
 
@@ -39,10 +41,26 @@ class BarrierAlgorithm {
   /// Waits for all processes; `section` (may be empty) runs exactly once
   /// per episode, by exactly one process, while the others are suspended.
   virtual void arrive(int proc0, const std::function<void()>& section) = 0;
-  void arrive(int proc0) { arrive(proc0, nullptr); }
+  void arrive(int proc0) { arrive(proc0, no_section()); }
+
+  /// The canonical empty barrier section. The no-section overload used to
+  /// materialize a fresh std::function temporary from nullptr at every
+  /// call; all no-section arrivals now share this one empty instance, and
+  /// every algorithm routes through run_section()/has_section() below so
+  /// the emptiness check lives in exactly one place.
+  static const std::function<void()>& no_section();
 
   [[nodiscard]] virtual const char* name() const = 0;
   [[nodiscard]] virtual int width() const = 0;
+
+ protected:
+  /// Runs `section` iff it has a target; never throws on an empty one.
+  static void run_section(const std::function<void()>& section) {
+    if (section) section();
+  }
+  static bool has_section(const std::function<void()>& section) {
+    return static_cast<bool>(section);
+  }
 };
 
 /// The lock-only barrier: mutex lock + two turnstile locks + counter, the
@@ -125,6 +143,27 @@ class DisseminationBarrier final : public BarrierAlgorithm {
   std::vector<Flag> flags_;  // flags_[proc * rounds_ + round], episode-stamped
   std::vector<Episode> episode_;  // per-process episode counter
   std::atomic<std::uint64_t> section_done_{0};
+};
+
+/// Process-shared episode barrier for the os-fork backend: the whole state
+/// is one ShmBarrierState resident in the MAP_SHARED arena under a
+/// deterministic key, so real child processes - distinct address spaces -
+/// can meet at it. The wrapper object is per-process; only the two futex
+/// words are shared. Waits are bounded and poison-checked (machdep/shm.hpp)
+/// so a dead sibling releases the survivors.
+class ProcessSharedBarrier final : public BarrierAlgorithm {
+ public:
+  using BarrierAlgorithm::arrive;
+  ProcessSharedBarrier(ForceEnvironment& env, int width,
+                       const std::string& shm_key);
+  void arrive(int proc0, const std::function<void()>& section) override;
+  const char* name() const override { return "process-shared"; }
+  int width() const override { return width_; }
+
+ private:
+  int width_;
+  machdep::shm::ShmBarrierState* state_;
+  std::string label_;
 };
 
 /// Names accepted by make_barrier / ForceConfig::barrier_algorithm.

@@ -63,18 +63,51 @@ void presched_do2(int me0, int np, std::int64_t i_start, std::int64_t i_last,
 //           leaves as soon as it draws an exhausted claim.
 // ---------------------------------------------------------------------------
 
-SelfschedLoop::SelfschedLoop(ForceEnvironment& env, int width)
-    : env_(env),
-      width_(width),
-      barwin_(env.new_lock(machdep::LockRole::kSemaphore, "doall.barwin")),
-      barwot_(env.new_lock(machdep::LockRole::kSemaphore, "doall.barwot")),
-      dispatch_(env.new_dispatch_counter()) {
+SelfschedLoop::SelfschedLoop(ForceEnvironment& env, int width,
+                             const std::string& key)
+    : env_(env), width_(width) {
   FORCE_CHECK(width_ > 0, "selfsched loop width must be positive");
+  if (env.fork_backend()) {
+    // The barwin/barwot labels are per-construct-kind, not per-site, so
+    // they cannot key arena locks. Instead the whole episode lives in one
+    // ShmSelfschedState keyed by the construct's site key.
+    const std::string site = key.empty() ? "anon" : key;
+    shm_ = &env.arena().get_or_create<machdep::shm::ShmSelfschedState>(
+        "%ssdo/" + site);
+    label_ = "selfsched '" + site + "'";
+    return;
+  }
+  barwin_ = env.new_lock(machdep::LockRole::kSemaphore, "doall.barwin");
+  barwot_ = env.new_lock(machdep::LockRole::kSemaphore, "doall.barwot");
+  dispatch_ = env.new_dispatch_counter();
   barwot_->acquire();  // exits blocked until all have entered the episode
 }
 
 bool SelfschedLoop::enter_episode(std::int64_t start, std::int64_t last,
                                   std::int64_t incr) {
+  if (shm_ != nullptr) {
+    // Champion episode barrier: the last arriver publishes the bounds and
+    // re-arms the dispatch while every other process is provably parked
+    // on the episode word, then releases them. No process can be inside
+    // the claim loop of the *previous* episode at that moment, because it
+    // would not have arrived here yet - so there is still no exit barrier,
+    // exactly as in the thread expansion.
+    machdep::shm::shm_barrier_arrive(
+        shm_->entry, static_cast<std::uint32_t>(width_),
+        [&] {
+          shm_->start = start;
+          shm_->last = last;
+          shm_->incr = incr;
+          shm_->trips = loop_trip_count(start, last, incr);
+          shm_->dispatch.value.store(0, std::memory_order_relaxed);
+        },
+        label_.c_str());
+    start_ = shm_->start;
+    last_ = shm_->last;
+    incr_ = shm_->incr;
+    trips_ = shm_->trips;
+    return last == last_ && incr == incr_;
+  }
   bool ok = true;
   barwin_->acquire();
   if (zznbar_ == 0) {
@@ -102,6 +135,7 @@ bool SelfschedLoop::enter_episode(std::int64_t start, std::int64_t last,
 }
 
 void SelfschedLoop::leave_episode() {
+  if (shm_ != nullptr) return;  // re-entry fenced by the entry barrier
   barwot_->acquire();
   --zznbar_;
   if (zznbar_ == 0) {
@@ -147,7 +181,10 @@ void SelfschedLoop::run(int me0, std::int64_t start, std::int64_t last,
   for (;;) {
     // The lock-free claim has no lock hook, so the fuzzer perturbs here.
     if (sentry != nullptr) sentry->fuzz();
-    const machdep::DispatchClaim c = dispatch_->claim(chunk, trips);
+    const machdep::DispatchClaim c =
+        shm_ != nullptr
+            ? machdep::shm::shm_dispatch_claim(shm_->dispatch, chunk, trips)
+            : dispatch_->claim(chunk, trips);
     ++tally.dispatches;
     if (tracer) {
       tracer->instant(me0, util::TraceKind::kLoopDispatch,
@@ -196,7 +233,9 @@ void SelfschedLoop::run_guided(int me0, std::int64_t start, std::int64_t last,
     // (good load balance at the tail). On the lock-free engine this is a
     // CAS loop on the remaining-trips value.
     const machdep::DispatchClaim c =
-        dispatch_->claim_fraction(trips, 2 * width_);
+        shm_ != nullptr ? machdep::shm::shm_dispatch_claim_fraction(
+                              shm_->dispatch, trips, 2 * width_)
+                        : dispatch_->claim_fraction(trips, 2 * width_);
     ++tally.dispatches;
     if (tracer) {
       tracer->instant(me0, util::TraceKind::kLoopDispatch,
@@ -214,8 +253,9 @@ void SelfschedLoop::run_guided(int me0, std::int64_t start, std::int64_t last,
   }
 }
 
-Selfsched2Loop::Selfsched2Loop(ForceEnvironment& env, int width)
-    : flat_(env, width) {}
+Selfsched2Loop::Selfsched2Loop(ForceEnvironment& env, int width,
+                               const std::string& key)
+    : flat_(env, width, key) {}
 
 void Selfsched2Loop::run(
     int me0, std::int64_t i_start, std::int64_t i_last, std::int64_t i_incr,

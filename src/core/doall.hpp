@@ -26,8 +26,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "machdep/locks.hpp"
+#include "machdep/shm.hpp"
 
 namespace force::core {
 
@@ -61,7 +63,11 @@ void presched_do2(int me0, int np, std::int64_t i_start, std::int64_t i_last,
 /// any SPMD team of `width` processes.
 class SelfschedLoop {
  public:
-  SelfschedLoop(ForceEnvironment& env, int width);
+  /// `key` is the construct's stable site key. Under the os-fork backend
+  /// the loop's episode state (entry barrier + dispatch counter + bounds)
+  /// lives in the MAP_SHARED arena at that key so every real process
+  /// reaches the same words; thread backends ignore it.
+  SelfschedLoop(ForceEnvironment& env, int width, const std::string& key = "");
 
   /// Executes the loop body for dynamically claimed indices. `chunk` > 1
   /// claims several consecutive indices per critical section (chunked
@@ -86,6 +92,13 @@ class SelfschedLoop {
   ForceEnvironment& env_;
   int width_;
 
+  // os-fork backend: the whole episode protocol folds into one arena-
+  // resident state (shm_ non-null) - an entry barrier whose champion
+  // publishes the bounds and re-arms the dispatch, then a lock-free claim
+  // loop; faithful to the paper there is still no exit barrier.
+  machdep::shm::ShmSelfschedState* shm_ = nullptr;
+  std::string label_;
+
   // The paper's shared environment variables for this loop site:
   std::unique_ptr<machdep::BasicLock> barwin_;   // entry gate
   std::unique_ptr<machdep::BasicLock> barwot_;   // exit gate (starts locked)
@@ -104,7 +117,8 @@ class SelfschedLoop {
 /// pair space, then unflattened to (i, j) for the body.
 class Selfsched2Loop {
  public:
-  Selfsched2Loop(ForceEnvironment& env, int width);
+  Selfsched2Loop(ForceEnvironment& env, int width,
+                 const std::string& key = "");
 
   void run(int me0, std::int64_t i_start, std::int64_t i_last,
            std::int64_t i_incr, std::int64_t j_start, std::int64_t j_last,

@@ -48,10 +48,29 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
   FORCE_CHECK(config_.nproc > 0, "ForceConfig::nproc must be positive");
   FORCE_CHECK(config_.dispatch == "auto" || config_.dispatch == "locked",
               "ForceConfig::dispatch must be 'auto' or 'locked'");
+  FORCE_CHECK(config_.process_model == "machine" ||
+                  config_.process_model == "os-fork",
+              "ForceConfig::process_model must be 'machine' or 'os-fork'");
+  fork_backend_ = config_.process_model == "os-fork";
+  if (fork_backend_) {
+    // These observers keep their state in ordinary (per-address-space)
+    // memory, so they cannot see an os-fork team. Explicitly asking for
+    // them is a configuration error; the FORCE_SENTRY family of
+    // environment variables is dropped below instead, so suite-wide
+    // validation runs do not break the fork tests.
+    FORCE_CHECK(!config_.sentry && config_.schedule_fuzz == 0,
+                "the sentry cannot observe an os-fork team (its state is "
+                "per-process); validate on a thread-emulated process model");
+    FORCE_CHECK(!config_.trace,
+                "tracing is per-address-space; the os-fork backend cannot "
+                "collect child events");
+  }
   const machdep::MachineSpec& spec = machdep::machine_spec(config_.machine);
   machine_ = std::make_unique<machdep::MachineModel>(spec);
   arena_ = std::make_unique<machdep::SharedArena>(
-      config_.arena_bytes, spec.page_size, spec.sharing);
+      config_.arena_bytes, spec.page_size, spec.sharing,
+      fork_backend_ ? machdep::ArenaBacking::kSharedMapping
+                    : machdep::ArenaBacking::kPrivateHeap);
   private_ = std::make_unique<machdep::PrivateSpace>(
       config_.private_data_bytes, config_.private_stack_bytes);
   if (config_.trace) {
@@ -59,6 +78,10 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
         config_.nproc, config_.trace_events_per_process);
   }
   apply_env_overrides(config_);
+  if (fork_backend_ && config_.sentry) {
+    config_.sentry = false;  // env-var-driven; see the note above
+    config_.schedule_fuzz = 0;
+  }
   if (config_.sentry) {
     Sentry::Options opts;
     opts.nproc = config_.nproc;
@@ -67,7 +90,10 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
     sentry_ = std::make_unique<Sentry>(opts);
   }
   // Last: the barrier's locks may be ObservedLocks referencing sentry_.
-  global_barrier_ = make_barrier(config_.nproc);
+  global_barrier_ =
+      fork_backend_
+          ? make_process_shared_barrier(config_.nproc, "%force/global")
+          : make_barrier(config_.nproc);
 }
 
 // Out of line so BarrierAlgorithm/Sentry can stay incomplete in the header.
@@ -86,11 +112,27 @@ ForceEnvironment::~ForceEnvironment() {
 
 std::unique_ptr<machdep::BasicLock> ForceEnvironment::new_lock(
     machdep::LockRole role, std::string label) {
+  if (fork_backend_) {
+    // One futex word in the MAP_SHARED arena, keyed by the construct
+    // label. Labels are construct-unique here (critical sections embed
+    // their site key, named locks their name), so every process that
+    // reaches the same construct contends on the same word.
+    auto* state = &arena_->get_or_create<machdep::shm::ShmLockState>(
+        "%lock/" + label);
+    return std::make_unique<machdep::shm::ShmLock>(state, std::move(label));
+  }
   std::unique_ptr<machdep::BasicLock> inner = machine_->new_lock();
   if (sentry_ == nullptr) return inner;
   return std::make_unique<machdep::ObservedLock>(std::move(inner),
                                                  sentry_.get(), role,
                                                  std::move(label));
+}
+
+machdep::ProcessTeam ForceEnvironment::process_team() const {
+  if (fork_backend_) {
+    return machdep::ProcessTeam(machdep::ProcessModelKind::kOsFork);
+  }
+  return machine_->process_team();
 }
 
 BarrierAlgorithm& ForceEnvironment::global_barrier() {
@@ -103,7 +145,15 @@ std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_barrier(int width) {
 
 std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_barrier(
     int width, const std::string& algorithm) {
+  FORCE_CHECK(!fork_backend_,
+              "thread barrier algorithms cannot span os-fork processes; "
+              "use make_process_shared_barrier with a shared-arena key");
   return make_barrier_algorithm(algorithm, *this, width);
+}
+
+std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_process_shared_barrier(
+    int width, const std::string& shm_key) {
+  return std::make_unique<ProcessSharedBarrier>(*this, width, shm_key);
 }
 
 util::Xoshiro256 ForceEnvironment::rng_for(int proc0) const {

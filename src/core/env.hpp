@@ -45,6 +45,16 @@ struct ForceConfig {
   /// lock-protected expansion everywhere else. "locked" forces the lock
   /// engine even on capable machines (benches/tests comparing engines).
   std::string dispatch = "auto";
+  /// Process backend. "machine" (default) uses the machine model's
+  /// thread-emulated process creation; "os-fork" spawns real child
+  /// processes with fork(2) over a MAP_SHARED arena and process-shared
+  /// (futex) synchronization - see docs/PORTING.md, process-model axis.
+  /// Under os-fork the sentry, tracing and schedule fuzzing are
+  /// unavailable (their state is per-address-space): setting them
+  /// explicitly is an error, while the FORCE_SENTRY/FORCE_SCHEDULE_FUZZ
+  /// environment variables are silently ignored so a suite-wide
+  /// validation run does not break the fork tests.
+  std::string process_model = "machine";
   /// Shared arena capacity (rounded up to whole pages).
   std::size_t arena_bytes = 4u << 20;
   /// Private data / stack region sizes per process.
@@ -135,16 +145,33 @@ class ForceEnvironment {
     return machine_->new_dispatch_counter(!lock_free_dispatch());
   }
 
+  /// True when this run uses the real-fork backend: processes are
+  /// separate address spaces, shared state must live in the MAP_SHARED
+  /// arena, and synchronization must be process-shared.
+  [[nodiscard]] bool fork_backend() const { return fork_backend_; }
+
+  /// The team that Force::run spawns: the machine model's emulated team,
+  /// or the real-fork team when process_model is "os-fork".
+  [[nodiscard]] machdep::ProcessTeam process_team() const;
+
   /// The environment barrier used by un-sited ctx.barrier() calls on the
   /// full force; sized to nproc with the configured algorithm.
   [[nodiscard]] BarrierAlgorithm& global_barrier();
 
   /// Builds a barrier instance for `width` processes with the configured
   /// (or an explicitly named) algorithm; used by sited barriers and by
-  /// Resolve components.
+  /// Resolve components. Under the fork backend the default-algorithm
+  /// overload is rejected (callers must key a process-shared barrier).
   std::unique_ptr<BarrierAlgorithm> make_barrier(int width);
   std::unique_ptr<BarrierAlgorithm> make_barrier(int width,
                                                  const std::string& algorithm);
+
+  /// Arena-resident barrier for `width` processes at a deterministic key;
+  /// the only barrier that spans os-fork processes. The key makes lazy
+  /// construction race-free: every process that resolves the same key
+  /// meets at the same two futex words.
+  std::unique_ptr<BarrierAlgorithm> make_process_shared_barrier(
+      int width, const std::string& shm_key);
 
   /// Per-process deterministic RNG substream.
   [[nodiscard]] util::Xoshiro256 rng_for(int proc0) const;
@@ -169,6 +196,7 @@ class ForceEnvironment {
   /// destroyed after it.
   std::unique_ptr<Sentry> sentry_;
   std::unique_ptr<BarrierAlgorithm> global_barrier_;
+  bool fork_backend_ = false;
 };
 
 }  // namespace force::core

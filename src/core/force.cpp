@@ -13,6 +13,9 @@ void Ctx::call(const std::string& subroutine) {
 }
 
 ResolveBuilder Ctx::resolve(const Site& site) {
+  FORCE_CHECK(!env_->fork_backend(),
+              "Resolve is not supported under the os-fork backend (its "
+              "component barriers and claim state are per-address-space)");
   return ResolveBuilder(*this, site_key(site));
 }
 
@@ -92,7 +95,7 @@ machdep::SpawnStats Force::run(const std::function<void(Ctx&)>& program) {
     sn->begin_run();  // fork edge: every process starts after the driver
   }
 
-  auto team = env_->machine().process_team();
+  auto team = env_->process_team();
   const int np = env_->nproc();
   machdep::SpawnStats stats =
       team.run(np, space, [this, np, sn, &program](int proc0) {

@@ -64,7 +64,7 @@ class Ctx {
   // --- synchronization ----------------------------------------------------
 
   /// Barrier over this team; no section.
-  void barrier() { barrier_impl(nullptr); }
+  void barrier() { barrier_impl(BarrierAlgorithm::no_section()); }
   /// Barrier with a barrier section: one arbitrary process executes
   /// `section` while the others are suspended (paper §3.4).
   void barrier(const std::function<void()>& section) {
@@ -130,8 +130,9 @@ class Ctx {
       std::int64_t j_incr,
       const std::function<void(std::int64_t, std::int64_t)>& body,
       std::int64_t chunk = 1) {
-    auto& loop = state<Selfsched2Loop>(site, "%ss2", [this] {
-      return std::make_unique<Selfsched2Loop>(*env_, np_);
+    auto& loop = state<Selfsched2Loop>(site, "%ss2", [this, &site] {
+      return std::make_unique<Selfsched2Loop>(*env_, np_,
+                                              site_key(site) + "#2");
     });
     loop.run(me0_, i_start, i_last, i_incr, j_start, j_last, j_incr, body,
              chunk);
@@ -139,14 +140,18 @@ class Ctx {
 
   /// Pcase builder for distinct code blocks (paper §3.3).
   [[nodiscard]] PcaseBuilder pcase(const Site& site) {
+    FORCE_CHECK(!env_->fork_backend(),
+                "Pcase is not supported under the os-fork backend (its "
+                "claim registry is per-address-space)");
     return PcaseBuilder(*env_, me0_, np_, site_key(site));
   }
 
   /// The Askfor monitor at `site` (paper §3.3, [LO83]).
   template <typename T>
   [[nodiscard]] Askfor<T>& askfor(const Site& site) {
-    return state<Askfor<T>>(
-        site, "%askfor", [this] { return std::make_unique<Askfor<T>>(*env_); });
+    return state<Askfor<T>>(site, "%askfor", [this, &site] {
+      return std::make_unique<Askfor<T>>(*env_, site_key(site));
+    });
   }
 
   /// Named Askfor monitor: dialect Askfor blocks and their Seedwork
@@ -157,7 +162,7 @@ class Ctx {
     const std::string key =
         (ns_.empty() ? name : ns_ + "/" + name) + "%askforvar";
     return env_->sites().get_or_create<Askfor<T>>(
-        key, [this] { return std::make_unique<Askfor<T>>(*env_); });
+        key, [this, &key] { return std::make_unique<Askfor<T>>(*env_, key); });
   }
 
   /// Resolve: partition the force into weighted components (paper §3.3,
@@ -172,8 +177,8 @@ class Ctx {
   T reduce(const Site& site, const T& local,
            const std::function<T(T, T)>& combine,
            ReduceStrategy strategy = ReduceStrategy::kCritical) {
-    auto& red = state<Reduction<T>>(site, "%reduce", [this] {
-      return std::make_unique<Reduction<T>>(*env_, np_);
+    auto& red = state<Reduction<T>>(site, "%reduce", [this, &site] {
+      return std::make_unique<Reduction<T>>(*env_, np_, site_key(site));
     });
     return red.allreduce(me0_, local, combine, strategy);
   }
@@ -186,8 +191,8 @@ class Ctx {
   T reduce_into(const Site& site, const T& local, T& shared_target,
                 const std::function<T(T, T)>& combine,
                 ReduceStrategy strategy = ReduceStrategy::kCritical) {
-    auto& red = state<Reduction<T>>(site, "%reduce", [this] {
-      return std::make_unique<Reduction<T>>(*env_, np_);
+    auto& red = state<Reduction<T>>(site, "%reduce", [this, &site] {
+      return std::make_unique<Reduction<T>>(*env_, np_, site_key(site));
     });
     return red.allreduce(me0_, local, combine, strategy, &shared_target);
   }
@@ -337,7 +342,7 @@ class Ctx {
           section();
         });
       } else {
-        team_barrier_->arrive(me0_, nullptr);
+        team_barrier_->arrive(me0_);
       }
       tr->record(me0_, util::TraceKind::kBarrier, t0, util::now_ns());
     } else {
@@ -346,8 +351,8 @@ class Ctx {
   }
 
   SelfschedLoop& selfsched_loop(const Site& site) {
-    auto& loop = state<SelfschedLoop>(site, "%ssdo", [this] {
-      return std::make_unique<SelfschedLoop>(*env_, np_);
+    auto& loop = state<SelfschedLoop>(site, "%ssdo", [this, &site] {
+      return std::make_unique<SelfschedLoop>(*env_, np_, site_key(site));
     });
     FORCE_CHECK(loop.width() == np_,
                 "selfsched site reused from a team of different width");

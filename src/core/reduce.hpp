@@ -19,11 +19,15 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/barrier.hpp"
 #include "core/critical.hpp"
 #include "core/env.hpp"
+#include "machdep/shm.hpp"
 
 namespace force::core {
 
@@ -38,11 +42,30 @@ enum class ReduceStrategy {
 template <typename T>
 class Reduction {
  public:
-  Reduction(ForceEnvironment& env, int width)
-      : width_(width),
-        critical_(env),
-        barrier_(env.make_barrier(width)),
-        slots_(static_cast<std::size_t>(width)) {}
+  /// `key` is the construct's stable site key; under the os-fork backend
+  /// the accumulator, arrival count and result live in one arena blob at
+  /// that key (thread backends keep them as members, and only use the key
+  /// to label the critical section in sentry reports).
+  Reduction(ForceEnvironment& env, int width,
+            const std::string& key = "reduce")
+      : width_(width) {
+    if (env.fork_backend()) {
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        shm_ = &env.arena().get_or_create<ShmState>("%reduce/" + key);
+        label_ = "reduce '" + key + "'";
+      } else {
+        FORCE_CHECK(false,
+                    "os-fork reductions need trivially copyable payloads "
+                    "(the accumulator lives in the shared arena)");
+      }
+      return;
+    }
+    critical_ = std::make_unique<CriticalSection>(env, "reduce@" + key);
+    barrier_ = env.make_barrier(width);
+    // vector(count) rather than resize(): Slot holds an atomic, so it is
+    // not MoveInsertable, which resize() formally requires.
+    slots_ = std::vector<Slot>(static_cast<std::size_t>(width));
+  }
 
   /// Contributes `local` and returns the combined value of all width
   /// contributions of this episode. Every process of the team must call
@@ -51,6 +74,11 @@ class Reduction {
   T allreduce(int me0, const T& local, const std::function<T(T, T)>& combine,
               ReduceStrategy strategy, T* shared_target = nullptr) {
     FORCE_CHECK(me0 >= 0 && me0 < width_, "bad reduce process id");
+    if (shm_ != nullptr) {
+      // The tournament's per-process slots cannot cross address spaces;
+      // os-fork always runs the faithful critical idiom.
+      return allreduce_fork(local, combine, shared_target);
+    }
     if (strategy == ReduceStrategy::kCritical) {
       return allreduce_critical(me0, local, combine, shared_target);
     }
@@ -58,10 +86,44 @@ class Reduction {
   }
 
  private:
+  /// Arena-resident state of one os-fork reduction site.
+  struct ShmState {
+    machdep::shm::ShmLockState lock;
+    machdep::shm::ShmBarrierState barrier;
+    std::uint32_t arrived = 0;  ///< guarded by lock
+    T accumulator{};            ///< guarded by lock
+    T result{};                 ///< written by the barrier champion
+  };
+
+  T allreduce_fork(const T& local, const std::function<T(T, T)>& combine,
+                   T* shared_target) {
+    machdep::shm::note_site(label_.c_str());
+    machdep::shm::shm_lock_acquire(shm_->lock);
+    if (shm_->arrived == 0) {
+      shm_->accumulator = local;
+    } else {
+      shm_->accumulator = combine(shm_->accumulator, local);
+    }
+    ++shm_->arrived;
+    machdep::shm::shm_lock_release(shm_->lock);
+    // Same shape as the thread path: the barrier section snapshots the
+    // total and re-arms the episode while every process is parked. The
+    // episode release edge publishes result_ to all leavers.
+    machdep::shm::shm_barrier_arrive(
+        shm_->barrier, static_cast<std::uint32_t>(width_),
+        [this, shared_target] {
+          shm_->result = shm_->accumulator;
+          shm_->arrived = 0;
+          if (shared_target != nullptr) *shared_target = shm_->result;
+        },
+        label_.c_str());
+    return shm_->result;
+  }
+
   T allreduce_critical(int me0, const T& local,
                        const std::function<T(T, T)>& combine,
                        T* shared_target) {
-    critical_.enter([&] {
+    critical_->enter([&] {
       if (arrived_ == 0) {
         accumulator_ = local;
       } else {
@@ -141,8 +203,10 @@ class Reduction {
   };
 
   int width_;
-  CriticalSection critical_;
-  std::unique_ptr<BarrierAlgorithm> barrier_;
+  std::unique_ptr<CriticalSection> critical_;  // thread backends only
+  std::unique_ptr<BarrierAlgorithm> barrier_;  // thread backends only
+  ShmState* shm_ = nullptr;                    // os-fork only
+  std::string label_;
   std::vector<Slot> slots_;
   // kCritical state (guarded by critical_ / published by the barrier):
   T accumulator_{};

@@ -15,6 +15,65 @@ std::size_t round_up(std::size_t v, std::size_t to) {
 }
 }  // namespace
 
+// --- in-mapping metadata (kSharedMapping) ----------------------------------
+//
+// Heap-backed arenas keep their name table in a std::map, which forked
+// children cannot share. The shared backing keeps a fixed-capacity table
+// inside the mapping itself, guarded by a process-shared lock, so a name
+// lazily allocated by one child is visible - at the same offset - to all.
+
+struct ShmArenaEntry {
+  char name[152] = {};
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t align = 1;
+  std::uint32_t cls = 0;     // VarClass
+  std::uint32_t placed = 0;  // 0 = declared only, 1 = placed
+};
+static_assert(sizeof(ShmArenaEntry) <= 192, "arena entry grew unexpectedly");
+
+struct ShmArenaHeader {
+  shm::ShmLockState lock;
+  std::uint32_t entry_count = 0;
+  std::uint64_t cursor = 0;
+  std::uint64_t padding_bytes = 0;
+  static constexpr std::size_t kMaxEntries = 1024;
+  ShmArenaEntry entries[kMaxEntries];
+};
+
+const char* arena_backing_name(ArenaBacking b) {
+  switch (b) {
+    case ArenaBacking::kPrivateHeap: return "private-heap";
+    case ArenaBacking::kSharedMapping: return "shared-mapping";
+  }
+  return "unknown";
+}
+
+/// Scoped metadata lock: the per-process mutex for heap backing, the
+/// in-mapping futex lock for shared backing.
+class SharedArena::Guard {
+ public:
+  explicit Guard(const SharedArena& a) : a_(a) {
+    if (a_.shm_header_ != nullptr) {
+      shm::shm_lock_acquire(a_.shm_header_->lock);
+    } else {
+      a_.mutex_.lock();
+    }
+  }
+  ~Guard() {
+    if (a_.shm_header_ != nullptr) {
+      shm::shm_lock_release(a_.shm_header_->lock);
+    } else {
+      a_.mutex_.unlock();
+    }
+  }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  const SharedArena& a_;
+};
+
 const char* sharing_strategy_name(SharingStrategy s) {
   switch (s) {
     case SharingStrategy::kCompileTime: return "compile-time";
@@ -26,8 +85,8 @@ const char* sharing_strategy_name(SharingStrategy s) {
 }
 
 SharedArena::SharedArena(std::size_t capacity_bytes, std::size_t page_size,
-                         SharingStrategy strategy)
-    : page_size_(page_size), strategy_(strategy) {
+                         SharingStrategy strategy, ArenaBacking backing)
+    : page_size_(page_size), strategy_(strategy), backing_(backing) {
   FORCE_CHECK(page_size_ >= 64 && (page_size_ & (page_size_ - 1)) == 0,
               "page size must be a power of two >= 64");
   usable_bytes_ = round_up(capacity_bytes, page_size_);
@@ -39,8 +98,23 @@ SharedArena::SharedArena(std::size_t capacity_bytes, std::size_t page_size,
   }
   storage_bytes_ = usable_bytes_ + guard_bytes_front_ + guard_bytes_back_ +
                    page_size_;  // headroom so the usable base can be aligned
-  storage_ = std::make_unique<std::byte[]>(storage_bytes_);
-  padding_bytes_ = guard_bytes_front_ + guard_bytes_back_;
+  if (backing_ == ArenaBacking::kSharedMapping) {
+    const std::size_t header_bytes =
+        round_up(sizeof(ShmArenaHeader), page_size_);
+    mapping_ =
+        std::make_unique<shm::SharedMapping>(header_bytes + storage_bytes_);
+    shm_header_ = ::new (mapping_->data()) ShmArenaHeader();
+    shm_header_->cursor = 0;
+    shm_header_->padding_bytes = 0;
+    shm_storage_ = static_cast<std::byte*>(mapping_->data()) + header_bytes;
+  } else {
+    storage_ = std::make_unique<std::byte[]>(storage_bytes_);
+  }
+  if (shm_header_ != nullptr) {
+    shm_header_->padding_bytes = guard_bytes_front_ + guard_bytes_back_;
+  } else {
+    padding_bytes_ = guard_bytes_front_ + guard_bytes_back_;
+  }
   if (guard_bytes_front_ != 0) {
     std::memset(usable_base() - guard_bytes_front_,
                 static_cast<int>(kGuardFill), guard_bytes_front_);
@@ -55,15 +129,44 @@ std::byte* SharedArena::usable_base() {
   // The usable region always begins on a page boundary: the Alliant
   // requires it, the Encore's page arithmetic assumes it, and it makes
   // every allocation's alignment guarantee independent of where new[]
-  // happened to place the backing storage.
-  const auto addr = round_up(reinterpret_cast<std::uintptr_t>(storage_.get()) +
-                                 guard_bytes_front_,
-                             page_size_);
+  // (or mmap) happened to place the backing storage.
+  std::byte* raw =
+      shm_storage_ != nullptr ? shm_storage_ : storage_.get();
+  const auto addr = round_up(
+      reinterpret_cast<std::uintptr_t>(raw) + guard_bytes_front_, page_size_);
   return reinterpret_cast<std::byte*>(addr);
 }
 
 const std::byte* SharedArena::usable_base() const {
   return const_cast<SharedArena*>(this)->usable_base();
+}
+
+ShmArenaEntry* SharedArena::shm_find_locked(const std::string& name) const {
+  for (std::uint32_t i = 0; i < shm_header_->entry_count; ++i) {
+    ShmArenaEntry& e = shm_header_->entries[i];
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+ShmArenaEntry* SharedArena::shm_add_locked(const std::string& name,
+                                           std::size_t bytes,
+                                           std::size_t align, VarClass cls) {
+  FORCE_CHECK(name.size() < sizeof(ShmArenaEntry{}.name),
+              "shared name too long for the process-shared arena table: " +
+                  name);
+  FORCE_CHECK(shm_header_->entry_count < ShmArenaHeader::kMaxEntries,
+              "process-shared arena name table full (" +
+                  std::to_string(ShmArenaHeader::kMaxEntries) + " entries)");
+  ShmArenaEntry& e = shm_header_->entries[shm_header_->entry_count];
+  std::memcpy(e.name, name.data(), name.size());
+  e.name[name.size()] = '\0';
+  e.bytes = bytes;
+  e.align = align;
+  e.cls = static_cast<std::uint32_t>(cls);
+  e.placed = 0;
+  ++shm_header_->entry_count;  // publish only after the fields are written
+  return &e;
 }
 
 void SharedArena::declare_locked(const std::string& name, std::size_t bytes,
@@ -73,6 +176,20 @@ void SharedArena::declare_locked(const std::string& name, std::size_t bytes,
   // Fortran COMMON semantics: several modules may declare the same shared
   // block; identical shapes resolve to one storage, mismatches are the
   // link error a 1989 loader would give.
+  if (shm_header_ != nullptr) {
+    if (ShmArenaEntry* e = shm_find_locked(name)) {
+      FORCE_CHECK(e->bytes == bytes &&
+                      e->cls == static_cast<std::uint32_t>(cls),
+                  "shared name re-declared with a different shape: " + name);
+      return;
+    }
+    ShmArenaEntry* e = shm_add_locked(name, bytes, align, cls);
+    if (strategy_ != SharingStrategy::kLinkTime) {
+      e->offset = place(bytes, align);
+      e->placed = 1;
+    }
+    return;
+  }
   if (auto it = allocations_.find(name); it != allocations_.end()) {
     FORCE_CHECK(it->second.bytes == bytes && it->second.cls == cls,
                 "shared name re-declared with a different shape: " + name);
@@ -93,19 +210,29 @@ void SharedArena::declare_locked(const std::string& name, std::size_t bytes,
 
 void SharedArena::declare(const std::string& name, std::size_t bytes,
                           std::size_t align, VarClass cls) {
-  std::lock_guard<std::mutex> g(mutex_);
+  Guard g(*this);
   declare_locked(name, bytes, align, cls);
 }
 
 void SharedArena::link() {
-  std::lock_guard<std::mutex> g(mutex_);
+  Guard g(*this);
   FORCE_CHECK(strategy_ == SharingStrategy::kLinkTime,
               "link() is only part of the link-time sharing protocol");
   FORCE_CHECK(!linked_, "link() called twice");
-  for (auto& [name, a] : allocations_) {
-    if (!a.placed) {
-      a.offset = place(a.bytes, a.align);
-      a.placed = true;
+  if (shm_header_ != nullptr) {
+    for (std::uint32_t i = 0; i < shm_header_->entry_count; ++i) {
+      ShmArenaEntry& e = shm_header_->entries[i];
+      if (e.placed == 0) {
+        e.offset = place(e.bytes, e.align);
+        e.placed = 1;
+      }
+    }
+  } else {
+    for (auto& [name, a] : allocations_) {
+      if (!a.placed) {
+        a.offset = place(a.bytes, a.align);
+        a.placed = true;
+      }
     }
   }
   linked_ = true;
@@ -115,6 +242,29 @@ void* SharedArena::allocate_locked(const std::string& name, std::size_t bytes,
                                    std::size_t align, VarClass cls,
                                    bool* created) {
   if (created != nullptr) *created = false;
+  if (shm_header_ != nullptr) {
+    if (ShmArenaEntry* e = shm_find_locked(name)) {
+      FORCE_CHECK(e->placed != 0, "name declared but not linked yet: " + name);
+      FORCE_CHECK(e->bytes >= bytes &&
+                      e->cls == static_cast<std::uint32_t>(cls),
+                  "allocation mismatch for shared name " + name);
+      return usable_base() + e->offset;
+    }
+    if (strategy_ == SharingStrategy::kLinkTime && name.rfind('%', 0) != 0) {
+      // Runtime-internal names (leading '%': lock words, barrier states,
+      // construct machinery) are exempt from the declare-before-link
+      // protocol - on the real Sequent they would live in the port's own
+      // runtime library, not in user COMMON.
+      FORCE_CHECK(!linked_,
+                  "shared name not declared before link(): " + name +
+                      " (the Sequent port would fail to link this variable)");
+    }
+    ShmArenaEntry* e = shm_add_locked(name, bytes, align, cls);
+    e->offset = place(bytes, align);
+    e->placed = 1;
+    if (created != nullptr) *created = true;
+    return usable_base() + e->offset;
+  }
   auto it = allocations_.find(name);
   if (it != allocations_.end()) {
     Allocation& a = it->second;
@@ -123,9 +273,10 @@ void* SharedArena::allocate_locked(const std::string& name, std::size_t bytes,
                 "allocation mismatch for shared name " + name);
     return usable_base() + a.offset;
   }
-  if (strategy_ == SharingStrategy::kLinkTime) {
+  if (strategy_ == SharingStrategy::kLinkTime && name.rfind('%', 0) != 0) {
     // The Sequent port would fail to link a shared variable that no
     // startup routine declared; allow late declaration only pre-link.
+    // Runtime-internal names (leading '%') are exempt, as above.
     FORCE_CHECK(!linked_,
                 "shared name not declared before link(): " + name +
                     " (the Sequent port would fail to link this variable)");
@@ -143,14 +294,17 @@ void* SharedArena::allocate_locked(const std::string& name, std::size_t bytes,
 
 void* SharedArena::allocate(const std::string& name, std::size_t bytes,
                             std::size_t align, VarClass cls) {
-  std::lock_guard<std::mutex> g(mutex_);
+  Guard g(*this);
   return allocate_locked(name, bytes, align, cls, nullptr);
 }
 
 void* SharedArena::allocate_once(const std::string& name, std::size_t bytes,
                                  std::size_t align, VarClass cls,
                                  const std::function<void(void*)>& init) {
-  std::lock_guard<std::mutex> g(mutex_);
+  // `init` runs under the metadata lock, so construct-once holds across
+  // forked processes too: the first process to place the name constructs
+  // it while every racing sibling is parked on the in-mapping lock.
+  Guard g(*this);
   bool created = false;
   void* p = allocate_locked(name, bytes, align, cls, &created);
   if (created && init) init(p);
@@ -158,7 +312,13 @@ void* SharedArena::allocate_once(const std::string& name, std::size_t bytes,
 }
 
 void* SharedArena::resolve(const std::string& name) const {
-  std::lock_guard<std::mutex> g(mutex_);
+  Guard g(*this);
+  if (shm_header_ != nullptr) {
+    ShmArenaEntry* e = shm_find_locked(name);
+    FORCE_CHECK(e != nullptr, "unknown shared name " + name);
+    FORCE_CHECK(e->placed != 0, "shared name not yet linked: " + name);
+    return const_cast<std::byte*>(usable_base()) + e->offset;
+  }
   auto it = allocations_.find(name);
   FORCE_CHECK(it != allocations_.end(), "unknown shared name " + name);
   FORCE_CHECK(it->second.placed, "shared name not yet linked: " + name);
@@ -166,13 +326,23 @@ void* SharedArena::resolve(const std::string& name) const {
 }
 
 bool SharedArena::contains_name(const std::string& name) const {
-  std::lock_guard<std::mutex> g(mutex_);
+  Guard g(*this);
+  if (shm_header_ != nullptr) return shm_find_locked(name) != nullptr;
   return allocations_.contains(name);
 }
 
 std::size_t SharedArena::place(std::size_t bytes, std::size_t align) {
   FORCE_CHECK(bytes > 0, "zero-byte shared allocation");
-  std::size_t offset = round_up(cursor_, align);
+  // The cursor and padding tally live in the mapping under kSharedMapping
+  // so children placing names stay consistent with each other.
+  std::size_t cursor = shm_header_ != nullptr
+                           ? static_cast<std::size_t>(shm_header_->cursor)
+                           : cursor_;
+  std::size_t padding =
+      shm_header_ != nullptr
+          ? static_cast<std::size_t>(shm_header_->padding_bytes)
+          : padding_bytes_;
+  std::size_t offset = round_up(cursor, align);
   // Encore rule: a shared variable no larger than a page must lie within a
   // single shared page; bump it to the next page if it would straddle one.
   if (bytes <= page_size_) {
@@ -180,15 +350,38 @@ std::size_t SharedArena::place(std::size_t bytes, std::size_t align) {
     const std::size_t page_end = (offset + bytes - 1) / page_size_;
     if (page_begin != page_end) {
       const std::size_t bumped = round_up(offset, page_size_);
-      padding_bytes_ += bumped - offset;
+      padding += bumped - offset;
       offset = bumped;
     }
   }
   FORCE_CHECK(offset + bytes <= usable_bytes_,
               "shared arena exhausted; enlarge ForceConfig::arena_bytes");
-  padding_bytes_ += offset - cursor_;
-  cursor_ = offset + bytes;
+  padding += offset - cursor;
+  cursor = offset + bytes;
+  if (shm_header_ != nullptr) {
+    shm_header_->cursor = cursor;
+    shm_header_->padding_bytes = padding;
+  } else {
+    cursor_ = cursor;
+    padding_bytes_ = padding;
+  }
   return offset;
+}
+
+std::size_t SharedArena::bytes_used() const {
+  Guard g(*this);
+  if (shm_header_ != nullptr) {
+    return static_cast<std::size_t>(shm_header_->cursor);
+  }
+  return cursor_;
+}
+
+std::size_t SharedArena::padding_bytes() const {
+  Guard g(*this);
+  if (shm_header_ != nullptr) {
+    return static_cast<std::size_t>(shm_header_->padding_bytes);
+  }
+  return padding_bytes_;
 }
 
 bool SharedArena::is_shared_address(const void* p) const {
@@ -226,8 +419,16 @@ void SharedArena::corrupt_guard_for_test() {
 void SharedArena::for_each_allocation(
     const std::function<void(const std::string&, void*, std::size_t)>& fn)
     const {
-  std::lock_guard<std::mutex> g(mutex_);
+  Guard g(*this);
   auto* self = const_cast<SharedArena*>(this);
+  if (shm_header_ != nullptr) {
+    for (std::uint32_t i = 0; i < shm_header_->entry_count; ++i) {
+      const ShmArenaEntry& e = shm_header_->entries[i];
+      if (e.placed == 0) continue;
+      fn(std::string(e.name), self->usable_base() + e.offset, e.bytes);
+    }
+    return;
+  }
   for (const auto& [name, alloc] : allocations_) {
     if (!alloc.placed) continue;
     fn(name, self->usable_base() + alloc.offset, alloc.bytes);

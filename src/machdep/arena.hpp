@@ -31,6 +31,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "machdep/shm.hpp"
+
 namespace force::machdep {
 
 /// When sharing is established on the modelled machine.
@@ -46,14 +48,36 @@ const char* sharing_strategy_name(SharingStrategy s);
 /// Storage class of an allocation, mirroring the Force declaration macros.
 enum class VarClass { kShared, kAsync };
 
+/// What backs the arena's pages.
+///
+///   * kPrivateHeap    - ordinary heap storage; "sharing" means the thread-
+///                       emulated processes all see one address space.
+///   * kSharedMapping  - one mmap(MAP_SHARED | MAP_ANONYMOUS) region created
+///                       before fork(), so real child processes share the
+///                       pages (the kOsFork backend). The allocation
+///                       *metadata* (cursor + name table) lives inside the
+///                       mapping too, under a process-shared lock, so a
+///                       name lazily allocated by one child resolves to the
+///                       same offset in every other.
+enum class ArenaBacking { kPrivateHeap, kSharedMapping };
+
+const char* arena_backing_name(ArenaBacking b);
+
+// Defined in arena.cpp; live inside the shared mapping under kSharedMapping.
+struct ShmArenaHeader;
+struct ShmArenaEntry;
+
 /// A page-structured shared memory region.
 class SharedArena {
  public:
   /// `capacity_bytes` is rounded up to whole pages. For kRuntimePadded one
   /// guard page is added before and after the usable region; for
   /// kPageAlignedStart the usable region starts exactly on a page boundary.
+  /// With kSharedMapping the whole arena - allocation metadata included -
+  /// lives in one MAP_SHARED mapping so forked processes stay coherent.
   SharedArena(std::size_t capacity_bytes, std::size_t page_size,
-              SharingStrategy strategy);
+              SharingStrategy strategy,
+              ArenaBacking backing = ArenaBacking::kPrivateHeap);
 
   SharedArena(const SharedArena&) = delete;
   SharedArena& operator=(const SharedArena&) = delete;
@@ -68,6 +92,11 @@ class SharedArena {
   /// port). Idempotent calls are an error: the real protocol links once.
   void link();
   [[nodiscard]] bool linked() const { return linked_; }
+  [[nodiscard]] ArenaBacking backing() const { return backing_; }
+  /// True when the pages are MAP_SHARED, i.e. real forked children see them.
+  [[nodiscard]] bool process_shared() const {
+    return backing_ == ArenaBacking::kSharedMapping;
+  }
 
   // --- allocation ---------------------------------------------------------
 
@@ -105,7 +134,7 @@ class SharedArena {
   [[nodiscard]] bool is_shared_address(const void* p) const;
   [[nodiscard]] std::size_t page_size() const { return page_size_; }
   [[nodiscard]] std::size_t pages() const;
-  [[nodiscard]] std::size_t bytes_used() const { return cursor_; }
+  [[nodiscard]] std::size_t bytes_used() const;
   [[nodiscard]] std::size_t capacity() const { return usable_bytes_; }
   [[nodiscard]] SharingStrategy strategy() const { return strategy_; }
   /// Page index of an address inside the usable region.
@@ -117,7 +146,7 @@ class SharedArena {
   [[nodiscard]] bool guards_intact() const;
 
   /// Number of bytes lost to padding (page-boundary bumps + guards).
-  [[nodiscard]] std::size_t padding_bytes() const { return padding_bytes_; }
+  [[nodiscard]] std::size_t padding_bytes() const;
 
   /// Deliberately corrupts a guard byte; used by failure-injection tests.
   void corrupt_guard_for_test();
@@ -138,19 +167,29 @@ class SharedArena {
     std::size_t align = 1;
   };
 
+  /// Locks either the per-process mutex (heap backing) or the in-mapping
+  /// process-shared lock (shared backing), so every metadata operation is
+  /// coherent across forked children.
+  class Guard;
+  friend class Guard;
+
   std::size_t place(std::size_t bytes, std::size_t align);
   std::byte* usable_base();
   [[nodiscard]] const std::byte* usable_base() const;
-  // Unlocked internals; callers hold mutex_.
+  // Unlocked internals; callers hold the Guard.
   void declare_locked(const std::string& name, std::size_t bytes,
                       std::size_t align, VarClass cls);
   void* allocate_locked(const std::string& name, std::size_t bytes,
                         std::size_t align, VarClass cls, bool* created);
+  ShmArenaEntry* shm_find_locked(const std::string& name) const;
+  ShmArenaEntry* shm_add_locked(const std::string& name, std::size_t bytes,
+                                std::size_t align, VarClass cls);
 
   mutable std::mutex mutex_;
 
   std::size_t page_size_;
   SharingStrategy strategy_;
+  ArenaBacking backing_;
   std::size_t guard_bytes_front_ = 0;
   std::size_t guard_bytes_back_ = 0;
   std::size_t usable_bytes_ = 0;
@@ -160,6 +199,10 @@ class SharedArena {
   std::unique_ptr<std::byte[]> storage_;
   std::size_t storage_bytes_ = 0;
   std::map<std::string, Allocation> allocations_;
+  // kSharedMapping only: the mapping holds [metadata header][storage pages].
+  std::unique_ptr<shm::SharedMapping> mapping_;
+  ShmArenaHeader* shm_header_ = nullptr;
+  std::byte* shm_storage_ = nullptr;
 };
 
 /// Per-process private storage, split into a data region and a stack region

@@ -16,10 +16,19 @@
 // ProcessTeam reproduces the *observable* differences over std::jthread:
 // which private regions children inherit (via PrivateSpace) and how much
 // memory the spawn must copy (the fork cost driver measured in bench E7).
+// ProcessModelKind::kOsFork leaves emulation behind: ProcessTeam::run
+// spawns real child processes with fork(2). Shared state must then live in
+// MAP_SHARED pages (SharedArena with ArenaBacking::kSharedMapping) and all
+// synchronization must be process-shared (machdep/shm.*). Join is robust:
+// children are reaped with waitpid, a death is surfaced as a structured
+// ProcessDeathError naming the process and its last-known construct site,
+// and the surviving processes are released within a bounded wait by
+// poisoning the team instead of being left parked forever.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 
 #include "machdep/arena.hpp"
@@ -29,7 +38,8 @@ namespace force::machdep {
 enum class ProcessModelKind {
   kForkJoinCopy,    ///< Unix fork: copy data + stack (Sequent/Encore/Flex/Cray)
   kForkSharedData,  ///< Alliant: share data, copy stack only
-  kHepCreate        ///< HEP: subroutine-call creation, nothing copied
+  kHepCreate,       ///< HEP: subroutine-call creation, nothing copied
+  kOsFork           ///< real fork(2) children over a MAP_SHARED arena
 };
 
 const char* process_model_name(ProcessModelKind kind);
@@ -42,6 +52,50 @@ PrivateSpace::Region private_region_for(ProcessModelKind kind);
 
 /// Translates a process model into PrivateSpace initialization semantics.
 PrivateSpace::InitMode init_mode_for(ProcessModelKind kind);
+
+/// A child of a kOsFork team exited nonzero or died on a signal. Carries
+/// the 1-based process number, its pid, how it died, the last construct
+/// site the process recorded before dying, and any error text it wrote
+/// into its control slot.
+class ProcessDeathError : public std::runtime_error {
+ public:
+  ProcessDeathError(const std::string& what, int proc1, long pid,
+                    int exit_code, int term_signal, std::string site,
+                    std::string error_text)
+      : std::runtime_error(what),
+        proc1_(proc1),
+        pid_(pid),
+        exit_code_(exit_code),
+        term_signal_(term_signal),
+        site_(std::move(site)),
+        error_text_(std::move(error_text)) {}
+
+  /// 1-based process number, Force convention.
+  [[nodiscard]] int process() const { return proc1_; }
+  [[nodiscard]] long pid() const { return pid_; }
+  /// Exit code, or -1 when the child died on a signal.
+  [[nodiscard]] int exit_code() const { return exit_code_; }
+  /// Terminating signal, or 0 when the child exited.
+  [[nodiscard]] int term_signal() const { return term_signal_; }
+  /// Last construct site the child noted ("startup" if none).
+  [[nodiscard]] const std::string& site() const { return site_; }
+  /// what() of the exception the child died with, if it managed to record
+  /// one; empty for signal deaths.
+  [[nodiscard]] const std::string& error_text() const { return error_text_; }
+
+ private:
+  int proc1_;
+  long pid_;
+  int exit_code_;
+  int term_signal_;
+  std::string site_;
+  std::string error_text_;
+};
+
+/// Exit code a forked child uses when it dies as *collateral* of a team
+/// poisoning (a TeamPoisoned unwind): the parent reports only the primary
+/// death, not the releases it caused.
+constexpr int kPoisonCollateralExit = 103;
 
 /// Outcome of one spawn/execute/join cycle.
 struct SpawnStats {
@@ -68,6 +122,13 @@ class ProcessTeam {
   [[nodiscard]] ProcessModelKind kind() const { return kind_; }
 
  private:
+  /// The real-fork backend: children run `entry` and _Exit; the parent
+  /// reaps with waitpid, poisons the team on the first abnormal status,
+  /// grants survivors a bounded grace period, then SIGKILLs stragglers
+  /// and throws ProcessDeathError for the primary death.
+  SpawnStats run_os_fork(int nproc, PrivateSpace* space,
+                         const std::function<void(int)>& entry) const;
+
   ProcessModelKind kind_;
 };
 

@@ -1,0 +1,414 @@
+#include "machdep/shm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "util/check.hpp"
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#else
+#include <sys/mman.h>
+#endif
+
+namespace force::machdep::shm {
+
+// --- futex layer -----------------------------------------------------------
+
+void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                std::int64_t timeout_ns) {
+#ifdef __linux__
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000);
+  // No FUTEX_PRIVATE_FLAG: the queue must be keyed by the shared page so
+  // waiters and wakers in different address spaces find each other.
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT,
+          expected, timeout_ns > 0 ? &ts : nullptr, nullptr, 0);
+#else
+  // Portable fallback: bounded sleep-poll. Correct (callers re-check) but
+  // slower to wake; the Linux container never takes this path.
+  const std::int64_t slice_ns = std::min<std::int64_t>(timeout_ns, 1'000'000);
+  if (word->load(std::memory_order_acquire) == expected) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(slice_ns));
+  }
+#endif
+}
+
+void futex_wake(std::atomic<std::uint32_t>* word, int count) {
+#ifdef __linux__
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE,
+          count < 0 ? INT32_MAX : count, nullptr, nullptr, 0);
+#else
+  (void)word;
+  (void)count;  // sleep-poll waiters wake by themselves
+#endif
+}
+
+// --- team poison / site slot -----------------------------------------------
+
+namespace {
+// One fork team per process at a time (the Force's one-driver model), and
+// forked children are single-threaded, so plain globals suffice. They are
+// atomics anyway so thread-mode unit tests of these primitives stay clean.
+std::atomic<std::atomic<std::uint32_t>*> g_poison{nullptr};
+std::atomic<char*> g_site_slot{nullptr};
+std::atomic<std::size_t> g_site_cap{0};
+}  // namespace
+
+void set_team_poison(std::atomic<std::uint32_t>* word) {
+  g_poison.store(word, std::memory_order_release);
+}
+
+std::atomic<std::uint32_t>* team_poison() {
+  return g_poison.load(std::memory_order_acquire);
+}
+
+bool team_poisoned() {
+  std::atomic<std::uint32_t>* w = team_poison();
+  return w != nullptr && w->load(std::memory_order_acquire) != 0;
+}
+
+void check_poison() {
+  if (team_poisoned()) throw TeamPoisoned();
+}
+
+void set_site_slot(char* slot, std::size_t capacity) {
+  g_site_slot.store(slot, std::memory_order_release);
+  g_site_cap.store(capacity, std::memory_order_release);
+}
+
+void note_site(const char* label) {
+  char* slot = g_site_slot.load(std::memory_order_acquire);
+  if (slot == nullptr || label == nullptr) return;
+  const std::size_t cap = g_site_cap.load(std::memory_order_acquire);
+  if (cap == 0) return;
+  // Best-effort: torn reads by the parent can only garble the *text* of a
+  // diagnostic, never correctness, and the buffer stays NUL-terminated.
+  std::strncpy(slot, label, cap - 1);
+  slot[cap - 1] = '\0';
+}
+
+// --- shared anonymous mappings ---------------------------------------------
+
+SharedMapping::SharedMapping(std::size_t bytes) : bytes_(bytes) {
+  FORCE_CHECK(bytes > 0, "shared mapping must have a size");
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  FORCE_CHECK(p != MAP_FAILED, "mmap(MAP_SHARED) failed for " +
+                                   std::to_string(bytes) + " bytes");
+  data_ = p;  // anonymous mappings are zero-filled, a valid initial state
+              // for every shm state struct in this file
+}
+
+SharedMapping::~SharedMapping() {
+  if (data_ != nullptr) ::munmap(data_, bytes_);
+}
+
+// --- process-shared lock ---------------------------------------------------
+
+void shm_lock_acquire(ShmLockState& s) {
+  std::uint32_t c = 0;
+  if (s.word.compare_exchange_strong(c, 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+    return;  // uncontended
+  }
+  // Contended: advertise a waiter (state 2) and park. Acquiring via the
+  // exchange leaves the word at 2, so the eventual release always wakes -
+  // one spurious wake per contention burst, never a lost one.
+  for (;;) {
+    if (s.word.exchange(2, std::memory_order_acquire) == 0) return;
+    check_poison();
+    futex_wait(&s.word, 2);
+  }
+}
+
+bool shm_lock_try_acquire(ShmLockState& s) {
+  std::uint32_t c = 0;
+  return s.word.compare_exchange_strong(c, 1, std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+}
+
+void shm_lock_release(ShmLockState& s) {
+  // Binary-semaphore contract: any process may release. Releasing an
+  // unlocked lock is a caller bug; the exchange makes it harmless here.
+  if (s.word.exchange(0, std::memory_order_release) == 2) {
+    futex_wake(&s.word, 1);
+  }
+}
+
+// --- process-shared barrier ------------------------------------------------
+
+void shm_barrier_arrive(ShmBarrierState& b, std::uint32_t width,
+                        const std::function<void()>& section,
+                        const char* label) {
+  note_site(label);
+  const std::uint32_t ep = b.episode.load(std::memory_order_acquire);
+  const std::uint32_t arrived =
+      b.count.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (arrived == width) {
+    // Champion: everyone else is parked on the episode word. The count
+    // reset is published by the episode store; a process re-arriving for
+    // the next episode must first acquire-load episode != ep, ordering
+    // its fetch_add after this reset.
+    if (section) section();
+    b.count.store(0, std::memory_order_relaxed);
+    b.episode.store(ep + 1, std::memory_order_release);
+    futex_wake(&b.episode, -1);
+    return;
+  }
+  for (;;) {
+    if (b.episode.load(std::memory_order_acquire) != ep) return;
+    check_poison();
+    futex_wait(&b.episode, ep);
+  }
+}
+
+// --- process-shared full/empty cell ----------------------------------------
+
+namespace {
+constexpr std::uint32_t kEmpty = 0;
+constexpr std::uint32_t kFull = 1;
+constexpr std::uint32_t kBusy = 2;
+
+/// CAS the cell from `from` to kBusy, waiting (bounded, poison-checked)
+/// while it holds any other value.
+void seize(ShmCellState& c, std::uint32_t from) {
+  for (;;) {
+    std::uint32_t s = from;
+    if (c.state.compare_exchange_strong(s, kBusy, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+    check_poison();
+    futex_wait(&c.state, s);
+  }
+}
+
+void publish(ShmCellState& c, std::uint32_t to) {
+  c.state.store(to, std::memory_order_release);
+  futex_wake(&c.state, -1);
+}
+}  // namespace
+
+void shm_cell_produce(ShmCellState& c, void* payload, const void* src,
+                      std::size_t n, const char* label) {
+  note_site(label);
+  seize(c, kEmpty);
+  std::memcpy(payload, src, n);
+  publish(c, kFull);
+}
+
+void shm_cell_consume(ShmCellState& c, const void* payload, void* dst,
+                      std::size_t n, const char* label) {
+  note_site(label);
+  seize(c, kFull);
+  std::memcpy(dst, payload, n);
+  publish(c, kEmpty);
+}
+
+void shm_cell_copy(ShmCellState& c, const void* payload, void* dst,
+                   std::size_t n, const char* label) {
+  note_site(label);
+  seize(c, kFull);
+  std::memcpy(dst, payload, n);
+  publish(c, kFull);
+}
+
+bool shm_cell_try_produce(ShmCellState& c, void* payload, const void* src,
+                          std::size_t n) {
+  std::uint32_t s = kEmpty;
+  if (!c.state.compare_exchange_strong(s, kBusy, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+    return false;
+  }
+  std::memcpy(payload, src, n);
+  publish(c, kFull);
+  return true;
+}
+
+bool shm_cell_try_consume(ShmCellState& c, const void* payload, void* dst,
+                          std::size_t n) {
+  std::uint32_t s = kFull;
+  if (!c.state.compare_exchange_strong(s, kBusy, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+    return false;
+  }
+  std::memcpy(dst, payload, n);
+  publish(c, kEmpty);
+  return true;
+}
+
+void shm_cell_void(ShmCellState& c) {
+  // Force the state to empty. A Void overlapping an in-flight access
+  // waits out the busy window, as on the original machines.
+  for (;;) {
+    std::uint32_t s = c.state.load(std::memory_order_acquire);
+    if (s == kEmpty) return;
+    if (s == kFull &&
+        c.state.compare_exchange_strong(s, kEmpty, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      futex_wake(&c.state, -1);
+      return;
+    }
+    check_poison();
+    futex_wait(&c.state, kBusy);
+  }
+}
+
+bool shm_cell_is_full(const ShmCellState& c) {
+  return c.state.load(std::memory_order_acquire) == kFull;
+}
+
+// --- process-shared dispatch counter ---------------------------------------
+// Mirrors DispatchCounter's lock-free engine (locks.cpp) exactly; plain
+// atomic RMW is address-free, so the same algorithm is fork-safe as-is.
+
+DispatchClaim shm_dispatch_claim(ShmDispatchState& d, std::int64_t want,
+                                 std::int64_t limit) {
+  FORCE_CHECK(want >= 1, "dispatch claim must want at least one trip");
+  const std::int64_t t = d.value.fetch_add(want, std::memory_order_acq_rel);
+  if (t >= limit) {
+    // Clamp the runaway value back to `limit` (overflow guard; every trip
+    // below limit has already been granted exactly once).
+    std::int64_t cur = d.value.load(std::memory_order_relaxed);
+    while (cur > limit &&
+           !d.value.compare_exchange_weak(cur, limit,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+    }
+    return {t, 0};
+  }
+  return {t, std::min(want, limit - t)};
+}
+
+DispatchClaim shm_dispatch_claim_fraction(ShmDispatchState& d,
+                                          std::int64_t limit,
+                                          std::int64_t divisor) {
+  FORCE_CHECK(divisor >= 1, "dispatch divisor must be at least one");
+  std::int64_t t = d.value.load(std::memory_order_relaxed);
+  for (;;) {
+    if (t >= limit) return {t, 0};
+    const std::int64_t want = std::max<std::int64_t>(1, (limit - t) / divisor);
+    if (d.value.compare_exchange_weak(t, t + want, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return {t, want};
+    }
+  }
+}
+
+// --- process-shared askfor monitor -----------------------------------------
+
+std::size_t shm_askfor_bytes(std::uint32_t capacity, std::uint32_t stride) {
+  return sizeof(ShmAskforState) +
+         static_cast<std::size_t>(capacity) * stride;
+}
+
+namespace {
+std::byte* ring_base(ShmAskforState& a) {
+  return reinterpret_cast<std::byte*>(&a + 1);
+}
+
+std::byte* ring_slot(ShmAskforState& a, std::uint32_t index) {
+  return ring_base(a) + static_cast<std::size_t>(index % a.capacity) * a.stride;
+}
+
+void bump_version(ShmAskforState& a) {
+  a.version.fetch_add(1, std::memory_order_release);
+  futex_wake(&a.version, -1);
+}
+}  // namespace
+
+void shm_askfor_init(void* blob, std::uint32_t capacity,
+                     std::uint32_t stride) {
+  FORCE_CHECK(capacity > 0 && stride > 0, "askfor ring needs a shape");
+  auto* a = ::new (blob) ShmAskforState();
+  a->capacity = capacity;
+  a->stride = stride;
+}
+
+void shm_askfor_put(ShmAskforState& a, const void* task) {
+  shm_lock_acquire(a.monitor);
+  if (a.ended != 0) {  // probend already ended the computation; drop quietly
+    shm_lock_release(a.monitor);
+    return;
+  }
+  const bool full = a.tail - a.head >= a.capacity;
+  if (full) {
+    shm_lock_release(a.monitor);
+    FORCE_CHECK(false,
+                "os-fork askfor ring overflow; reduce fan-out or enlarge "
+                "the per-site task capacity");
+  }
+  std::memcpy(ring_slot(a, a.tail), task, a.stride);
+  ++a.tail;
+  shm_lock_release(a.monitor);
+  bump_version(a);
+}
+
+bool shm_askfor_ask(ShmAskforState& a, void* out, const char* label) {
+  note_site(label);
+  for (;;) {
+    check_poison();
+    shm_lock_acquire(a.monitor);
+    if (a.ended != 0) {
+      shm_lock_release(a.monitor);
+      return false;
+    }
+    if (a.head != a.tail) {
+      std::memcpy(out, ring_slot(a, a.head), a.stride);
+      ++a.head;
+      ++a.working;
+      a.granted.fetch_add(1, std::memory_order_relaxed);
+      shm_lock_release(a.monitor);
+      return true;
+    }
+    if (a.working == 0) {
+      // Drained: no tokens anywhere and nobody who could put() more.
+      // Latch the end so every parked process leaves too.
+      a.ended = 1;
+      shm_lock_release(a.monitor);
+      bump_version(a);
+      return false;
+    }
+    // No work *right now*, but a working process may still put() more:
+    // sleep on the version word until something changes.
+    const std::uint32_t v = a.version.load(std::memory_order_acquire);
+    shm_lock_release(a.monitor);
+    if (a.version.load(std::memory_order_acquire) == v) {
+      futex_wait(&a.version, v);
+    }
+  }
+}
+
+void shm_askfor_complete(ShmAskforState& a) {
+  shm_lock_acquire(a.monitor);
+  --a.working;
+  const bool drained = a.working == 0 && a.head == a.tail;
+  shm_lock_release(a.monitor);
+  // Wake parked askers so the drained case latches promptly (put() has
+  // already bumped the version for the new-work case).
+  if (drained) bump_version(a);
+}
+
+void shm_askfor_probend(ShmAskforState& a) {
+  shm_lock_acquire(a.monitor);
+  a.ended = 1;
+  shm_lock_release(a.monitor);
+  bump_version(a);
+}
+
+bool shm_askfor_ended(const ShmAskforState& a) {
+  auto& m = const_cast<ShmAskforState&>(a);
+  shm_lock_acquire(m.monitor);
+  const bool e = m.ended != 0;
+  shm_lock_release(m.monitor);
+  return e;
+}
+
+}  // namespace force::machdep::shm

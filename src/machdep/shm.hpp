@@ -1,0 +1,266 @@
+// Process-shared synchronization primitives for the kOsFork backend.
+//
+// The thread-emulated process models can lean on std::mutex and on
+// std::atomic::wait, but neither survives a real fork(): std::mutex is
+// undefined across address spaces and libstdc++'s atomic wait uses a
+// per-process proxy table, so a waiter in one process is invisible to a
+// notifier in another. Everything here works on *address-free* atomic
+// words that live in a MAP_SHARED mapping, woken with raw futex syscalls
+// on Linux (FUTEX_WAIT / FUTEX_WAKE without the PRIVATE flag, so the wait
+// queue is keyed by physical page) and with a bounded sleep-poll fallback
+// elsewhere.
+//
+// Liveness contract: every blocking wait in this file is *bounded* (one
+// futex slice at a time) and re-checks the installed team-poison word
+// between slices. When the parent reaps a dead child it poisons the team;
+// survivors parked in any primitive here throw TeamPoisoned within one
+// slice instead of waiting forever on a peer that no longer exists. This
+// is the "never deadlocks the survivors" half of the robust-join design.
+//
+// All state structs are trivially destructible PODs so they can live in
+// the SharedArena (which reclaims storage as raw bytes) and be addressed
+// by name from every process.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "machdep/locks.hpp"
+
+namespace force::machdep::shm {
+
+/// One bounded wait slice; poison is re-checked at this period.
+constexpr std::int64_t kWaitSliceNs = 10'000'000;  // 10 ms
+
+// --- futex layer -----------------------------------------------------------
+
+static_assert(sizeof(std::atomic<std::uint32_t>) == 4,
+              "futex words must be exactly 32 bits");
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "shared-memory words must be address-free atomics");
+
+/// Sleeps until `*word != expected` is *likely* (spurious wakeups allowed;
+/// callers always re-check), for at most `timeout_ns`. Cross-process: the
+/// kernel keys the wait queue by the physical page behind `word`.
+void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                std::int64_t timeout_ns = kWaitSliceNs);
+
+/// Wakes up to `count` waiters (`count < 0` means all).
+void futex_wake(std::atomic<std::uint32_t>* word, int count);
+
+// --- team poison -----------------------------------------------------------
+
+/// Thrown out of any shm wait when the team has been poisoned (a sibling
+/// process died). Forked children translate it into a quiet collateral
+/// exit; the parent reports only the primary death.
+class TeamPoisoned : public std::runtime_error {
+ public:
+  TeamPoisoned() : std::runtime_error(
+      "force team poisoned: a sibling process died") {}
+};
+
+/// Installs the team-wide poison word (in the control mapping) for the
+/// duration of a fork run; `nullptr` uninstalls. Not thread-safe against
+/// concurrent runs - one fork team per process at a time, which is the
+/// Force's one-driver model anyway.
+void set_team_poison(std::atomic<std::uint32_t>* word);
+[[nodiscard]] std::atomic<std::uint32_t>* team_poison();
+
+/// True when a poison word is installed and set.
+[[nodiscard]] bool team_poisoned();
+
+/// Throws TeamPoisoned when the team is poisoned; called between wait
+/// slices by every primitive below.
+void check_poison();
+
+// --- last-known construct site ---------------------------------------------
+
+/// Installs the calling process's site slot (a char buffer inside the
+/// team control mapping). Blocking primitives record the label of the
+/// construct they are waiting at, so the parent can name the last-known
+/// construct site of a process that died.
+void set_site_slot(char* slot, std::size_t capacity);
+
+/// Records `label` in the installed slot (no-op when none is installed).
+void note_site(const char* label);
+
+// --- shared anonymous mappings ---------------------------------------------
+
+/// RAII over one mmap(MAP_SHARED | MAP_ANONYMOUS) region. Created before
+/// fork(); parent and children then address the same pages at the same
+/// virtual address. Unmapped by whichever processes destroy it; the pages
+/// themselves live until the last mapping goes.
+class SharedMapping {
+ public:
+  explicit SharedMapping(std::size_t bytes);
+  ~SharedMapping();
+
+  SharedMapping(const SharedMapping&) = delete;
+  SharedMapping& operator=(const SharedMapping&) = delete;
+
+  [[nodiscard]] void* data() { return data_; }
+  [[nodiscard]] const void* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return bytes_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+// --- process-shared lock ---------------------------------------------------
+
+/// The futex word of one process-shared binary semaphore.
+/// 0 = free, 1 = held (no waiters advertised), 2 = held + waiters.
+struct ShmLockState {
+  std::atomic<std::uint32_t> word{0};
+};
+
+void shm_lock_acquire(ShmLockState& s);
+bool shm_lock_try_acquire(ShmLockState& s);
+void shm_lock_release(ShmLockState& s);
+
+/// BasicLock façade over an arena-resident ShmLockState, so the generic
+/// lock engine (critical sections, named locks, monitors) works across
+/// address spaces without the constructs changing. The wrapper object is
+/// per-process; only the state word is shared. Cross-process release is
+/// legal, as the Force lock contract requires.
+class ShmLock final : public BasicLock {
+ public:
+  ShmLock(ShmLockState* state, std::string label)
+      : state_(state), label_(std::move(label)) {}
+
+  void acquire() override {
+    note_site(label_.c_str());
+    shm_lock_acquire(*state_);
+  }
+  bool try_acquire() override { return shm_lock_try_acquire(*state_); }
+  void release() override { shm_lock_release(*state_); }
+  const char* mechanism() const override { return "futex-shared"; }
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+ private:
+  ShmLockState* state_;
+  std::string label_;
+};
+
+// --- process-shared barrier ------------------------------------------------
+
+/// Episode barrier: no per-process sense needed (the episode word IS the
+/// sense), so the state is two shared words and works for any process
+/// that can read them. The width-th arriver is the champion: it runs the
+/// barrier section while everyone else is parked on the episode word,
+/// resets the count, then publishes episode+1 and wakes all.
+struct alignas(64) ShmBarrierState {
+  std::atomic<std::uint32_t> count{0};
+  std::atomic<std::uint32_t> episode{0};
+};
+
+/// One arrival. `section` (may be empty) runs in the champion while the
+/// other width-1 processes are suspended. `label` (may be null) is noted
+/// as the last-known construct site before parking.
+void shm_barrier_arrive(ShmBarrierState& b, std::uint32_t width,
+                        const std::function<void()>& section,
+                        const char* label);
+
+// --- process-shared full/empty cell ----------------------------------------
+
+/// Full/empty state word of one async variable: 0 = empty, 1 = full,
+/// 2 = busy (a producer or consumer owns the payload window). The payload
+/// itself lies immediately after the state in the arena blob; all
+/// transfers are memcpy of trivially copyable bytes.
+struct alignas(64) ShmCellState {
+  std::atomic<std::uint32_t> state{0};
+};
+
+void shm_cell_produce(ShmCellState& c, void* payload, const void* src,
+                      std::size_t n, const char* label);
+void shm_cell_consume(ShmCellState& c, const void* payload, void* dst,
+                      std::size_t n, const char* label);
+void shm_cell_copy(ShmCellState& c, const void* payload, void* dst,
+                   std::size_t n, const char* label);
+bool shm_cell_try_produce(ShmCellState& c, void* payload, const void* src,
+                          std::size_t n);
+bool shm_cell_try_consume(ShmCellState& c, const void* payload, void* dst,
+                          std::size_t n);
+void shm_cell_void(ShmCellState& c);
+[[nodiscard]] bool shm_cell_is_full(const ShmCellState& c);
+
+// --- process-shared dispatch counter ---------------------------------------
+
+/// The lock-free dispatch engine's counter, address-free so it works on
+/// shared pages: plain fetch-add / CAS, no waiting involved. Mirrors
+/// DispatchCounter's clamp-at-limit semantics exactly (see locks.cpp).
+struct alignas(64) ShmDispatchState {
+  std::atomic<std::int64_t> value{0};
+};
+
+DispatchClaim shm_dispatch_claim(ShmDispatchState& d, std::int64_t want,
+                                 std::int64_t limit);
+DispatchClaim shm_dispatch_claim_fraction(ShmDispatchState& d,
+                                          std::int64_t limit,
+                                          std::int64_t divisor);
+
+// --- selfscheduled-loop episode state --------------------------------------
+
+/// Shared state of one selfscheduled DOALL site under kOsFork: an entry
+/// barrier whose champion publishes the bounds and re-arms the dispatch,
+/// then a claim loop on the shared counter. Faithful to the paper there
+/// is NO exit barrier; reuse is still safe because the next episode's
+/// entry barrier cannot complete until every process has arrived, and a
+/// process only arrives after leaving the previous claim loop.
+struct ShmSelfschedState {
+  ShmBarrierState entry;
+  ShmDispatchState dispatch;
+  // Episode bounds: written only by the entry champion, inside the
+  // barrier section, published by the episode release.
+  std::int64_t start = 0;
+  std::int64_t last = 0;
+  std::int64_t incr = 1;
+  std::int64_t trips = 0;
+};
+
+// --- process-shared askfor monitor -----------------------------------------
+
+/// The Askfor monitor over shared memory: a fixed-capacity FIFO ring of
+/// fixed-stride task records behind one ShmLock, with a version word for
+/// sleeping. head/tail are monotonic (index = value % capacity). Tasks
+/// are trivially-copyable bytes; a granted task is copied OUT of the ring
+/// (cross-process pointers into a growing queue cannot work), which is
+/// the one semantic difference from the thread engines' stable-storage
+/// references.
+struct ShmAskforState {
+  ShmLockState monitor;
+  std::atomic<std::uint32_t> version{0};  ///< bumped on put/complete/probend
+  std::atomic<std::uint64_t> granted{0};
+  std::uint32_t capacity = 0;
+  std::uint32_t stride = 0;
+  std::uint32_t head = 0;     ///< guarded by monitor
+  std::uint32_t tail = 0;     ///< guarded by monitor
+  std::int32_t working = 0;   ///< guarded by monitor
+  std::uint32_t ended = 0;    ///< guarded by monitor (latched on drain too)
+  // capacity * stride task bytes follow this header in the arena blob.
+};
+
+/// Bytes of the whole blob (header + ring storage).
+[[nodiscard]] std::size_t shm_askfor_bytes(std::uint32_t capacity,
+                                           std::uint32_t stride);
+
+/// Initializes a raw blob (called once under the arena's construct-once
+/// protocol).
+void shm_askfor_init(void* blob, std::uint32_t capacity,
+                     std::uint32_t stride);
+
+void shm_askfor_put(ShmAskforState& a, const void* task);
+/// Blocks for work; copies the granted task into `out` and returns true,
+/// or returns false when the computation is over (drained or probend).
+bool shm_askfor_ask(ShmAskforState& a, void* out, const char* label);
+void shm_askfor_complete(ShmAskforState& a);
+void shm_askfor_probend(ShmAskforState& a);
+[[nodiscard]] bool shm_askfor_ended(const ShmAskforState& a);
+
+}  // namespace force::machdep::shm

@@ -35,6 +35,10 @@ struct TranslateOptions {
   std::string lint_spec;
   /// Promote every warning (lint findings included) to an error.
   bool werror = false;
+  /// Process backend baked into the generated driver: empty keeps the
+  /// machine's thread-emulated model; "os-fork" runs the force as real
+  /// fork(2) children over a MAP_SHARED arena (docs/PORTING.md).
+  std::string process_model;
 };
 
 /// File header: banner + includes.

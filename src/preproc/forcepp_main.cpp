@@ -51,6 +51,10 @@ int main(int argc, char** argv) {
              "target machine model (hep flex32 encore sequent alliant "
              "cray2 native)")
       .option("nproc", "4", "default force size baked into the driver")
+      .option("process-model", "",
+              "process backend baked into the driver: empty keeps the "
+              "machine's thread-emulated model, os-fork runs real fork(2) "
+              "children over a MAP_SHARED arena")
       .option("o", "", "output file (default: stdout)")
       .flag("module",
             "translate a separately compiled module (Forcesubs only, no "
@@ -85,6 +89,10 @@ int main(int argc, char** argv) {
     options.lint = cli.seen("lint");
     options.lint_spec = cli.get("lint");
     options.werror = cli.get_flag("Werror");
+    options.process_model = cli.get("process-model");
+    FORCE_CHECK(options.process_model.empty() ||
+                    options.process_model == "os-fork",
+                "--process-model must be empty or os-fork");
 
     const auto result =
         force::preproc::translate(read_file(input), options);

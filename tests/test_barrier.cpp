@@ -86,6 +86,50 @@ TEST_P(BarrierTest, SectionRunsExactlyOncePerEpisode) {
   EXPECT_EQ(section_runs.load(), kEpisodes);
 }
 
+// Regression: arriving with no section - the two-argument overload handed a
+// default-constructed (empty) std::function, or the one-argument overload -
+// must never throw bad_function_call on any algorithm. Every algorithm now
+// routes through BarrierAlgorithm::run_section()/has_section(), which treat
+// an empty function as "no section" instead of invoking it.
+TEST_P(BarrierTest, EmptySectionNeverThrows) {
+  auto barrier = make();
+  constexpr int kEpisodes = 10;
+  {
+    std::vector<std::jthread> team;
+    for (int t = 0; t < width(); ++t) {
+      team.emplace_back([&, t] {
+        for (int e = 0; e < kEpisodes; ++e) {
+          switch (e % 3) {
+            case 0:
+              barrier->arrive(t);  // one-argument overload
+              break;
+            case 1:
+              // Explicitly empty function object - the historical crash:
+              // proc 0 invoked it and threw std::bad_function_call.
+              barrier->arrive(t, std::function<void()>{});
+              break;
+            default:
+              barrier->arrive(t, fc::BarrierAlgorithm::no_section());
+              break;
+          }
+        }
+      });
+    }
+  }
+  // Reaching here without a bad_function_call (which would abort the team
+  // thread and hang the others) is the assertion; run one sectioned episode
+  // to show the barrier is still healthy afterwards.
+  std::atomic<int> runs{0};
+  {
+    std::vector<std::jthread> team;
+    for (int t = 0; t < width(); ++t) {
+      team.emplace_back(
+          [&, t] { barrier->arrive(t, [&] { runs.fetch_add(1); }); });
+    }
+  }
+  EXPECT_EQ(runs.load(), 1);
+}
+
 TEST_P(BarrierTest, SectionIsMutuallyExcludedFromUserCode) {
   // While the section runs, no process may be past the barrier: the
   // section increments then decrements a flag around a delay; any process
@@ -173,6 +217,30 @@ TEST(BarrierFactory, UnknownNameThrows) {
   fc::ForceEnvironment env(test_config(2));
   EXPECT_THROW(fc::make_barrier_algorithm("bogus", env, 2),
                force::util::CheckError);
+}
+
+// The process-shared (os-fork) barrier must obey the same empty-section
+// contract as the thread algorithms. Futex waits are not process-private,
+// so plain threads over the MAP_SHARED arena exercise the real wait path.
+TEST(ProcessSharedBarrier, EmptySectionNeverThrows) {
+  constexpr int kWidth = 4;
+  fc::ForceConfig cfg = test_config(kWidth);
+  cfg.process_model = "os-fork";
+  fc::ForceEnvironment env(cfg);
+  fc::ProcessSharedBarrier barrier(env, kWidth, "%test/empty-section");
+  std::atomic<int> runs{0};
+  {
+    std::vector<std::jthread> team;
+    for (int t = 0; t < kWidth; ++t) {
+      team.emplace_back([&, t] {
+        barrier.arrive(t);
+        barrier.arrive(t, std::function<void()>{});
+        barrier.arrive(t, fc::BarrierAlgorithm::no_section());
+        barrier.arrive(t, [&] { runs.fetch_add(1); });
+      });
+    }
+  }
+  EXPECT_EQ(runs.load(), 1);
 }
 
 TEST(PaperLockBarrier, UsesOnlyGenericLocks) {

@@ -1,0 +1,193 @@
+// Cross-model conformance matrix (driven by tests/CMakeLists.txt).
+//
+// One binary, four canonical Force programs, each checked bit-identically
+// against a sequential oracle:
+//
+//   * Saxpy            - selfscheduled DOALL over doubles;
+//   * BarrierReduction - critical accumulation + barrier-section publish,
+//                        iterated so barrier reuse is exercised;
+//   * AskforTreewalk   - dynamic work generation through the monitor;
+//   * ProduceConsume   - an async-variable pipeline through every process.
+//
+// The configuration cell comes in on the command line:
+//   --machine=<name> --dispatch=auto|locked --barrier=<algorithm> --fork
+// and CMake registers one labeled ctest per cell: every machine model x
+// both dispatch engines x all four barrier algorithms for the thread
+// backends, plus every machine model under the os-fork backend. The same
+// program bytes must produce the same answer everywhere - the paper's
+// portability claim, executed.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/force.hpp"
+
+namespace core = force::core;
+
+namespace {
+
+std::string g_machine = "native";
+std::string g_dispatch = "auto";
+std::string g_barrier = "paper-lock";
+bool g_fork = false;
+
+constexpr int kNproc = 4;
+
+force::ForceConfig cell_config() {
+  force::ForceConfig cfg;
+  cfg.nproc = kNproc;
+  cfg.machine = g_machine;
+  cfg.dispatch = g_dispatch;
+  cfg.barrier_algorithm = g_barrier;
+  if (g_fork) cfg.process_model = "os-fork";
+  return cfg;
+}
+
+}  // namespace
+
+// --- Saxpy: selfscheduled DOALL --------------------------------------------
+
+TEST(Conformance, Saxpy) {
+  constexpr std::size_t kN = 4096;
+  using Vec = std::array<double, kN>;
+
+  Vec x{};
+  Vec oracle{};
+  const double a = 2.5;
+  for (std::size_t i = 0; i < kN; ++i) {
+    x[i] = 0.25 * static_cast<double>(i) - 17.0;
+    oracle[i] = a * x[i] + 3.0;
+  }
+
+  force::Force f(cell_config());
+  auto& xs = f.shared<Vec>("x");
+  auto& ys = f.shared<Vec>("y");
+  xs = x;
+  for (std::size_t i = 0; i < kN; ++i) ys[i] = 3.0;
+  f.run([&](core::Ctx& ctx) {
+    ctx.selfsched_do(FORCE_SITE, 0, kN - 1, 1, [&](std::int64_t i) {
+      const auto u = static_cast<std::size_t>(i);
+      ys[u] = a * xs[u] + ys[u];
+    });
+    ctx.barrier();
+  });
+  EXPECT_EQ(std::memcmp(ys.data(), oracle.data(), sizeof(Vec)), 0)
+      << "saxpy result is not bit-identical to the sequential oracle";
+}
+
+// --- BarrierReduction: critical + barrier section, iterated -----------------
+
+TEST(Conformance, BarrierSectionReduction) {
+  constexpr int kRounds = 5;
+  constexpr std::int64_t kN = 1000;
+
+  // Oracle: rounds of sum(1..kN) scaled by the round number.
+  std::array<std::int64_t, kRounds> oracle{};
+  for (int r = 0; r < kRounds; ++r) {
+    std::int64_t s = 0;
+    for (std::int64_t i = 1; i <= kN; ++i) s += i * (r + 1);
+    oracle[static_cast<std::size_t>(r)] = s;
+  }
+
+  force::Force f(cell_config());
+  auto& results = f.shared<std::array<std::int64_t, kRounds>>("results");
+  f.run([&](core::Ctx& ctx) {
+    for (int r = 0; r < kRounds; ++r) {
+      std::int64_t local = 0;
+      ctx.presched_do(1, kN, 1,
+                      [&](std::int64_t i) { local += i * (r + 1); });
+      ctx.reduce_into<std::int64_t>(
+          FORCE_SITE, local, results[static_cast<std::size_t>(r)],
+          [](std::int64_t p, std::int64_t q) { return p + q; });
+    }
+  });
+  for (int r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              oracle[static_cast<std::size_t>(r)])
+        << "round " << r;
+  }
+}
+
+// --- AskforTreewalk: dynamic work through the monitor -----------------------
+
+TEST(Conformance, AskforTreewalk) {
+  constexpr std::int64_t kLeafBound = 1 << 10;  // implicit binary tree, 2047 nodes
+
+  std::int64_t oracle = 0;
+  for (std::int64_t v = 1; v < 2 * kLeafBound; ++v) oracle += v * 7 - 3;
+
+  force::Force f(cell_config());
+  auto& total = f.shared<std::int64_t>("total");
+  f.run([&](core::Ctx& ctx) {
+    auto& af = ctx.askfor<std::int64_t>(FORCE_SITE);
+    if (ctx.leader()) af.put(1);
+    af.work([&](std::int64_t& node, core::Askfor<std::int64_t>& a) {
+      ctx.critical(FORCE_SITE, [&] { total += node * 7 - 3; });
+      if (node < kLeafBound) {
+        a.put(2 * node);
+        a.put(2 * node + 1);
+      }
+    });
+    ctx.barrier();
+  });
+  EXPECT_EQ(total, oracle);
+}
+
+// --- ProduceConsume: async-variable pipeline through every process ----------
+
+TEST(Conformance, ProduceConsumePipeline) {
+  constexpr std::int64_t kItems = 64;
+
+  // Stage p (1-based) maps v -> 3*v + p; items flow 1 -> 2 -> ... -> NP.
+  std::int64_t oracle = 0;
+  for (std::int64_t i = 0; i < kItems; ++i) {
+    std::int64_t v = i;
+    for (int p = 1; p <= kNproc; ++p) v = 3 * v + p;
+    oracle += v;
+  }
+
+  force::Force f(cell_config());
+  auto& sink = f.shared<std::int64_t>("sink");
+  f.run([&](core::Ctx& ctx) {
+    // Cells between stages: stage p produces into cells[p-1].
+    auto& cells = ctx.async_array<std::int64_t>(FORCE_SITE, kNproc);
+    const int me = ctx.me();
+    std::int64_t acc = 0;
+    for (std::int64_t i = 0; i < kItems; ++i) {
+      std::int64_t v =
+          me == 1 ? i : cells[static_cast<std::size_t>(me - 2)].consume();
+      v = 3 * v + me;
+      if (me == kNproc) {
+        acc += v;
+      } else {
+        cells[static_cast<std::size_t>(me - 1)].produce(v);
+      }
+    }
+    if (me == kNproc) {
+      ctx.critical(FORCE_SITE, [&] { sink = acc; });
+    }
+    ctx.barrier();
+  });
+  EXPECT_EQ(sink, oracle);
+}
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--machine=", 0) == 0) {
+      g_machine = arg.substr(10);
+    } else if (arg.rfind("--dispatch=", 0) == 0) {
+      g_dispatch = arg.substr(11);
+    } else if (arg.rfind("--barrier=", 0) == 0) {
+      g_barrier = arg.substr(10);
+    } else if (arg == "--fork") {
+      g_fork = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

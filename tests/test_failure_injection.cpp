@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "core/force.hpp"
 #include "machdep/arena.hpp"
+#include "machdep/process.hpp"
 
 namespace fc = force::core;
 namespace md = force::machdep;
@@ -153,5 +155,53 @@ TEST(FailureInjection, CheckErrorsCarrySourceLocations) {
     FAIL();
   } catch (const force::util::CheckError& e) {
     EXPECT_NE(std::string(e.what()).find("nproc"), std::string::npos);
+  }
+}
+
+// --- os-fork backend ---------------------------------------------------------
+//
+// Under fork, a throwing child cannot unwind into the parent: the exception
+// dies with the child process. The robust join converts the child's nonzero
+// exit into a ProcessDeathError carrying the what() text that the child
+// stashed in the shared team control block before leaving.
+
+TEST(FailureInjection, ForkChildExceptionBecomesProcessDeathError) {
+  fc::ForceConfig cfg;
+  cfg.nproc = 3;
+  cfg.process_model = "os-fork";
+  force::Force f(cfg);
+  try {
+    f.run([](fc::Ctx& ctx) {
+      ctx.selfsched_do(FORCE_SITE, 1, 100, 1, [](std::int64_t i) {
+        // Exactly one process claims iteration 37 (which one is the
+        // dispatcher's choice), so exactly one child dies.
+        if (i == 37) throw std::runtime_error("iteration 37 exploded");
+      });
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_GE(e.process(), 1);
+    EXPECT_LE(e.process(), 3);
+    EXPECT_EQ(e.exit_code(), 1);
+    EXPECT_EQ(e.term_signal(), 0);
+    EXPECT_NE(e.error_text().find("iteration 37 exploded"),
+              std::string::npos);
+  }
+}
+
+TEST(FailureInjection, ForkCheckFailureIsDiagnosedWithItsMessage) {
+  // A FORCE_CHECK tripping inside a child (zero selfsched increment) must
+  // surface in the parent with the original diagnostic, not just "exit 1".
+  fc::ForceConfig cfg;
+  cfg.nproc = 2;
+  cfg.process_model = "os-fork";
+  force::Force f(cfg);
+  try {
+    f.run([](fc::Ctx& ctx) {
+      ctx.selfsched_do(FORCE_SITE, 1, 10, 0, [](std::int64_t) {});
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_NE(e.error_text().find("increment"), std::string::npos);
   }
 }

@@ -294,6 +294,21 @@ TEST(Translate, MachineNameAppearsInDriver) {
   }
 }
 
+TEST(Translate, ProcessModelOptionBakesIntoTheDriver) {
+  pp::TranslateOptions opts;
+  opts.machine = "encore";
+  opts.source_name = "test.force";
+  opts.process_model = "os-fork";
+  const auto r = pp::translate(kMinimal, opts);
+  ASSERT_TRUE(r.ok) << r.diags.render_all("test.force");
+  EXPECT_TRUE(contains(r.cpp_code, "config.process_model = \"os-fork\";"));
+  EXPECT_TRUE(contains(r.cpp_code, "os-fork model"));
+  // Without the option the line must be absent - the machine's own model
+  // stays in charge.
+  const auto plain = run(kMinimal, "encore");
+  EXPECT_FALSE(contains(plain.cpp_code, "config.process_model"));
+}
+
 TEST(Translate, SameSourceDiffersOnlyInMachineLayer) {
   // The machine-independent part of the generated code is identical: the
   // bodies differ only in comments and the generated driver/startup.

@@ -1,0 +1,266 @@
+// The os-fork process backend: real fork(2) children over a MAP_SHARED
+// arena with futex-based process-shared synchronization, and - the part
+// that earns its keep - robust join: a child that dies on a signal or
+// exits nonzero is detected, reported with its process number and
+// last-known construct site, and never wedges the survivors.
+//
+// Assertions about in-team state are made through the shared arena: a
+// child's gtest failure would be invisible (children leave with _Exit),
+// so children write results into shared variables and the parent asserts
+// after the join.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "core/force.hpp"
+#include "machdep/process.hpp"
+#include "util/check.hpp"
+
+namespace core = force::core;
+namespace md = force::machdep;
+
+namespace {
+
+constexpr int kNproc = 4;
+
+force::ForceConfig fork_config() {
+  force::ForceConfig cfg;
+  cfg.nproc = kNproc;
+  cfg.process_model = "os-fork";
+  return cfg;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+TEST(ForkBackend, ModelNameAndTeamKind) {
+  EXPECT_STREQ(md::process_model_name(md::ProcessModelKind::kOsFork),
+               "os-fork");
+  force::Force f(fork_config());
+  EXPECT_TRUE(f.env().fork_backend());
+  EXPECT_TRUE(f.env().arena().process_shared());
+  EXPECT_EQ(f.env().arena().backing(), md::ArenaBacking::kSharedMapping);
+}
+
+// The core tentpole claim: a write made by one real process (own address
+// space) is visible to its siblings through the MAP_SHARED arena, and to
+// the parent after the join.
+TEST(ForkBackend, SharedArenaVisibleAcrossProcesses) {
+  force::Force f(fork_config());
+  auto& slots = f.shared<std::array<std::int64_t, kNproc>>("slots");
+  auto& cross = f.shared<std::array<std::int64_t, kNproc>>("cross");
+  f.run([&](core::Ctx& ctx) {
+    const auto me = static_cast<std::size_t>(ctx.me0());
+    slots[me] = 100 + ctx.me();
+    ctx.barrier();
+    // Read a *sibling's* write: proves the pages really are shared, not
+    // copy-on-write ghosts.
+    cross[me] = slots[(me + 1) % kNproc];
+  });
+  for (int p = 0; p < kNproc; ++p) {
+    EXPECT_EQ(slots[static_cast<std::size_t>(p)], 100 + p + 1);
+    EXPECT_EQ(cross[static_cast<std::size_t>(p)], 100 + ((p + 1) % kNproc) + 1);
+  }
+}
+
+// Children really are separate processes: a write to an ordinary (non-
+// arena) global must NOT be visible to siblings or to the parent.
+TEST(ForkBackend, PrivateMemoryIsNotShared) {
+  static int plain_global = 0;
+  force::Force f(fork_config());
+  auto& observed = f.shared<std::array<int, kNproc>>("observed");
+  f.run([&](core::Ctx& ctx) {
+    ctx.barrier();
+    const int before = plain_global;
+    plain_global = 1000 + ctx.me();  // private to this child
+    ctx.barrier();
+    observed[static_cast<std::size_t>(ctx.me0())] = before + plain_global;
+  });
+  EXPECT_EQ(plain_global, 0) << "a child's write leaked into the parent";
+  for (int p = 0; p < kNproc; ++p) {
+    // Each child saw 0 before its own write, then its own value only.
+    EXPECT_EQ(observed[static_cast<std::size_t>(p)], 1000 + p + 1);
+  }
+}
+
+TEST(ForkBackend, SpawnStatsCountProcesses) {
+  force::Force f(fork_config());
+  const auto stats = f.run([](core::Ctx&) {});
+  EXPECT_EQ(stats.processes, kNproc);
+  EXPECT_GT(stats.create_ns, 0);
+  EXPECT_GE(stats.join_ns, 0);
+}
+
+TEST(ForkBackend, RepeatedRunsReuseTheArenaState) {
+  force::Force f(fork_config());
+  auto& counter = f.shared<std::int64_t>("counter");
+  for (int round = 0; round < 3; ++round) {
+    f.run([&](core::Ctx& ctx) {
+      ctx.critical(FORCE_SITE, [&] { counter += 1; });
+      ctx.barrier();
+    });
+  }
+  EXPECT_EQ(counter, 3 * kNproc);
+}
+
+// --- robust join: death tests ----------------------------------------------
+
+// A child SIGKILLed while its siblings sit in a barrier. The parent must
+// detect the death, poison the team so the survivors are released, and
+// report the victim's process number and last construct site - all well
+// inside the 60 s ctest timeout.
+TEST(ForkDeath, SigkillMidBarrierIsReportedAndDoesNotHang) {
+  force::Force f(fork_config());
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    f.run([](core::Ctx& ctx) {
+      if (ctx.me() == 2) {
+        raise(SIGKILL);  // dies before arriving
+      }
+      ctx.barrier();  // siblings park here forever - until poisoned
+    });
+    FAIL() << "a SIGKILLed child must surface as ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_EQ(e.process(), 2);
+    EXPECT_EQ(e.term_signal(), SIGKILL);
+    EXPECT_EQ(e.exit_code(), -1);
+    EXPECT_GT(e.pid(), 0);
+    EXPECT_NE(std::string(e.what()).find("killed by signal"),
+              std::string::npos);
+    // Survivors were parked in the global barrier when the team died.
+    EXPECT_NE(std::string(e.what()).find("construct site"), std::string::npos);
+  }
+  EXPECT_LT(seconds_since(t0), 30.0) << "robust join took too long";
+}
+
+// A child SIGKILLed mid-askfor, while it still owes a complete(): the
+// monitor's working count can never drain, so without poison the other
+// workers would wait forever.
+TEST(ForkDeath, SigkillMidAskforIsReportedAndDoesNotHang) {
+  force::Force f(fork_config());
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    f.run([](core::Ctx& ctx) {
+      auto& af = ctx.askfor<std::int64_t>(FORCE_SITE);
+      if (ctx.leader()) {
+        for (int i = 0; i < 64; ++i) af.put(i);
+      }
+      ctx.barrier();
+      af.work([&](std::int64_t&, core::Askfor<std::int64_t>&) {
+        if (ctx.me() == 3) {
+          raise(SIGKILL);  // dies holding a granted, uncompleted task
+        }
+        // Keep the queue alive long enough that process 3's first ask is
+        // certain to be granted a task (64 tasks, ~10 ms each elsewhere).
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      });
+    });
+    FAIL() << "a SIGKILLed worker must surface as ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_EQ(e.process(), 3);
+    EXPECT_EQ(e.term_signal(), SIGKILL);
+  }
+  EXPECT_LT(seconds_since(t0), 30.0) << "robust join took too long";
+}
+
+// Nonzero exit: a child throwing an ordinary exception leaves with code 1
+// and its what() preserved in the team control block.
+TEST(ForkDeath, ChildExceptionCarriesMessageAndProcessNumber) {
+  force::Force f(fork_config());
+  try {
+    f.run([](core::Ctx& ctx) {
+      if (ctx.me() == 1) {
+        throw std::runtime_error("deliberate child failure");
+      }
+      ctx.barrier();
+    });
+    FAIL() << "a throwing child must surface as ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_EQ(e.process(), 1);
+    EXPECT_EQ(e.term_signal(), 0);
+    EXPECT_EQ(e.exit_code(), 1);
+    EXPECT_NE(e.error_text().find("deliberate child failure"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("deliberate child failure"),
+              std::string::npos);
+  }
+}
+
+// Only the primary death is reported: the survivors' poison-collateral
+// exits (code 103) must not mask or replace the original victim.
+TEST(ForkDeath, CollateralPoisonExitsAreNotReportedAsPrimary) {
+  force::Force f(fork_config());
+  try {
+    f.run([](core::Ctx& ctx) {
+      if (ctx.me() == 4) raise(SIGKILL);
+      ctx.barrier();
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_EQ(e.process(), 4);
+    EXPECT_EQ(e.term_signal(), SIGKILL);
+  }
+}
+
+// A death does not wedge the *parent*: after discarding the dirty driver
+// (arena synchronization state may be mid-protocol when a team dies), a
+// fresh Force in the same parent process runs cleanly - the poison word
+// of the dead team must not leak into the next.
+TEST(ForkDeath, AFreshDriverRunsCleanlyAfterADeath) {
+  {
+    force::Force dying(fork_config());
+    EXPECT_THROW(dying.run([](core::Ctx& ctx) {
+                   if (ctx.me() == 2) raise(SIGKILL);
+                   ctx.barrier();
+                 }),
+                 md::ProcessDeathError);
+  }
+  force::Force f(fork_config());
+  auto& ok = f.shared<std::int64_t>("ok");
+  f.run([&](core::Ctx& ctx) {
+    ctx.critical(FORCE_SITE, [&] { ok += 1; });
+    ctx.barrier();
+  });
+  EXPECT_EQ(ok, kNproc);
+}
+
+// --- configuration policy ---------------------------------------------------
+
+TEST(ForkConfig, ExplicitSentryIsRejected) {
+  force::ForceConfig cfg = fork_config();
+  cfg.sentry = true;
+  EXPECT_THROW(force::Force f(cfg), force::util::CheckError);
+}
+
+TEST(ForkConfig, ExplicitTraceIsRejected) {
+  force::ForceConfig cfg = fork_config();
+  cfg.trace = true;
+  EXPECT_THROW(force::Force f(cfg), force::util::CheckError);
+}
+
+TEST(ForkConfig, ThreadBarrierAlgorithmFactoryIsRejected) {
+  force::Force f(fork_config());
+  EXPECT_THROW(f.env().make_barrier(2, "central-sense"),
+               force::util::CheckError);
+}
+
+TEST(ForkConfig, PcaseAndResolveAreRejected) {
+  force::Force f(fork_config());
+  EXPECT_THROW(f.run([](core::Ctx& ctx) {
+                 (void)ctx.pcase(FORCE_SITE);
+               }),
+               md::ProcessDeathError);
+  EXPECT_THROW(f.run([](core::Ctx& ctx) {
+                 (void)ctx.resolve(FORCE_SITE);
+               }),
+               md::ProcessDeathError);
+}

@@ -46,6 +46,50 @@ TEST(TraceRing, ZeroCapacityThrows) {
   EXPECT_THROW(fu::TraceRing ring(0), fu::CheckError);
 }
 
+// Overflow by more than two wraps: the survivors must be exactly the last
+// `capacity` events, still in record order - "most recent events win".
+TEST(TraceRing, OverflowKeepsTheLastCapacityEventsInOrder) {
+  fu::TraceRing ring(8);
+  for (int i = 0; i < 20; ++i) {
+    fu::TraceEvent e;
+    e.begin_ns = i;
+    e.arg = i;
+    ring.record(e);
+  }
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].begin_ns, 12 + i);
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].arg, 12 + i);
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+}
+
+// An overflowed ring must still export sane Chrome JSON: one event entry
+// per survivor, newest args present, evicted args absent, braces balanced.
+TEST(Tracer, OverflowedRingRoundTripsThroughChromeJson) {
+  fu::Tracer tracer(1, /*events_per_process=*/8);
+  for (int i = 0; i < 20; ++i) {
+    tracer.record(0, fu::TraceKind::kLoopDispatch, 100 + i, 100 + i, i);
+  }
+  const auto events = tracer.all_events();
+  ASSERT_EQ(events.size(), 8u);
+
+  const std::string json = tracer.to_chrome_json();
+  for (int survivor = 12; survivor < 20; ++survivor) {
+    EXPECT_NE(json.find("\"args\":{\"arg\":" + std::to_string(survivor) + "}"),
+              std::string::npos)
+        << "survivor " << survivor << " missing from the export";
+  }
+  for (int evicted = 0; evicted < 12; ++evicted) {
+    EXPECT_EQ(json.find("\"args\":{\"arg\":" + std::to_string(evicted) + "}"),
+              std::string::npos)
+        << "evicted event " << evicted << " leaked into the export";
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
 // --- Tracer --------------------------------------------------------------------
 
 TEST(Tracer, SpanRecordsADuration) {
