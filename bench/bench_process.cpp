@@ -12,6 +12,11 @@
 //   * simulated: per-machine creation cost, and the work-grain crossover:
 //     how much computation a force must do before creating it pays off -
 //     tiny on the HEP, enormous on the fork machines.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "bench_common.hpp"
 #include "machdep/process.hpp"
 #include "util/cli.hpp"
@@ -19,6 +24,16 @@
 namespace {
 using force::bench::ns_cell;
 namespace md = force::machdep;
+
+/// Pulls a top-level `"key": <number>` field back out of a BENCH_*.json
+/// artifact (our own emitter wrote it; no JSON library in the container).
+double json_field_value(const std::string& text, const std::string& key,
+                        double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -26,6 +41,13 @@ int main(int argc, char** argv) {
   cli.option("np", "8", "force size");
   cli.option("json", "BENCH_process.json",
              "write spawn-cost records here ('' to skip)");
+  cli.option("invocations", "30",
+             "repeated force entries per team-lifetime mode");
+  cli.option("spawn-json", "BENCH_spawn.json",
+             "write repeated-entry records here ('' to skip)");
+  cli.option("gate", "",
+             "baseline BENCH_spawn.json: exit 1 if pooled re-entry speedup "
+             "regressed more than 1.5x below the recorded baseline");
   if (!cli.parse(argc, argv)) return 0;
   const int np = static_cast<int>(cli.get_int("np"));
 
@@ -149,6 +171,160 @@ int main(int argc, char** argv) {
       "to amortize creation than the HEP - why the Force encloses the "
       "whole program in one force instead of forking per parallel "
       "region.\n");
+
+  // --- Repeated force entry: the team-lifetime axis --------------------
+  //
+  // A Force program normally pays the spawn tax once (one force around
+  // the whole program), but driver-per-step embeddings re-enter the force
+  // repeatedly. ForceConfig::team_pool keeps the team resident between
+  // entries; this section measures the per-entry cost of each mode. Every
+  // entry runs one global barrier so all members demonstrably
+  // participate.
+  const int invocations =
+      std::max(1, static_cast<int>(cli.get_int("invocations")));
+  const auto trivial = [](force::Ctx& ctx) { ctx.barrier(); };
+  const auto entry_ns = [&](force::ForceConfig cfg) {
+    cfg.nproc = np;
+    // 64 KiB private space per process: the paper's fork-cost driver.
+    cfg.private_data_bytes = 32u << 10;
+    cfg.private_stack_bytes = 32u << 10;
+    force::Force f(cfg);
+    f.run(trivial);  // warm: startup linkage + (pooled) the one spawn
+    return force::bench::time_ns([&] {
+             for (int i = 0; i < invocations; ++i) f.run(trivial);
+           }) /
+           invocations;
+  };
+
+  struct EntryRecord {
+    std::string model;
+    std::string mode;
+    double ns_per_invocation;
+  };
+  std::vector<EntryRecord> entries;
+  const auto measure_entry = [&](const char* model, const char* mode,
+                                 force::ForceConfig cfg) {
+    entries.push_back({model, mode, entry_ns(std::move(cfg))});
+  };
+
+  std::printf("\nRepeated force entry (np=%d, %d invocations, 64 KiB "
+              "private space):\n\n",
+              np, invocations);
+  {
+    force::ForceConfig cfg;
+    measure_entry("thread", "respawn", cfg);
+    cfg.team_pool = true;
+    measure_entry("thread", "pooled", cfg);
+    cfg.pool_workers = std::max(1, np / 2);  // N:M, NP = 2W
+    measure_entry("thread-nm", "pooled", cfg);
+  }
+  {
+    force::ForceConfig cfg;
+    cfg.process_model = "os-fork";
+    measure_entry("os-fork", "respawn", cfg);
+    cfg.team_pool = true;
+    measure_entry("os-fork", "pooled", cfg);
+  }
+
+  force::util::Table pool_tab({"model", "team lifetime", "ns/invocation"});
+  const auto entry_of = [&](const std::string& model,
+                            const std::string& mode) {
+    for (const auto& e : entries) {
+      if (e.model == model && e.mode == mode) return e.ns_per_invocation;
+    }
+    return 0.0;
+  };
+  for (const auto& e : entries) {
+    pool_tab.add_row({e.model, e.mode, ns_cell(e.ns_per_invocation)});
+  }
+  std::fputs(pool_tab.render().c_str(), stdout);
+
+  const double thread_speedup =
+      entry_of("thread", "respawn") / entry_of("thread", "pooled");
+  const double thread_nm_speedup =
+      entry_of("thread", "respawn") / entry_of("thread-nm", "pooled");
+  const double os_fork_speedup =
+      entry_of("os-fork", "respawn") / entry_of("os-fork", "pooled");
+  std::printf(
+      "\nPooled re-entry speedup over cold spawn: thread %.1fx, "
+      "thread N:M %.1fx, os-fork %.1fx.\n",
+      thread_speedup, thread_nm_speedup, os_fork_speedup);
+
+  const std::string spawn_json_path = cli.get("spawn-json");
+  if (!spawn_json_path.empty()) {
+    namespace fb = force::bench;
+    std::string json =
+        "{\n  " + fb::json_field("bench", fb::json_str("force_entry"));
+    json += ",\n  " + fb::json_field("np", fb::json_num(std::uint64_t(np)));
+    json += ",\n  " + fb::json_field(
+                          "invocations",
+                          fb::json_num(std::uint64_t(invocations)));
+    json += ",\n  " +
+            fb::json_field("host_cpus",
+                           fb::json_num(std::uint64_t(
+                               std::thread::hardware_concurrency())));
+#if defined(__linux__)
+    json += ",\n  " + fb::json_field("host_os", fb::json_str("linux"));
+#elif defined(__APPLE__)
+    json += ",\n  " + fb::json_field("host_os", fb::json_str("darwin"));
+#else
+    json += ",\n  " + fb::json_field("host_os", fb::json_str("other"));
+#endif
+    json += ",\n  " + fb::json_field("thread_pooled_speedup",
+                                     fb::json_num(thread_speedup));
+    json += ",\n  " + fb::json_field("thread_nm_pooled_speedup",
+                                     fb::json_num(thread_nm_speedup));
+    json += ",\n  " + fb::json_field("os_fork_pooled_speedup",
+                                     fb::json_num(os_fork_speedup));
+    json += ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto& e = entries[i];
+      json += fb::json_object(
+          {fb::json_field("model", fb::json_str(e.model)),
+           fb::json_field("mode", fb::json_str(e.mode)),
+           fb::json_field("np", fb::json_num(std::uint64_t(np))),
+           fb::json_field("ns_per_invocation",
+                          fb::json_num(e.ns_per_invocation))},
+          "    ");
+      json += (i + 1 < entries.size()) ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    if (fb::write_text_file(spawn_json_path, json)) {
+      std::printf("Wrote %s\n", spawn_json_path.c_str());
+    }
+  }
+
+  const std::string gate_path = cli.get("gate");
+  if (!gate_path.empty()) {
+    // Ratio gate, not an absolute one: wall time on a shared CI host is
+    // noisy, but the pooled-vs-respawn ratio is measured back to back on
+    // the same host, so a >1.5x drop against the recorded baseline means
+    // pooled re-entry itself regressed.
+    std::ifstream in(gate_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "gate: cannot open baseline %s\n",
+                   gate_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string baseline = ss.str();
+    bool ok = true;
+    const auto check = [&](const char* key, double current) {
+      const double base = json_field_value(baseline, key, 0.0);
+      if (base <= 0.0) return;  // field absent: nothing to gate against
+      const double floor = base / 1.5;
+      const bool pass = current >= floor;
+      std::printf("gate: %-26s baseline %.1fx, current %.1fx, floor "
+                  "%.1fx -> %s\n",
+                  key, base, current, floor, pass ? "ok" : "REGRESSED");
+      ok = ok && pass;
+    };
+    check("thread_pooled_speedup", thread_speedup);
+    check("thread_nm_pooled_speedup", thread_nm_speedup);
+    check("os_fork_pooled_speedup", os_fork_speedup);
+    if (!ok) return 1;
+  }
 
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {

@@ -4,6 +4,7 @@
 
 #include "core/env.hpp"
 #include "core/sentry.hpp"
+#include "machdep/fiber.hpp"
 
 namespace force::core {
 
@@ -51,7 +52,11 @@ AskforCore::~AskforCore() = default;
 
 AskforCore::WorkerSlot::WorkerSlot(AskforCore& core)
     : core_(core),
-      slot_(core.grab_slot()),
+      // Never bind a deque to an N:M pooled member: two members share one
+      // OS thread, so a thread_local slot binding would be clobbered (and
+      // dangle) across continuation switches. Slotless workers are the
+      // documented fallback - central queue plus stealing, same semantics.
+      slot_(machdep::on_fiber() ? -1 : core.grab_slot()),
       saved_core_(tls_binding.core),
       saved_slot_(tls_binding.slot) {
   tls_binding.core = &core_;
@@ -109,19 +114,46 @@ void AskforCore::put(std::size_t token) {
   if (deques_ == nullptr) {
     // Lock engine: the Argonne monitor shape, one lock pass.
     monitor_->acquire();
-    if (!ended_.load(std::memory_order_relaxed)) queue_.push_back(token);
+    if (!probend_.load(std::memory_order_relaxed)) {
+      // A drained latch that beat this put is provisional: with the seed
+      // put inside the force (the leader puts, everyone works), a
+      // sibling's first ask can find the queue empty with nobody working
+      // and latch "drained" first - on a parked pool every member wakes
+      // hot at once, so the race is live, not theoretical. The seed must
+      // never be lost: re-open. Workers that already left their work()
+      // loop just sit at the next barrier while the remaining members (at
+      // least the seeder itself) drain the work - fewer hands, same
+      // answer. A probend stays final: those tokens drop, as ever.
+      ended_.store(false, std::memory_order_relaxed);
+      queue_.push_back(token);
+    }
     monitor_->release();
     return;
   }
-  if (ended_.load(std::memory_order_acquire)) return;  // dropped, as ever
+  if (probend_.load(std::memory_order_acquire)) return;  // dropped, as ever
   // Count the token *before* it becomes visible so termination detection
   // can never see an empty system while a token is mid-publish.
   inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (ended_.load(std::memory_order_acquire)) {
+    // Drained latch raced ahead of this seed (see the lock engine above):
+    // re-open under the monitor. The latch cannot re-fire once the
+    // fetch_add has landed - its double-check reads inflight under the
+    // monitor - and ask_fast re-opens too when it sees tokens behind the
+    // latch, so the seed survives either side of the race.
+    monitor_->acquire();
+    if (probend_.load(std::memory_order_relaxed)) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      monitor_->release();
+      return;
+    }
+    ended_.store(false, std::memory_order_release);
+    monitor_->release();
+  }
   const int slot = current_slot();
   if (slot >= 0 && deques_[slot].push(token)) return;
   // Unregistered thread, or the bounded deque is full: central queue.
   monitor_->acquire();
-  if (ended_.load(std::memory_order_relaxed)) {
+  if (probend_.load(std::memory_order_relaxed)) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
   } else {
     queue_.push_back(token);
@@ -156,7 +188,22 @@ AskforCore::Outcome AskforCore::ask_fast(std::size_t* token) {
   std::optional<Sentry::WaitScope> wait;
   for (;;) {
     if (sn != nullptr) sn->fuzz();
-    if (ended_.load(std::memory_order_acquire)) return Outcome::kDone;
+    if (ended_.load(std::memory_order_acquire)) {
+      if (probend_.load(std::memory_order_acquire) ||
+          inflight_.load(std::memory_order_acquire) == 0) {
+        return Outcome::kDone;
+      }
+      // Live tokens behind a drained latch: a seed was published right
+      // after the latch fired (put() re-opens, but this asker may observe
+      // the latch first). Re-open under the monitor and keep serving.
+      monitor_->acquire();
+      if (!probend_.load(std::memory_order_relaxed) &&
+          inflight_.load(std::memory_order_acquire) != 0) {
+        ended_.store(false, std::memory_order_release);
+      }
+      monitor_->release();
+      continue;
+    }
     // 1. Own deque, newest first (cache-warm, depth-first on task trees).
     if (slot >= 0 && deques_[slot].pop(token)) {
       grant_fast(slot);
@@ -204,7 +251,7 @@ AskforCore::Outcome AskforCore::ask_fast(std::size_t* token) {
     if (sn != nullptr && !wait.has_value()) {
       wait.emplace(sn, Sentry::WaitKind::kAskfor, this, "askfor");
     }
-    std::this_thread::yield();
+    machdep::member_yield();
   }
 }
 
@@ -238,7 +285,7 @@ AskforCore::Outcome AskforCore::ask_locked(std::size_t* token) {
     if (sn != nullptr && !wait.has_value()) {
       wait.emplace(sn, Sentry::WaitKind::kAskfor, this, "askfor");
     }
-    std::this_thread::yield();
+    machdep::member_yield();
   }
 }
 
@@ -281,8 +328,42 @@ void AskforCore::complete() {
   monitor_->release();
 }
 
+void AskforCore::rearm_for(std::uint32_t gen) {
+  if (seen_generation_.load(std::memory_order_acquire) == gen) return;
+  monitor_->acquire();
+  if (seen_generation_.load(std::memory_order_relaxed) != gen) {
+    // Fresh force entry on a reused site: clear the previous episode.
+    // Tokens still queued belonged to a probend()ed computation - drain
+    // them from the central queue and, on the fast path, from the deques
+    // by stealing (safe: the caller is at an episode boundary, so no
+    // deque owner is popping concurrently). The generation stamp is the
+    // last write, so racing first-ops of the same entry see either the
+    // old generation (and reset themselves, idempotently, under the
+    // monitor) or a fully reset monitor.
+    queue_.clear();
+    working_ = 0;
+    if (deques_ != nullptr) {
+      std::size_t token;
+      for (int i = 0; i < nslots_; ++i) {
+        while (deques_[i].steal(&token)) {
+        }
+      }
+      central_count_.store(0, std::memory_order_release);
+      inflight_.store(0, std::memory_order_release);
+    }
+    probend_.store(false, std::memory_order_release);
+    ended_.store(false, std::memory_order_release);
+    seen_generation_.store(gen, std::memory_order_release);
+  }
+  monitor_->release();
+}
+
 void AskforCore::probend() {
   monitor_->acquire();
+  // probend_ first: a reader that sees ended_ without the monitor must
+  // never mistake an explicit end for a provisional drain and re-open it
+  // (the re-open paths re-check probend_ under the monitor regardless).
+  probend_.store(true, std::memory_order_release);
   ended_.store(true, std::memory_order_release);
   queue_.clear();
   central_count_.store(0, std::memory_order_release);

@@ -104,6 +104,14 @@ class AskforCore {
   /// return kDone. Idempotent.
   void probend();
 
+  /// Re-arms the monitor for force-entry generation `gen`: a pooled team
+  /// re-enters the same force (and so the same construct sites) many
+  /// times, and the drained/probend latch must reset per entry. Leftover
+  /// tokens of an aborted episode are discarded. No-op once the monitor
+  /// has seen `gen`; must only run at episode boundaries (no worker
+  /// inside ask()/complete()).
+  void rearm_for(std::uint32_t gen);
+
   [[nodiscard]] bool ended() const;
   [[nodiscard]] std::size_t granted() const;
 
@@ -129,7 +137,17 @@ class AskforCore {
   // monitor (the atomics are then just storage); the fast path reads them
   // lock-free.
   std::atomic<bool> ended_{false};
+  /// True when ended_ was set by probend() rather than the drained latch.
+  /// The distinction matters for seeding: a drain is provisional - put()
+  /// racing behind it re-opens the monitor, so a seed put from inside the
+  /// force (the leader puts, everyone works) is never silently lost when a
+  /// sibling's first ask latched "drained" first - while a probend is
+  /// final for the force entry and later put()s are dropped, as ever.
+  std::atomic<bool> probend_{false};
   std::atomic<std::size_t> granted_{0};
+  /// Force-entry generation this monitor was last (re-)armed for; atomic
+  /// so the common "already armed" probe in rearm_for stays lock-free.
+  std::atomic<std::uint32_t> seen_generation_{0};
 
   // Fast path only (null / unused on lock-only machines):
   int nslots_ = 0;
@@ -167,7 +185,8 @@ class AskforCore {
 template <typename T>
 class Askfor {
  public:
-  explicit Askfor(ForceEnvironment& env, const std::string& key = "askfor") {
+  explicit Askfor(ForceEnvironment& env, const std::string& key = "askfor")
+      : env_(&env) {
     if (env.fork_backend()) {
       if constexpr (std::is_trivially_copyable_v<T>) {
         const auto stride = static_cast<std::uint32_t>(sizeof(T));
@@ -192,6 +211,7 @@ class Askfor {
 
   /// Adds a task; thread-safe, callable before or during work().
   void put(T task) {
+    maybe_rearm();
     if (shm_ != nullptr) {
       machdep::shm::shm_askfor_put(*shm_, &task);
       return;
@@ -209,6 +229,7 @@ class Askfor {
   /// `body(task, *this)`; the body may put() new tasks and may probend().
   /// Returns the number of tasks this process executed.
   std::size_t work(const std::function<void(T&, Askfor<T>&)>& body) {
+    maybe_rearm();
     if (shm_ != nullptr) return work_fork(body);
     // Register with the dispatch fast path for the duration of the loop
     // (no-op on lock-only machines).
@@ -238,6 +259,7 @@ class Askfor {
 
   /// Aborts the computation (e.g. a search hit).
   void probend() {
+    maybe_rearm();
     if (shm_ != nullptr) {
       machdep::shm::shm_askfor_probend(*shm_);
       return;
@@ -263,6 +285,19 @@ class Askfor {
   /// stable storage cannot be shared across address spaces).
   static constexpr std::uint32_t kForkRingCapacity = 4096;
 
+  /// Pooled teams re-enter the same force over long-lived construct sites:
+  /// the first put/work/probend of a new force entry resets the previous
+  /// entry's drained/probend latch. Tasks in tasks_ stay (grow-only
+  /// storage invariant); only the dispatch state re-arms.
+  void maybe_rearm() {
+    const std::uint32_t gen = env_->run_generation();
+    if (shm_ != nullptr) {
+      machdep::shm::shm_askfor_rearm(*shm_, gen);
+    } else {
+      core_->rearm_for(gen);
+    }
+  }
+
   std::size_t work_fork(const std::function<void(T&, Askfor<T>&)>& body) {
     std::size_t executed = 0;
     // Raw storage instead of T{}: the ring memcpy fully initializes it,
@@ -283,6 +318,7 @@ class Askfor {
     return executed;
   }
 
+  ForceEnvironment* env_;
   std::unique_ptr<AskforCore> core_;  // thread backends only
   machdep::shm::ShmAskforState* shm_ = nullptr;  // os-fork only
   std::string label_;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/env.hpp"
+#include "machdep/fiber.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
@@ -12,11 +13,20 @@ namespace {
 
 /// Spin-with-yield wait on an atomic until `pred(value)` holds. Uses the
 /// C++20 futex-style wait once polite spinning has not paid off, so the
-/// barrier stays live with more processes than CPUs.
+/// barrier stays live with more processes than CPUs. An N:M pooled member
+/// must not sleep in the kernel instead: the arrival it waits for may
+/// belong to a sibling member multiplexed onto the same worker thread, so
+/// it yields its continuation and lets the worker run the sibling.
 template <typename T, typename Pred>
 void wait_until(const std::atomic<T>& a, Pred pred) {
   for (int probe = 0; probe < 64; ++probe) {
     if (pred(a.load(std::memory_order_acquire))) return;
+  }
+  if (machdep::on_fiber()) {
+    while (!pred(a.load(std::memory_order_acquire))) {
+      machdep::member_yield();
+    }
+    return;
   }
   for (;;) {
     T v = a.load(std::memory_order_acquire);

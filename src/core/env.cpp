@@ -5,6 +5,8 @@
 
 #include "core/barrier.hpp"
 #include "core/sentry.hpp"
+#include "machdep/shm.hpp"
+#include "machdep/teampool.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
@@ -28,6 +30,18 @@ void apply_env_overrides(ForceConfig& config) {
   if (config.schedule_fuzz != 0) config.sentry = true;
   const std::uint64_t stall = env_u64("FORCE_SENTRY_STALL_MS", 0);
   if (stall != 0) config.sentry_stall_ms = static_cast<int>(stall);
+  if (!config.team_pool && env_u64("FORCE_TEAM_POOL", 0) != 0) {
+    config.team_pool = true;
+  }
+  if (config.pool_workers == 0) {
+    config.pool_workers =
+        static_cast<int>(env_u64("FORCE_POOL_WORKERS", 0));
+    // Env-var-driven N:M is dropped where it cannot work (os-fork forks
+    // one child per member), so suite-wide pooled runs don't break the
+    // fork tests. Explicit configs are validated in the constructor.
+    if (config.process_model == "os-fork") config.pool_workers = 0;
+  }
+  if (config.pool_workers > 0) config.team_pool = true;
 }
 
 }  // namespace
@@ -52,6 +66,21 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
                   config_.process_model == "os-fork",
               "ForceConfig::process_model must be 'machine' or 'os-fork'");
   fork_backend_ = config_.process_model == "os-fork";
+  FORCE_CHECK(config_.pool_workers >= 0,
+              "ForceConfig::pool_workers must be non-negative");
+  if (config_.pool_workers > 0) {
+    config_.team_pool = true;
+    FORCE_CHECK(!fork_backend_,
+                "N:M member scheduling is thread-only; the os-fork pool "
+                "keeps one resident child per member");
+    // Two members multiplexed on one OS thread defeat the sentry's
+    // per-thread bookkeeping (ThreadScope, vector clocks, locksets).
+    // Explicit configs are an error; the FORCE_SENTRY family is dropped
+    // below, as for os-fork.
+    FORCE_CHECK(!config_.sentry && config_.schedule_fuzz == 0,
+                "the sentry cannot observe N:M pooled members (two members "
+                "share one OS thread); validate with a 1:1 team");
+  }
   if (fork_backend_) {
     // These observers keep their state in ordinary (per-address-space)
     // memory, so they cannot see an os-fork team. Explicitly asking for
@@ -77,9 +106,19 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
     tracer_ = std::make_unique<util::Tracer>(
         config_.nproc, config_.trace_events_per_process);
   }
+  if (fork_backend_) {
+    // Resident pooled children observe force-entry generations through
+    // this arena word; their own copies of this object freeze at fork.
+    run_gen_shm_ =
+        &arena_->get_or_create<std::atomic<std::uint32_t>>("%force/run_gen");
+  }
   apply_env_overrides(config_);
   if (fork_backend_ && config_.sentry) {
     config_.sentry = false;  // env-var-driven; see the note above
+    config_.schedule_fuzz = 0;
+  }
+  if (config_.pool_workers > 0 && config_.sentry) {
+    config_.sentry = false;  // env-var-driven; see the N:M note above
     config_.schedule_fuzz = 0;
   }
   if (config_.sentry) {
@@ -126,6 +165,92 @@ std::unique_ptr<machdep::BasicLock> ForceEnvironment::new_lock(
   return std::make_unique<machdep::ObservedLock>(std::move(inner),
                                                  sentry_.get(), role,
                                                  std::move(label));
+}
+
+machdep::TeamPool& ForceEnvironment::team_pool() {
+  FORCE_CHECK(!fork_backend_,
+              "the thread team pool cannot drive os-fork processes");
+  if (team_pool_ == nullptr) {
+    team_pool_ = std::make_unique<machdep::TeamPool>(
+        pool_workers(), config_.private_stack_bytes);
+  }
+  return *team_pool_;
+}
+
+machdep::ForkTeamPool& ForceEnvironment::fork_pool(int nproc) {
+  FORCE_CHECK(fork_backend_,
+              "the fork team pool needs process_model = \"os-fork\"");
+  if (fork_pool_ != nullptr && fork_pool_->nproc() != nproc) {
+    fork_pool_->shutdown();
+    fork_pool_.reset();
+  }
+  if (fork_pool_ == nullptr) {
+    fork_pool_ = std::make_unique<machdep::ForkTeamPool>(nproc);
+  }
+  return *fork_pool_;
+}
+
+void ForceEnvironment::reset_shared_sync_after_death() {
+  FORCE_CHECK(fork_backend_,
+              "sync-state death recovery is an os-fork concern");
+  namespace shm = machdep::shm;
+  arena_->for_each_allocation([](const std::string& name, void* addr,
+                                 std::size_t) {
+    const auto prefixed = [&name](const char* p) {
+      return name.rfind(p, 0) == 0;
+    };
+    if (name == "%force/global") {
+      // Arrival count of the global barrier: the victims' arrivals can
+      // never complete. The episode word stays monotonic (arrivals read
+      // it fresh), so zeroing the count alone re-arms the episode.
+      static_cast<shm::ShmBarrierState*>(addr)->count.store(
+          0, std::memory_order_release);
+    } else if (prefixed("%lock/")) {
+      static_cast<shm::ShmLockState*>(addr)->word.store(
+          0, std::memory_order_release);
+    } else if (prefixed("%ssdo/")) {
+      // The dispatch counter is re-armed by the entry champion anyway;
+      // only the entry barrier carries dead arrivals.
+      static_cast<shm::ShmSelfschedState*>(addr)->entry.count.store(
+          0, std::memory_order_release);
+    } else if (prefixed("%askfor/")) {
+      auto* a = static_cast<shm::ShmAskforState*>(addr);
+      a->monitor.word.store(0, std::memory_order_release);
+      a->head = 0;
+      a->tail = 0;
+      a->working = 0;
+      a->ended = 0;
+      // Back to "never armed": the next entry's first operation runs the
+      // full generation re-arm.
+      a->seen_gen.store(0, std::memory_order_release);
+    } else if (prefixed("%async/")) {
+      // Busy means a victim died inside the payload window and the bytes
+      // are undefined: drop to empty. Full cells are user data and stay.
+      auto* c = static_cast<shm::ShmCellState*>(addr);
+      std::uint32_t busy = 2;
+      c->state.compare_exchange_strong(busy, 0, std::memory_order_acq_rel);
+    } else if (prefixed("%reduce/")) {
+      auto* h = static_cast<shm::ShmReduceHeader*>(addr);
+      h->lock.word.store(0, std::memory_order_release);
+      h->barrier.count.store(0, std::memory_order_release);
+      h->arrived = 0;
+    }
+  });
+}
+
+std::uint32_t ForceEnvironment::run_generation() const {
+  if (run_gen_shm_ != nullptr) {
+    return run_gen_shm_->load(std::memory_order_acquire);
+  }
+  return run_generation_.load(std::memory_order_acquire);
+}
+
+void ForceEnvironment::begin_team_entry() {
+  if (run_gen_shm_ != nullptr) {
+    run_gen_shm_->fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  run_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 machdep::ProcessTeam ForceEnvironment::process_team() const {

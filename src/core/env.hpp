@@ -23,6 +23,11 @@
 #include "util/rng.hpp"
 #include "util/trace.hpp"
 
+namespace force::machdep {
+class TeamPool;      // machdep/teampool.hpp
+class ForkTeamPool;  // machdep/teampool.hpp
+}  // namespace force::machdep
+
 namespace force::core {
 
 class BarrierAlgorithm;  // core/barrier.hpp
@@ -80,6 +85,21 @@ struct ForceConfig {
   /// Wait length the sentry's watchdog reports as a stall, in ms.
   /// Also set by FORCE_SENTRY_STALL_MS=<n>.
   int sentry_stall_ms = 1000;
+  /// Keep the team alive across Force::run invocations: workers (or fork
+  /// children under os-fork) park between forces on a generation-stamped
+  /// entry protocol instead of being created and joined per run - see
+  /// docs/PORTING.md, team-lifetime axis. Also switched on by
+  /// FORCE_TEAM_POOL=1. Under os-fork, every pooled run must execute the
+  /// same program closure (the resident children re-run the entry they
+  /// were forked with).
+  bool team_pool = false;
+  /// N:M member scheduling: run the force's nproc members on this many
+  /// pooled worker threads as run-to-barrier continuations (0 = one
+  /// worker per member). Setting it implies team_pool; thread-backed
+  /// process models only, and incompatible with the sentry (two members
+  /// share one OS thread, defeating its per-thread bookkeeping). Also set
+  /// by FORCE_POOL_WORKERS=<w>.
+  int pool_workers = 0;
 };
 
 /// Machine-independent runtime statistics, aggregated across processes.
@@ -154,6 +174,46 @@ class ForceEnvironment {
   /// or the real-fork team when process_model is "os-fork".
   [[nodiscard]] machdep::ProcessTeam process_team() const;
 
+  /// True when this environment keeps its team pooled across force
+  /// entries (ForceConfig::team_pool / FORCE_TEAM_POOL).
+  [[nodiscard]] bool team_pool_enabled() const { return config_.team_pool; }
+
+  /// Worker-thread count of the pooled team: pool_workers when set,
+  /// otherwise one worker per member except member 0, which the driver
+  /// thread runs inline (still 1:1 - every member owns an OS thread).
+  [[nodiscard]] int pool_workers() const {
+    if (config_.pool_workers > 0) return config_.pool_workers;
+    return config_.nproc > 1 ? config_.nproc - 1 : 1;
+  }
+
+  /// The persistent thread-axis team, created (and its workers parked) on
+  /// first use. Thread-backed process models only.
+  [[nodiscard]] machdep::TeamPool& team_pool();
+
+  /// The persistent process-axis team sized for `nproc` resident fork
+  /// children, created on first use (and recreated if the width changes).
+  /// os-fork backend only.
+  [[nodiscard]] machdep::ForkTeamPool& fork_pool(int nproc);
+
+  /// Scrubs every process-shared synchronization blob in the arena after
+  /// a pooled team died mid-protocol: lock words freed, barrier arrival
+  /// counts zeroed, askfor rings and selfsched episodes re-initialized,
+  /// busy async cells emptied. A poisoned team leaves this state wherever
+  /// the victims stood (a dead champion never publishes its episode), so
+  /// the fresh team the next run forks must not inherit it. User data -
+  /// shared variables, full async payloads - is untouched. os-fork only;
+  /// called with no team alive (between pool retirement and respawn).
+  void reset_shared_sync_after_death();
+
+  /// Force-entry generation: bumped once at the top of every Force::run,
+  /// before the team is (re-)armed. Long-lived construct sites compare it
+  /// to their own stamp to re-arm per-entry episode state (e.g. the
+  /// Askfor drained/probend latch) when a pooled team re-enters the same
+  /// force. Under os-fork the counter lives in the shared arena so
+  /// resident children observe the bump.
+  [[nodiscard]] std::uint32_t run_generation() const;
+  void begin_team_entry();
+
   /// The environment barrier used by un-sited ctx.barrier() calls on the
   /// full force; sized to nproc with the configured algorithm.
   [[nodiscard]] BarrierAlgorithm& global_barrier();
@@ -197,6 +257,15 @@ class ForceEnvironment {
   std::unique_ptr<Sentry> sentry_;
   std::unique_ptr<BarrierAlgorithm> global_barrier_;
   bool fork_backend_ = false;
+  /// Pooled teams (lazily created; null when team_pool is off). Declared
+  /// after arena_ so they are destroyed first: the fork pool's children
+  /// still reference the MAP_SHARED arena while they park.
+  std::unique_ptr<machdep::TeamPool> team_pool_;
+  std::unique_ptr<machdep::ForkTeamPool> fork_pool_;
+  std::atomic<std::uint32_t> run_generation_{0};
+  /// Arena-resident generation word under os-fork (children's copies of
+  /// this object are COW-frozen at fork time; the arena word is live).
+  std::atomic<std::uint32_t>* run_gen_shm_ = nullptr;
 };
 
 }  // namespace force::core

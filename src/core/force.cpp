@@ -1,5 +1,6 @@
 #include "core/force.hpp"
 
+#include "machdep/teampool.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
@@ -85,29 +86,80 @@ machdep::SpawnStats Force::run(const std::function<void(Ctx&)>& program) {
     started_ = true;
   }
 
+  // Stamp the new force entry before any member can reach a construct:
+  // long-lived sites (pooled teams re-enter them run after run) compare
+  // this generation to re-arm per-entry episode state, e.g. the Askfor
+  // drained/probend latch.
+  env_->begin_team_entry();
+
   Sentry* sn = env_->sentry();
   if (sn != nullptr) {
     // Linkage-declared shared variables become named, race-checked ranges.
-    env_->arena().for_each_allocation(
-        [sn](const std::string& name, void* addr, std::size_t bytes) {
-          sn->track_range(addr, bytes, name);
-        });
+    // The walk costs per-allocation work on every entry, which pooled
+    // re-entry makes hot - skip it unless a new allocation was placed
+    // since the last run (the arena generation says so).
+    const std::uint64_t arena_gen = env_->arena().generation();
+    if (arena_gen != tracked_arena_generation_) {
+      env_->arena().for_each_allocation(
+          [sn](const std::string& name, void* addr, std::size_t bytes) {
+            sn->track_range(addr, bytes, name);
+          });
+      tracked_arena_generation_ = arena_gen;
+    }
     sn->begin_run();  // fork edge: every process starts after the driver
   }
 
-  auto team = env_->process_team();
   const int np = env_->nproc();
-  machdep::SpawnStats stats =
-      team.run(np, space, [this, np, sn, &program](int proc0) {
-        Ctx ctx(env_.get(), &subs_, proc0, np, "",
-                &env_->global_barrier());
-        if (sn != nullptr) {
-          Sentry::ThreadScope scope(*sn, proc0);
-          program(ctx);
-        } else {
-          program(ctx);
-        }
-      });
+  const auto member = [this, np, sn, &program](int proc0) {
+    Ctx ctx(env_.get(), &subs_, proc0, np, "", &env_->global_barrier());
+    if (sn != nullptr) {
+      Sentry::ThreadScope scope(*sn, proc0);
+      program(ctx);
+    } else {
+      program(ctx);
+    }
+  };
+
+  machdep::SpawnStats stats;
+  if (env_->team_pool_enabled() && env_->fork_backend()) {
+    machdep::ForkTeamPool& pool = env_->fork_pool(np);
+    // The pool's resident children re-execute the closure they were
+    // forked with, so every pooled run must pass the same program. The
+    // closure's type is the strongest identity available on a
+    // std::function; same-type closures with different captured state
+    // cannot be told apart (docs/PORTING.md spells out the contract).
+    const std::type_info& program_type = program.target_type();
+    if (pool.armed()) {
+      FORCE_CHECK(pooled_program_type_ != nullptr &&
+                      *pooled_program_type_ == program_type,
+                  "an os-fork team pool runs one program: its resident "
+                  "children re-execute the closure they were forked with; "
+                  "use a fresh Force (or team_pool = false) for a "
+                  "different program");
+    }
+    try {
+      stats = pool.run(space, member);
+    } catch (const machdep::ProcessDeathError&) {
+      // The pool is already retired; the dead team left the arena's
+      // synchronization words wherever the victims stood. Scrub them now
+      // so the fresh team the next run forks starts from a clean slate.
+      env_->reset_shared_sync_after_death();
+      throw;
+    }
+    pooled_program_type_ = &program_type;
+  } else if (env_->team_pool_enabled()) {
+    if (space != nullptr) {
+      // Same fork-time copy semantics as the one-shot team; the pool only
+      // changes who executes the members, not what they inherit.
+      space->materialize(np,
+                         machdep::init_mode_for(env_->process_team().kind()));
+    }
+    stats = env_->team_pool().run(np, member);
+    if (space != nullptr) stats.bytes_copied = space->bytes_copied();
+  } else {
+    auto team = env_->process_team();
+    stats = team.run(np, space, member);
+  }
 
   if (sn != nullptr) sn->end_run();  // join edge: the driver sees all writes
 

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <typeinfo>
 #include <vector>
 
 #include "core/askfor.hpp"
@@ -434,6 +435,14 @@ class Force {
   SubroutineRegistry subs_;
   bool started_ = false;
   machdep::SpawnStats lifetime_;
+  /// Arena placement generation whose allocations the sentry has already
+  /// tracked; pooled re-entry skips the per-run range walk when nothing
+  /// new was placed.
+  std::uint64_t tracked_arena_generation_ = ~std::uint64_t{0};
+  /// Closure type the os-fork pool was armed with: its resident children
+  /// re-execute that closure, so every pooled run must pass the same
+  /// program (checked by type in run()).
+  const std::type_info* pooled_program_type_ = nullptr;
 };
 
 }  // namespace force::core

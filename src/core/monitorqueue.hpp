@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "core/env.hpp"
+#include "machdep/fiber.hpp"
 #include "machdep/locks.hpp"
 #include "util/check.hpp"
 
@@ -48,7 +49,7 @@ class MonitorQueue {
         return true;
       }
       monitor_->release();
-      std::this_thread::yield();  // delay/continue, monitor-macro style
+      machdep::member_yield();  // delay/continue, monitor-macro style
     }
   }
 
@@ -82,7 +83,7 @@ class MonitorQueue {
         return false;
       }
       monitor_->release();
-      std::this_thread::yield();
+      machdep::member_yield();
     }
   }
 

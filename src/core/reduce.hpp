@@ -27,6 +27,7 @@
 #include "core/barrier.hpp"
 #include "core/critical.hpp"
 #include "core/env.hpp"
+#include "machdep/fiber.hpp"
 #include "machdep/shm.hpp"
 
 namespace force::core {
@@ -86,34 +87,34 @@ class Reduction {
   }
 
  private:
-  /// Arena-resident state of one os-fork reduction site.
+  /// Arena-resident state of one os-fork reduction site. The untemplated
+  /// protocol words lead (ShmReduceHeader) so death recovery can scrub
+  /// them without knowing T (ForceEnvironment::reset_shared_sync_after_death).
   struct ShmState {
-    machdep::shm::ShmLockState lock;
-    machdep::shm::ShmBarrierState barrier;
-    std::uint32_t arrived = 0;  ///< guarded by lock
-    T accumulator{};            ///< guarded by lock
-    T result{};                 ///< written by the barrier champion
+    machdep::shm::ShmReduceHeader hdr;
+    T accumulator{};  ///< guarded by hdr.lock
+    T result{};       ///< written by the barrier champion
   };
 
   T allreduce_fork(const T& local, const std::function<T(T, T)>& combine,
                    T* shared_target) {
     machdep::shm::note_site(label_.c_str());
-    machdep::shm::shm_lock_acquire(shm_->lock);
-    if (shm_->arrived == 0) {
+    machdep::shm::shm_lock_acquire(shm_->hdr.lock);
+    if (shm_->hdr.arrived == 0) {
       shm_->accumulator = local;
     } else {
       shm_->accumulator = combine(shm_->accumulator, local);
     }
-    ++shm_->arrived;
-    machdep::shm::shm_lock_release(shm_->lock);
+    ++shm_->hdr.arrived;
+    machdep::shm::shm_lock_release(shm_->hdr.lock);
     // Same shape as the thread path: the barrier section snapshots the
     // total and re-arms the episode while every process is parked. The
     // episode release edge publishes result_ to all leavers.
     machdep::shm::shm_barrier_arrive(
-        shm_->barrier, static_cast<std::uint32_t>(width_),
+        shm_->hdr.barrier, static_cast<std::uint32_t>(width_),
         [this, shared_target] {
           shm_->result = shm_->accumulator;
-          shm_->arrived = 0;
+          shm_->hdr.arrived = 0;
           if (shared_target != nullptr) *shared_target = shm_->result;
         },
         label_.c_str());
@@ -188,6 +189,14 @@ class Reduction {
                        std::uint64_t ep) {
     for (int probe = 0; probe < 64; ++probe) {
       if (flag.load(std::memory_order_acquire) >= ep) return;
+    }
+    if (machdep::on_fiber()) {
+      // N:M pooled member: the stamp may come from a sibling continuation
+      // on this same worker thread - yield to it instead of sleeping.
+      while (flag.load(std::memory_order_acquire) < ep) {
+        machdep::member_yield();
+      }
+      return;
     }
     for (;;) {
       const std::uint64_t v = flag.load(std::memory_order_acquire);

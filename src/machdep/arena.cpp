@@ -35,6 +35,7 @@ static_assert(sizeof(ShmArenaEntry) <= 192, "arena entry grew unexpectedly");
 struct ShmArenaHeader {
   shm::ShmLockState lock;
   std::uint32_t entry_count = 0;
+  std::atomic<std::uint64_t> generation{0};  ///< bumped per placement
   std::uint64_t cursor = 0;
   std::uint64_t padding_bytes = 0;
   static constexpr std::size_t kMaxEntries = 1024;
@@ -225,6 +226,7 @@ void SharedArena::link() {
       if (e.placed == 0) {
         e.offset = place(e.bytes, e.align);
         e.placed = 1;
+        shm_header_->generation.fetch_add(1, std::memory_order_acq_rel);
       }
     }
   } else {
@@ -232,10 +234,18 @@ void SharedArena::link() {
       if (!a.placed) {
         a.offset = place(a.bytes, a.align);
         a.placed = true;
+        generation_.fetch_add(1, std::memory_order_acq_rel);
       }
     }
   }
   linked_ = true;
+}
+
+std::uint64_t SharedArena::generation() const {
+  if (shm_header_ != nullptr) {
+    return shm_header_->generation.load(std::memory_order_acquire);
+  }
+  return generation_.load(std::memory_order_acquire);
 }
 
 void* SharedArena::allocate_locked(const std::string& name, std::size_t bytes,
@@ -262,6 +272,7 @@ void* SharedArena::allocate_locked(const std::string& name, std::size_t bytes,
     ShmArenaEntry* e = shm_add_locked(name, bytes, align, cls);
     e->offset = place(bytes, align);
     e->placed = 1;
+    shm_header_->generation.fetch_add(1, std::memory_order_acq_rel);
     if (created != nullptr) *created = true;
     return usable_base() + e->offset;
   }
@@ -288,6 +299,7 @@ void* SharedArena::allocate_locked(const std::string& name, std::size_t bytes,
   a.offset = place(bytes, align);
   a.placed = true;
   allocations_[name] = a;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   if (created != nullptr) *created = true;
   return usable_base() + a.offset;
 }

@@ -148,6 +148,12 @@ class SharedArena {
   /// Number of bytes lost to padding (page-boundary bumps + guards).
   [[nodiscard]] std::size_t padding_bytes() const;
 
+  /// Placement generation: bumped once per allocation placed (lazy or via
+  /// link()). Observers that derive per-allocation state - e.g. the
+  /// sentry's tracked ranges - can skip re-walking the arena when the
+  /// generation is unchanged, which makes pooled force re-entry cheap.
+  [[nodiscard]] std::uint64_t generation() const;
+
   /// Deliberately corrupts a guard byte; used by failure-injection tests.
   void corrupt_guard_for_test();
 
@@ -195,6 +201,10 @@ class SharedArena {
   std::size_t usable_bytes_ = 0;
   std::size_t cursor_ = 0;
   std::size_t padding_bytes_ = 0;
+  /// Heap-backing placement generation (the shared backing keeps its
+  /// counter in ShmArenaHeader so children agree); atomic so generation()
+  /// reads need no Guard.
+  std::atomic<std::uint64_t> generation_{0};
   bool linked_ = false;
   std::unique_ptr<std::byte[]> storage_;
   std::size_t storage_bytes_ = 0;

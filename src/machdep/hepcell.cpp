@@ -1,9 +1,24 @@
 #include "machdep/hepcell.hpp"
 
+#include "machdep/fiber.hpp"
+
 namespace force::machdep {
 
 namespace {
 std::atomic<std::uint64_t> g_hep_waits{0};
+
+/// Parks until the cell's state word moves past `expected`. Plain threads
+/// use the futex-style atomic wait; an N:M pooled member instead yields
+/// its worker to sibling continuations - the produce it waits for may be
+/// scheduled on this very thread.
+inline void park_on_state(std::atomic<std::uint32_t>& state,
+                          std::uint32_t expected) {
+  if (on_fiber()) {
+    member_yield();
+    return;
+  }
+  state.wait(expected, std::memory_order_relaxed);
+}
 }  // namespace
 
 HepCell::HepCell(std::uint64_t initial_value)
@@ -21,7 +36,7 @@ void HepCell::await_and_seize(State from) {
       // Not in the desired state: park until the state word changes.
       // (kBusy windows are tiny; waiting on them too is harmless.)
       g_hep_waits.fetch_add(1, std::memory_order_relaxed);
-      state_.wait(expected, std::memory_order_relaxed);
+      park_on_state(state_, expected);
     }
     // CAS failure with expected == from is spurious; just retry.
   }
@@ -57,7 +72,7 @@ void HepCell::make_empty() {
   for (;;) {
     std::uint32_t expected = state_.load(std::memory_order_relaxed);
     if (expected == kBusy) {
-      state_.wait(expected, std::memory_order_relaxed);
+      park_on_state(state_, expected);
       continue;
     }
     if (state_.compare_exchange_weak(expected, kBusy,
@@ -74,7 +89,7 @@ void HepCell::make_full(std::uint64_t value) {
   for (;;) {
     std::uint32_t expected = state_.load(std::memory_order_relaxed);
     if (expected == kBusy) {
-      state_.wait(expected, std::memory_order_relaxed);
+      park_on_state(state_, expected);
       continue;
     }
     if (state_.compare_exchange_weak(expected, kBusy,

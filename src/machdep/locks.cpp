@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "machdep/fiber.hpp"
 #include "machdep/hepcell.hpp"
 #include "util/check.hpp"
 
@@ -34,7 +35,10 @@ struct Spinner {
   void spin_once() {
     ++spins_;
     if (spins_ % (budget_ == 0 ? 1 : budget_) == 0) {
-      std::this_thread::yield();
+      // member_yield: OS yield on a plain thread, a continuation switch
+      // inside an N:M pooled member - the lock holder may be a sibling
+      // member multiplexed onto this very worker thread.
+      member_yield();
     } else {
       cpu_relax();
     }
@@ -287,6 +291,27 @@ SystemLock::SystemLock(LockCounters* counters) : counters_(counters) {}
 
 void SystemLock::acquire() {
   bump(counters_, &LockCounters::acquires);
+  if (on_fiber()) {
+    // A member continuation must never block its worker thread in the
+    // kernel: the release it waits for may come from a sibling member
+    // multiplexed onto this same worker. Poll and hand the worker over.
+    bool contended = false;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        if (!held_) {
+          held_ = true;
+          return;
+        }
+      }
+      if (!contended) {
+        bump(counters_, &LockCounters::contended_acquires);
+        bump(counters_, &LockCounters::blocking_waits);
+        contended = true;
+      }
+      member_yield();
+    }
+  }
   std::unique_lock<std::mutex> lk(m_);
   if (held_) {
     bump(counters_, &LockCounters::contended_acquires);
@@ -338,6 +363,14 @@ void CombinedLock::acquire() {
   }
   // Phase 2: give up the CPU and let the scheduler wake us (long holds).
   bump(counters_, &LockCounters::blocking_waits);
+  if (on_fiber()) {
+    // No kernel sleep inside a member continuation (see SystemLock);
+    // keep polling, yielding the worker to sibling members in between.
+    while (held_.exchange(true, std::memory_order_acquire)) {
+      member_yield();
+    }
+    return;
+  }
   std::unique_lock<std::mutex> lk(m_);
   sleepers_.fetch_add(1, std::memory_order_relaxed);
   cv_.wait(lk, [&] { return !held_.exchange(true, std::memory_order_acquire); });

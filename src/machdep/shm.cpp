@@ -332,12 +332,38 @@ void shm_askfor_init(void* blob, std::uint32_t capacity,
   a->stride = stride;
 }
 
+void shm_askfor_rearm(ShmAskforState& a, std::uint32_t gen) {
+  if (a.seen_gen.load(std::memory_order_acquire) == gen) return;
+  shm_lock_acquire(a.monitor);
+  if (a.seen_gen.load(std::memory_order_relaxed) != gen) {
+    // Fresh force entry on a reused site: clear the previous episode. Any
+    // tokens still queued belonged to a probend()ed computation; the
+    // stamp is the last write so racing first-ops of the same generation
+    // see a fully reset ring.
+    a.head = 0;
+    a.tail = 0;
+    a.working = 0;
+    a.ended = 0;
+    a.seen_gen.store(gen, std::memory_order_release);
+  }
+  shm_lock_release(a.monitor);
+}
+
 void shm_askfor_put(ShmAskforState& a, const void* task) {
   shm_lock_acquire(a.monitor);
-  if (a.ended != 0) {  // probend already ended the computation; drop quietly
+  if (a.ended == kShmAskforProbend) {  // explicitly ended: dropped, as ever
     shm_lock_release(a.monitor);
     return;
   }
+  // A drain is provisional: with the seed put() inside the force (only the
+  // leader puts, everyone works), a sibling's first ask can find the ring
+  // empty with nobody working and latch "drained" before the seed lands -
+  // on a parked pool every member wakes hot at once, so the race is live,
+  // not theoretical. The seed must never be lost: re-open the ring. The
+  // raced siblings may already have left their work() loop; they just sit
+  // at the next barrier while the remaining members (at least the seeder
+  // itself) drain the work - fewer hands, same answer.
+  if (a.ended == kShmAskforDrained) a.ended = 0;
   const bool full = a.tail - a.head >= a.capacity;
   if (full) {
     shm_lock_release(a.monitor);
@@ -371,7 +397,7 @@ bool shm_askfor_ask(ShmAskforState& a, void* out, const char* label) {
     if (a.working == 0) {
       // Drained: no tokens anywhere and nobody who could put() more.
       // Latch the end so every parked process leaves too.
-      a.ended = 1;
+      a.ended = kShmAskforDrained;
       shm_lock_release(a.monitor);
       bump_version(a);
       return false;
@@ -398,7 +424,7 @@ void shm_askfor_complete(ShmAskforState& a) {
 
 void shm_askfor_probend(ShmAskforState& a) {
   shm_lock_acquire(a.monitor);
-  a.ended = 1;
+  a.ended = kShmAskforProbend;
   shm_lock_release(a.monitor);
   bump_version(a);
 }

@@ -224,6 +224,18 @@ struct ShmSelfschedState {
   std::int64_t trips = 0;
 };
 
+// --- process-shared reduction header ----------------------------------------
+
+/// Fixed head of an os-fork reduction blob ("%reduce/<key>" in the arena,
+/// core/reduce.hpp): the payload-typed accumulator and result follow in
+/// the same allocation, but death recovery only needs to scrub these
+/// protocol words, so they are split out as an untemplated POD.
+struct ShmReduceHeader {
+  ShmLockState lock;
+  ShmBarrierState barrier;
+  std::uint32_t arrived = 0;  ///< guarded by lock
+};
+
 // --- process-shared askfor monitor -----------------------------------------
 
 /// The Askfor monitor over shared memory: a fixed-capacity FIFO ring of
@@ -242,9 +254,24 @@ struct ShmAskforState {
   std::uint32_t head = 0;     ///< guarded by monitor
   std::uint32_t tail = 0;     ///< guarded by monitor
   std::int32_t working = 0;   ///< guarded by monitor
-  std::uint32_t ended = 0;    ///< guarded by monitor (latched on drain too)
+  /// End latch, guarded by the monitor: 0 open, kShmAskforDrained when the
+  /// termination check found no work and nobody working, kShmAskforProbend
+  /// after an explicit probend(). The distinction matters for seeding: a
+  /// drain is provisional (a put() racing behind it re-opens the monitor,
+  /// so a seed is never silently lost), a probend is final for the entry.
+  std::uint32_t ended = 0;
+  /// Force-entry generation this ring was last (re-)armed for. A pooled
+  /// team re-enters the same force repeatedly over the same arena, so the
+  /// drained/probend latch must reset per entry - the first operation of a
+  /// new generation clears the episode state. Atomic so the common "same
+  /// generation" probe stays outside the monitor.
+  std::atomic<std::uint32_t> seen_gen{0};
   // capacity * stride task bytes follow this header in the arena blob.
 };
+
+/// ShmAskforState::ended values beyond 0 (open).
+inline constexpr std::uint32_t kShmAskforDrained = 1;
+inline constexpr std::uint32_t kShmAskforProbend = 2;
 
 /// Bytes of the whole blob (header + ring storage).
 [[nodiscard]] std::size_t shm_askfor_bytes(std::uint32_t capacity,
@@ -254,6 +281,12 @@ struct ShmAskforState {
 /// protocol).
 void shm_askfor_init(void* blob, std::uint32_t capacity,
                      std::uint32_t stride);
+
+/// Re-arms the ring for force-entry generation `gen` (pooled team reuse):
+/// resets the drained/probend latch, the ring indexes and the working
+/// count. A no-op when the ring has already seen `gen`. Must only be
+/// called at episode boundaries (no worker inside ask/complete).
+void shm_askfor_rearm(ShmAskforState& a, std::uint32_t gen);
 
 void shm_askfor_put(ShmAskforState& a, const void* task);
 /// Blocks for work; copies the granted task into `out` and returns true,

@@ -39,6 +39,13 @@ struct TranslateOptions {
   /// machine's thread-emulated model; "os-fork" runs the force as real
   /// fork(2) children over a MAP_SHARED arena (docs/PORTING.md).
   std::string process_model;
+  /// Bake `config.team_pool = true` into the driver: the team parks
+  /// between force entries instead of being created/joined per run
+  /// (docs/PORTING.md, team-lifetime axis).
+  bool team_pool = false;
+  /// With team_pool, bake an N:M worker count into the driver (0 = one
+  /// worker per member). Thread-backed process models only.
+  int pool_workers = 0;
 };
 
 /// File header: banner + includes.

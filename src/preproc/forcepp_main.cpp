@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
               "process backend baked into the driver: empty keeps the "
               "machine's thread-emulated model, os-fork runs real fork(2) "
               "children over a MAP_SHARED arena")
+      .optional_value_option(
+          "team-pool", "0",
+          "bake a persistent team pool into the driver; the optional value "
+          "is the N:M worker count (default 0 = one worker per member)")
       .option("o", "", "output file (default: stdout)")
       .flag("module",
             "translate a separately compiled module (Forcesubs only, no "
@@ -93,6 +97,15 @@ int main(int argc, char** argv) {
     FORCE_CHECK(options.process_model.empty() ||
                     options.process_model == "os-fork",
                 "--process-model must be empty or os-fork");
+    options.team_pool = cli.seen("team-pool");
+    options.pool_workers =
+        options.team_pool ? static_cast<int>(cli.get_int("team-pool")) : 0;
+    FORCE_CHECK(options.pool_workers >= 0,
+                "--team-pool worker count must be non-negative");
+    FORCE_CHECK(options.pool_workers == 0 ||
+                    options.process_model != "os-fork",
+                "--team-pool=<workers> (N:M) is thread-only; the os-fork "
+                "pool keeps one resident child per member");
 
     const auto result =
         force::preproc::translate(read_file(input), options);

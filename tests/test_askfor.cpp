@@ -43,13 +43,25 @@ TEST(AskforCore, DrainsSeededWork) {
   EXPECT_EQ(core.granted(), 5u);
 }
 
-TEST(AskforCore, DoneIsSticky) {
-  fc::ForceEnvironment env(test_config(1));
-  fc::AskforCore core(env);
-  std::size_t token = 0;
-  EXPECT_EQ(core.ask(&token), fc::AskforCore::Outcome::kDone);
-  core.put(99);  // after the end: dropped
-  EXPECT_EQ(core.ask(&token), fc::AskforCore::Outcome::kDone);
+TEST(AskforCore, DrainIsProvisionalProbendIsSticky) {
+  for (const char* dispatch : {"auto", "locked"}) {
+    fc::ForceEnvironment env(test_config(1, "native", dispatch));
+    fc::AskforCore core(env);
+    std::size_t token = 0;
+    // An empty monitor drains immediately...
+    EXPECT_EQ(core.ask(&token), fc::AskforCore::Outcome::kDone);
+    // ...but a drain is provisional: a seed put behind it re-opens the
+    // monitor instead of vanishing (on a hot pooled team the first
+    // asker's drained latch can genuinely beat the leader's seed).
+    core.put(99);
+    ASSERT_EQ(core.ask(&token), fc::AskforCore::Outcome::kWork) << dispatch;
+    EXPECT_EQ(token, 99u);
+    core.complete();
+    // probend() is final for the episode: later puts drop, as ever.
+    core.probend();
+    core.put(7);
+    EXPECT_EQ(core.ask(&token), fc::AskforCore::Outcome::kDone) << dispatch;
+  }
 }
 
 TEST(AskforCore, CompleteWithoutGrantThrows) {

@@ -11,11 +11,17 @@
 //
 // The configuration cell comes in on the command line:
 //   --machine=<name> --dispatch=auto|locked --barrier=<algorithm> --fork
+//   --pool --pool-nm
 // and CMake registers one labeled ctest per cell: every machine model x
 // both dispatch engines x all four barrier algorithms for the thread
 // backends, plus every machine model under the os-fork backend. The same
 // program bytes must produce the same answer everywhere - the paper's
 // portability claim, executed.
+//
+// --pool runs each program as several sequential forces on one persistent
+// team pool (config.team_pool), and --pool-nm additionally folds the
+// members onto kNproc/2 workers (N:M fiber scheduling, NP = 2W); every
+// pooled re-entry must stay bit-identical to the fresh-team oracle.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -34,6 +40,8 @@ std::string g_machine = "native";
 std::string g_dispatch = "auto";
 std::string g_barrier = "paper-lock";
 bool g_fork = false;
+bool g_pool = false;
+bool g_pool_nm = false;
 
 constexpr int kNproc = 4;
 
@@ -44,8 +52,14 @@ force::ForceConfig cell_config() {
   cfg.dispatch = g_dispatch;
   cfg.barrier_algorithm = g_barrier;
   if (g_fork) cfg.process_model = "os-fork";
+  if (g_pool || g_pool_nm) cfg.team_pool = true;
+  if (g_pool_nm) cfg.pool_workers = kNproc / 2;  // NP = 2W
   return cfg;
 }
+
+// Pooled cells repeat each program so the team re-enters the parked pool;
+// fresh-team cells run once (the repeat would only re-measure spawn).
+int cell_runs() { return (g_pool || g_pool_nm) ? 4 : 1; }
 
 }  // namespace
 
@@ -67,16 +81,19 @@ TEST(Conformance, Saxpy) {
   auto& xs = f.shared<Vec>("x");
   auto& ys = f.shared<Vec>("y");
   xs = x;
-  for (std::size_t i = 0; i < kN; ++i) ys[i] = 3.0;
-  f.run([&](core::Ctx& ctx) {
-    ctx.selfsched_do(FORCE_SITE, 0, kN - 1, 1, [&](std::int64_t i) {
-      const auto u = static_cast<std::size_t>(i);
-      ys[u] = a * xs[u] + ys[u];
+  for (int run = 0; run < cell_runs(); ++run) {
+    for (std::size_t i = 0; i < kN; ++i) ys[i] = 3.0;
+    f.run([&](core::Ctx& ctx) {
+      ctx.selfsched_do(FORCE_SITE, 0, kN - 1, 1, [&](std::int64_t i) {
+        const auto u = static_cast<std::size_t>(i);
+        ys[u] = a * xs[u] + ys[u];
+      });
+      ctx.barrier();
     });
-    ctx.barrier();
-  });
-  EXPECT_EQ(std::memcmp(ys.data(), oracle.data(), sizeof(Vec)), 0)
-      << "saxpy result is not bit-identical to the sequential oracle";
+    EXPECT_EQ(std::memcmp(ys.data(), oracle.data(), sizeof(Vec)), 0)
+        << "saxpy result is not bit-identical to the sequential oracle "
+        << "(run " << run << ")";
+  }
 }
 
 // --- BarrierReduction: critical + barrier section, iterated -----------------
@@ -95,20 +112,23 @@ TEST(Conformance, BarrierSectionReduction) {
 
   force::Force f(cell_config());
   auto& results = f.shared<std::array<std::int64_t, kRounds>>("results");
-  f.run([&](core::Ctx& ctx) {
+  for (int run = 0; run < cell_runs(); ++run) {
+    results = {};
+    f.run([&](core::Ctx& ctx) {
+      for (int r = 0; r < kRounds; ++r) {
+        std::int64_t local = 0;
+        ctx.presched_do(1, kN, 1,
+                        [&](std::int64_t i) { local += i * (r + 1); });
+        ctx.reduce_into<std::int64_t>(
+            FORCE_SITE, local, results[static_cast<std::size_t>(r)],
+            [](std::int64_t p, std::int64_t q) { return p + q; });
+      }
+    });
     for (int r = 0; r < kRounds; ++r) {
-      std::int64_t local = 0;
-      ctx.presched_do(1, kN, 1,
-                      [&](std::int64_t i) { local += i * (r + 1); });
-      ctx.reduce_into<std::int64_t>(
-          FORCE_SITE, local, results[static_cast<std::size_t>(r)],
-          [](std::int64_t p, std::int64_t q) { return p + q; });
+      EXPECT_EQ(results[static_cast<std::size_t>(r)],
+                oracle[static_cast<std::size_t>(r)])
+          << "round " << r << " (run " << run << ")";
     }
-  });
-  for (int r = 0; r < kRounds; ++r) {
-    EXPECT_EQ(results[static_cast<std::size_t>(r)],
-              oracle[static_cast<std::size_t>(r)])
-        << "round " << r;
   }
 }
 
@@ -122,19 +142,22 @@ TEST(Conformance, AskforTreewalk) {
 
   force::Force f(cell_config());
   auto& total = f.shared<std::int64_t>("total");
-  f.run([&](core::Ctx& ctx) {
-    auto& af = ctx.askfor<std::int64_t>(FORCE_SITE);
-    if (ctx.leader()) af.put(1);
-    af.work([&](std::int64_t& node, core::Askfor<std::int64_t>& a) {
-      ctx.critical(FORCE_SITE, [&] { total += node * 7 - 3; });
-      if (node < kLeafBound) {
-        a.put(2 * node);
-        a.put(2 * node + 1);
-      }
+  for (int run = 0; run < cell_runs(); ++run) {
+    total = 0;
+    f.run([&](core::Ctx& ctx) {
+      auto& af = ctx.askfor<std::int64_t>(FORCE_SITE);
+      if (ctx.leader()) af.put(1);
+      af.work([&](std::int64_t& node, core::Askfor<std::int64_t>& a) {
+        ctx.critical(FORCE_SITE, [&] { total += node * 7 - 3; });
+        if (node < kLeafBound) {
+          a.put(2 * node);
+          a.put(2 * node + 1);
+        }
+      });
+      ctx.barrier();
     });
-    ctx.barrier();
-  });
-  EXPECT_EQ(total, oracle);
+    EXPECT_EQ(total, oracle) << "run " << run;
+  }
 }
 
 // --- ProduceConsume: async-variable pipeline through every process ----------
@@ -152,6 +175,8 @@ TEST(Conformance, ProduceConsumePipeline) {
 
   force::Force f(cell_config());
   auto& sink = f.shared<std::int64_t>("sink");
+  for (int run = 0; run < cell_runs(); ++run) {
+  sink = 0;
   f.run([&](core::Ctx& ctx) {
     // Cells between stages: stage p produces into cells[p-1].
     auto& cells = ctx.async_array<std::int64_t>(FORCE_SITE, kNproc);
@@ -172,7 +197,8 @@ TEST(Conformance, ProduceConsumePipeline) {
     }
     ctx.barrier();
   });
-  EXPECT_EQ(sink, oracle);
+  EXPECT_EQ(sink, oracle) << "run " << run;
+  }
 }
 
 int main(int argc, char** argv) {
@@ -187,6 +213,10 @@ int main(int argc, char** argv) {
       g_barrier = arg.substr(10);
     } else if (arg == "--fork") {
       g_fork = true;
+    } else if (arg == "--pool") {
+      g_pool = true;
+    } else if (arg == "--pool-nm") {
+      g_pool_nm = true;
     }
   }
   return RUN_ALL_TESTS();

@@ -1,0 +1,289 @@
+// Persistent team pools (machdep/teampool.*): the spawn tax paid once.
+//
+// Three layers under test:
+//
+//   * TeamPool - the thread-axis pool by itself: parked workers execute
+//     sequential forces, multiplex wider forces N:M, and survive member
+//     exceptions (ProcessTeam::run's rethrow contract).
+//   * Force over a pool - sequential force entries on one pooled team
+//     must behave exactly like fresh teams: shared state accumulates,
+//     constructs re-arm per entry, the sentry stays report-free.
+//   * ForkTeamPool - resident fork(2) children: the same child pids serve
+//     every entry, a SIGKILLed pool child surfaces exactly once as
+//     ProcessDeathError, and the next force transparently re-forks.
+//
+// As in test_process_fork.cpp, child-side assertions go through the
+// shared arena (a child's gtest failure would be invisible); the parent
+// asserts after the join.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+#include "core/force.hpp"
+#include "core/sentry.hpp"
+#include "machdep/process.hpp"
+#include "machdep/teampool.hpp"
+#include "util/check.hpp"
+
+namespace core = force::core;
+namespace md = force::machdep;
+
+namespace {
+
+constexpr int kNproc = 4;
+
+force::ForceConfig pool_config() {
+  force::ForceConfig cfg;
+  cfg.nproc = kNproc;
+  cfg.team_pool = true;
+  return cfg;
+}
+
+force::ForceConfig fork_pool_config() {
+  force::ForceConfig cfg;
+  cfg.nproc = kNproc;
+  cfg.process_model = "os-fork";
+  cfg.team_pool = true;
+  return cfg;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// --- TeamPool: the thread-axis pool by itself -------------------------------
+
+TEST(TeamPoolUnit, SequentialForcesRunEveryMember) {
+  md::TeamPool pool(kNproc);
+  EXPECT_EQ(pool.workers(), kNproc);
+  std::array<std::atomic<int>, kNproc> visits{};
+  for (int run = 0; run < 5; ++run) {
+    const auto stats = pool.run(kNproc, [&](int m) {
+      visits[static_cast<std::size_t>(m)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+    });
+    EXPECT_EQ(stats.processes, kNproc);
+  }
+  for (int m = 0; m < kNproc; ++m) {
+    EXPECT_EQ(visits[static_cast<std::size_t>(m)].load(), 5) << "member " << m;
+  }
+}
+
+TEST(TeamPoolUnit, WiderForceIsMultiplexedOntoFewerWorkers) {
+  md::TeamPool pool(2);  // NP = 2W
+  std::array<std::atomic<int>, kNproc> visits{};
+  const auto stats = pool.run(kNproc, [&](int m) {
+    visits[static_cast<std::size_t>(m)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  });
+  EXPECT_EQ(stats.processes, kNproc);
+  for (int m = 0; m < kNproc; ++m) {
+    EXPECT_EQ(visits[static_cast<std::size_t>(m)].load(), 1) << "member " << m;
+  }
+}
+
+TEST(TeamPoolUnit, MemberExceptionIsRethrownAndThePoolSurvives) {
+  md::TeamPool pool(kNproc);
+  EXPECT_THROW(pool.run(kNproc,
+                        [](int m) {
+                          if (m == 1) {
+                            throw std::runtime_error("deliberate member "
+                                                     "failure");
+                          }
+                        }),
+               std::runtime_error);
+  // The contract of ProcessTeam::run carries over: after the rethrow the
+  // team has quiesced and the pool serves the next force normally.
+  std::atomic<int> ran{0};
+  pool.run(kNproc,
+           [&](int) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), kNproc);
+}
+
+// --- Force over a pooled thread team ----------------------------------------
+
+TEST(PooledForce, SequentialForcesAccumulateLikeFreshTeams) {
+  force::Force f(pool_config());
+  auto& counter = f.shared<std::int64_t>("counter");
+  for (int round = 0; round < 5; ++round) {
+    const auto stats = f.run([&](core::Ctx& ctx) {
+      ctx.critical(FORCE_SITE, [&] { counter += 1; });
+      ctx.barrier();
+    });
+    EXPECT_EQ(stats.processes, kNproc);
+  }
+  EXPECT_EQ(counter, 5 * kNproc);
+}
+
+TEST(PooledForce, NmPoolDrivesMembersThroughBarriersAndCriticals) {
+  force::ForceConfig cfg = pool_config();
+  cfg.pool_workers = kNproc / 2;  // NP = 2W: members become continuations
+  force::Force f(cfg);
+  auto& counter = f.shared<std::int64_t>("counter");
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    f.run([&](core::Ctx& ctx) {
+      ctx.barrier();
+      ctx.critical(FORCE_SITE, [&] { counter += 1; });
+      ctx.barrier();
+      ctx.critical(FORCE_SITE, [&] { counter += 1; });
+    });
+  }
+  EXPECT_EQ(counter, 2 * kRounds * kNproc);
+}
+
+TEST(PooledForce, ArenaGenerationIsStableAcrossPooledReentry) {
+  // The cheap-re-entry contract behind Force::run's sentry walk skip: a
+  // force that allocates nothing new must leave the arena generation
+  // untouched, so re-entering the pool never re-walks the placements.
+  force::Force f(pool_config());
+  auto& counter = f.shared<std::int64_t>("counter");
+  const auto program = [&](core::Ctx& ctx) {
+    ctx.critical(FORCE_SITE, [&] { counter += 1; });
+    ctx.barrier();
+  };
+  f.run(program);  // first entry may place construct state lazily
+  const std::uint64_t gen = f.env().arena().generation();
+  f.run(program);
+  f.run(program);
+  EXPECT_EQ(f.env().arena().generation(), gen)
+      << "pooled re-entry must not allocate";
+  EXPECT_EQ(counter, 3 * kNproc);
+}
+
+TEST(PooledForce, SentryStaysReportFreeAcrossPooledReentry) {
+  // A 1:1 pool keeps every member on its own OS thread, so the sentry
+  // remains fully observable; pooled re-entry (same worker threads, new
+  // run generation) must not manufacture races between entries.
+  force::ForceConfig cfg = pool_config();
+  cfg.sentry = true;
+  force::Force f(cfg);
+  auto& counter = f.shared<std::int64_t>("counter");
+  for (int round = 0; round < 3; ++round) {
+    f.run([&](core::Ctx& ctx) {
+      ctx.critical(FORCE_SITE, [&] { counter += 1; });
+      ctx.barrier();
+      // Unlocked writes to disjoint slots after a barrier: ordered, clean.
+      auto& slots = ctx.env().arena().get_or_create<
+          std::array<std::int64_t, kNproc>>("slots");
+      slots[static_cast<std::size_t>(ctx.me0())] = counter;
+      ctx.barrier();
+    });
+  }
+  auto* sn = f.env().sentry();
+  ASSERT_NE(sn, nullptr);
+  EXPECT_EQ(sn->total_reports(), 0u)
+      << "pooled re-entry manufactured sentry reports";
+  EXPECT_EQ(counter, 3 * kNproc);
+}
+
+// --- configuration policy ---------------------------------------------------
+
+TEST(PoolConfig, NmWithSentryIsRejected) {
+  force::ForceConfig cfg = pool_config();
+  cfg.pool_workers = 2;
+  cfg.sentry = true;  // two members share one OS thread: unobservable
+  EXPECT_THROW(force::Force f(cfg), force::util::CheckError);
+}
+
+TEST(PoolConfig, NmWithOsForkIsRejected) {
+  force::ForceConfig cfg = fork_pool_config();
+  cfg.pool_workers = 2;  // the fork pool keeps one resident child per member
+  EXPECT_THROW(force::Force f(cfg), force::util::CheckError);
+}
+
+// --- Force over a resident fork(2) pool -------------------------------------
+
+TEST(PooledForkForce, ResidentChildrenServeEverySequentialForce) {
+  force::Force f(fork_pool_config());
+  auto& counter = f.shared<std::int64_t>("counter");
+  auto& pids = f.shared<std::array<long, kNproc>>("pids");
+  std::array<long, kNproc> first_pids{};
+  for (int round = 0; round < 4; ++round) {
+    f.run([&](core::Ctx& ctx) {
+      pids[static_cast<std::size_t>(ctx.me0())] = static_cast<long>(getpid());
+      ctx.critical(FORCE_SITE, [&] { counter += 1; });
+      ctx.barrier();
+    });
+    if (round == 0) {
+      first_pids = pids;
+    } else {
+      // The whole point of the pool: the SAME resident children run every
+      // force, no fork(2) per entry.
+      EXPECT_EQ(pids, first_pids) << "round " << round << " re-forked";
+    }
+  }
+  EXPECT_EQ(counter, 4 * kNproc);
+  EXPECT_TRUE(f.env().fork_pool(kNproc).armed());
+}
+
+TEST(PooledForkForce, ADifferentProgramOnAnArmedPoolIsRejected) {
+  // Resident children re-execute the closure the pool was armed with (the
+  // fork-point stack is COW-frozen), so Force::run pins the program type.
+  force::Force f(fork_pool_config());
+  auto& ok = f.shared<std::int64_t>("ok");
+  f.run([&](core::Ctx& ctx) {
+    ctx.critical(FORCE_SITE, [&] { ok += 1; });
+    ctx.barrier();
+  });
+  EXPECT_EQ(ok, kNproc);
+  EXPECT_THROW(f.run([&](core::Ctx& ctx) {
+                 (void)ok;
+                 ctx.barrier();
+                 ctx.barrier();
+               }),
+               force::util::CheckError);
+}
+
+TEST(PooledForkDeath, SigkilledPoolChildIsReportedOnceAndThePoolRecovers) {
+  force::Force f(fork_pool_config());
+  auto& kill_flag = f.shared<std::int64_t>("kill_flag");
+  auto& ok = f.shared<std::int64_t>("ok");
+  const auto t0 = std::chrono::steady_clock::now();
+  // One program for every run (the fork-pool contract); the parent steers
+  // the victim through the shared arena, which resident children see live.
+  const auto program = [&](core::Ctx& ctx) {
+    if (kill_flag != 0 && ctx.me() == 2) {
+      raise(SIGKILL);  // dies before arriving at the barrier
+    }
+    ctx.barrier();
+    ctx.critical(FORCE_SITE, [&] { ok += 1; });
+    ctx.barrier();
+  };
+
+  kill_flag = 0;
+  f.run(program);
+  EXPECT_EQ(ok, kNproc);
+
+  kill_flag = 1;
+  try {
+    f.run(program);
+    FAIL() << "a SIGKILLed pool child must surface as ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    // Reported once, with the victim's identity - the survivors' poison
+    // collateral must not mask it.
+    EXPECT_EQ(e.process(), 2);
+    EXPECT_EQ(e.term_signal(), SIGKILL);
+    EXPECT_GT(e.pid(), 0);
+  }
+  EXPECT_EQ(ok, kNproc) << "the poisoned run must not have half-completed";
+  EXPECT_FALSE(f.env().fork_pool(kNproc).armed())
+      << "a dead team must be retired";
+
+  // The next force transparently re-forks a fresh resident team.
+  kill_flag = 0;
+  f.run(program);
+  EXPECT_EQ(ok, 2 * kNproc);
+  EXPECT_TRUE(f.env().fork_pool(kNproc).armed());
+  EXPECT_LT(seconds_since(t0), 30.0) << "pooled robust join took too long";
+}
