@@ -82,8 +82,12 @@ inline void asan_leave_fiber(SchedState*, Fiber*, bool) {}
 #endif
 
 /// makecontext passes ints only; the fiber pointer rides in two halves.
+/// The shifts are split in two steps because a single `<< 32` / `>> 32`
+/// is UB where uintptr_t is 32 bits wide (arm32 and friends are inside
+/// the __unix__ guard); two 16-bit steps are defined at both widths and
+/// yield 0 for the high half on a 32-bit host.
 void trampoline(unsigned hi, unsigned lo) {
-  auto addr = (static_cast<std::uintptr_t>(hi) << 32) |
+  auto addr = (static_cast<std::uintptr_t>(hi) << 16 << 16) |
               static_cast<std::uintptr_t>(lo);
   auto* f = reinterpret_cast<Fiber*>(addr);
   SchedState* s = g_sched;
@@ -152,7 +156,7 @@ void MemberScheduler::run(std::vector<std::function<void()>> bodies) {
     f.ctx.uc_link = &state.main_ctx;  // never taken; trampoline swaps out
     const auto addr = reinterpret_cast<std::uintptr_t>(&f);
     makecontext(&f.ctx, reinterpret_cast<void (*)()>(trampoline), 2,
-                static_cast<unsigned>(addr >> 32),
+                static_cast<unsigned>(addr >> 16 >> 16),
                 static_cast<unsigned>(addr & 0xffffffffu));
   }
 

@@ -231,6 +231,13 @@ void ForkTeamPool::spawn(const std::function<void(int)>& entry) {
           g = ctl->arm.load(std::memory_order_acquire);
         }
         seen = g;
+        // shutdown() wakes the park via an arm bump (a wake alone could be
+        // slept through: the futex word would still equal `seen`), so a new
+        // generation can mean retirement, not work - re-check before running.
+        if (ctl->shutdown.load(std::memory_order_acquire) != 0) {
+          std::fflush(nullptr);
+          std::_Exit(0);
+        }
         try {
           entry(proc);
         } catch (const shm::TeamPoisoned&) {
@@ -292,7 +299,11 @@ SpawnStats ForkTeamPool::run(PrivateSpace* space,
   stats.processes = nproc_;
 
   const std::int64_t t0 = util::now_ns();
-  if (space != nullptr) {
+  // Privates are inherited ONCE, at first fork: resident children keep
+  // their fork-point copy-on-write snapshot across runs, so a re-armed run
+  // has nobody left to inherit a fresh copy (per-run state must go through
+  // the shared arena - docs/PORTING.md, pooled contracts).
+  if (space != nullptr && !space->materialized()) {
     space->materialize(nproc_, init_mode_for(ProcessModelKind::kOsFork));
     stats.bytes_copied = space->bytes_copied();
   }

@@ -227,6 +227,28 @@ TEST(PooledForkForce, ResidentChildrenServeEverySequentialForce) {
   EXPECT_TRUE(f.env().fork_pool(kNproc).armed());
 }
 
+TEST(PooledForkForce, RetirementDoesNotReexecuteTheProgram) {
+  // shutdown() wakes the parked children by bumping the arm generation (a
+  // bare wake could be slept through). The children must read that new
+  // generation as "retire", not as one more armed force: a spurious extra
+  // run would duplicate the program's MAP_SHARED side effects at every
+  // pool retirement (env destruction, fork_pool width change).
+  force::Force f(fork_pool_config());
+  auto& counter = f.shared<std::int64_t>("counter");
+  const auto program = [&](core::Ctx& ctx) {
+    ctx.critical(FORCE_SITE, [&] { counter += 1; });
+    ctx.barrier();
+  };
+  f.run(program);
+  f.run(program);
+  EXPECT_EQ(counter, 2 * kNproc);
+  // Synchronous: returns only after every resident child is reaped, so a
+  // duplicated run would already be visible in the shared counter here.
+  f.env().fork_pool(kNproc).shutdown();
+  EXPECT_EQ(counter, 2 * kNproc)
+      << "pool retirement re-executed the pooled program";
+}
+
 TEST(PooledForkForce, ADifferentProgramOnAnArmedPoolIsRejected) {
   // Resident children re-execute the closure the pool was armed with (the
   // fork-point stack is COW-frozen), so Force::run pins the program type.
