@@ -275,25 +275,20 @@ int main(int argc, char** argv) {
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
     namespace fb = force::bench;
-    std::string json = "{\n  " + fb::json_field("bench",
-                                                fb::json_str("askfor_grants"));
-    json += ",\n  " + fb::json_field("np",
-                                     fb::json_num(std::uint64_t(np_grants)));
-    json += ",\n  " + fb::json_field("native_atomic_over_locked",
-                                     fb::json_num(speedup));
-    json += ",\n  \"results\": [\n";
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-      const auto& r = rates[i];
-      json += fb::json_object(
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& r : rates) {
+      rows.push_back(
           {fb::json_field("machine", fb::json_str(r.machine)),
            fb::json_field("engine", fb::json_str(r.engine)),
            fb::json_field("grants", fb::json_num(r.grants)),
            fb::json_field("wall_ns", fb::json_num(r.wall_ns)),
-           fb::json_field("grants_per_sec", fb::json_num(r.per_sec))},
-          "    ");
-      json += (i + 1 < rates.size() ? ",\n" : "\n");
+           fb::json_field("grants_per_sec", fb::json_num(r.per_sec))});
     }
-    json += "  ]\n}\n";
+    const std::string json = fb::render_bench_json(
+        "askfor_grants",
+        {fb::json_field("np", fb::json_num(std::uint64_t(np_grants))),
+         fb::json_field("native_atomic_over_locked", fb::json_num(speedup))},
+        rows);
     if (fb::write_text_file(json_path, json)) {
       std::printf("Recorded grant throughput in %s\n", json_path.c_str());
     } else {

@@ -59,11 +59,20 @@ inline double time_ns(const std::function<void()>& fn) {
 
 // --- machine-readable artifacts (BENCH_*.json) -----------------------------
 //
-// The dispatch benches additionally emit a small JSON file so the measured
+// The benches additionally emit a small JSON file so the measured
 // throughput per machine model is recorded in the repo, not just scrolled
 // past on a terminal. The format is one object with a "results" array of
 // flat records; only strings and numbers appear, so a hand-rolled emitter
 // is enough (no JSON library in the container).
+//
+// Every artifact goes through render_bench_json() below, which stamps the
+// document with kBenchSchemaVersion. tools/bench_gate.py - the single CI
+// gate over these artifacts - refuses to compare documents whose
+// schema_version differs, so a stale committed baseline fails loudly
+// instead of silently comparing mismatched metrics. Bump the version
+// whenever the meaning of a recorded metric changes, and refresh every
+// committed BENCH_*.json in the same commit (docs/VALIDATION.md, baseline
+// refresh policy).
 
 /// One "key": value JSON field; strings must already be json_str()-quoted.
 inline std::string json_field(const std::string& key,
@@ -86,6 +95,15 @@ inline std::string json_num(double v) {
   return buf;
 }
 
+/// Like json_num(double) but with significant digits (%g): for ratio
+/// metrics that can sit far below 1, where fixed %.3f would quantize the
+/// gate's comparison into its own noise floor.
+inline std::string json_num_sig(double v, int digits = 6) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, v);
+  return buf;
+}
+
 inline std::string json_num(std::uint64_t v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
@@ -99,6 +117,57 @@ inline std::string json_object(const std::vector<std::string>& fields,
     out += (i == 0 ? "" : ", ") + fields[i];
   }
   return out + "}";
+}
+
+/// Version of the BENCH_*.json contract shared by every writer and by
+/// tools/bench_gate.py.
+inline constexpr std::uint64_t kBenchSchemaVersion = 1;
+
+/// Renders the canonical BENCH_*.json document:
+///
+///   {
+///     "schema_version": <kBenchSchemaVersion>,
+///     "bench": "<name>",
+///     <meta fields...>,
+///     "results": [ {flat row}, ... ]
+///   }
+///
+/// `meta_fields` and each row's fields are pre-rendered with json_field().
+/// Rows must be flat (strings and numbers only): tools/bench_gate.py keys
+/// rows by their string-valued fields and compares the numeric ones.
+inline std::string render_bench_json(
+    const std::string& bench, const std::vector<std::string>& meta_fields,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::string json =
+      "{\n  " + json_field("schema_version", json_num(kBenchSchemaVersion));
+  json += ",\n  " + json_field("bench", json_str(bench));
+  for (const auto& field : meta_fields) json += ",\n  " + field;
+  json += ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json += json_object(rows[i], "    ");
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+/// Host provenance fields recorded in every artifact that carries
+/// host-relative ratios: absolute wall numbers are only comparable against
+/// a baseline from a similar host, and the gate's ratio metrics are
+/// measured back to back on one host precisely so this does not matter.
+inline std::vector<std::string> host_meta_fields() {
+  std::vector<std::string> fields;
+  fields.push_back(json_field(
+      "host_cpus",
+      json_num(std::uint64_t(std::thread::hardware_concurrency()))));
+#if defined(__linux__)
+  fields.push_back(json_field("host_os", json_str("linux")));
+#elif defined(__APPLE__)
+  fields.push_back(json_field("host_os", json_str("darwin")));
+#else
+  fields.push_back(json_field("host_os", json_str("other")));
+#endif
+  return fields;
 }
 
 inline bool write_text_file(const std::string& path,

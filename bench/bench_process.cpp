@@ -14,8 +14,6 @@
 //     tiny on the HEP, enormous on the fork machines.
 #include <algorithm>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 
 #include "bench_common.hpp"
 #include "machdep/process.hpp"
@@ -24,16 +22,6 @@
 namespace {
 using force::bench::ns_cell;
 namespace md = force::machdep;
-
-/// Pulls a top-level `"key": <number>` field back out of a BENCH_*.json
-/// artifact (our own emitter wrote it; no JSON library in the container).
-double json_field_value(const std::string& text, const std::string& key,
-                        double fallback) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = text.find(needle);
-  if (at == std::string::npos) return fallback;
-  return std::strtod(text.c_str() + at + needle.size(), nullptr);
-}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,10 +32,9 @@ int main(int argc, char** argv) {
   cli.option("invocations", "30",
              "repeated force entries per team-lifetime mode");
   cli.option("spawn-json", "BENCH_spawn.json",
-             "write repeated-entry records here ('' to skip)");
-  cli.option("gate", "",
-             "baseline BENCH_spawn.json: exit 1 if pooled re-entry speedup "
-             "regressed more than 1.5x below the recorded baseline");
+             "write repeated-entry records here ('' to skip); gate the "
+             "record against the committed baseline with "
+             "tools/bench_gate.py");
   if (!cli.parse(argc, argv)) return 0;
   const int np = static_cast<int>(cli.get_int("np"));
 
@@ -250,106 +237,57 @@ int main(int argc, char** argv) {
       "thread N:M %.1fx, os-fork %.1fx.\n",
       thread_speedup, thread_nm_speedup, os_fork_speedup);
 
+  // The pooled re-entry regression gate lives in tools/bench_gate.py
+  // (the one gate mechanism for every BENCH_*.json): the *_pooled_speedup
+  // ratios recorded here are host-relative - pooled and respawn are
+  // measured back to back on the same host - so the gate's 1.5x floor is
+  // immune to absolute CI-host noise.
   const std::string spawn_json_path = cli.get("spawn-json");
   if (!spawn_json_path.empty()) {
     namespace fb = force::bench;
-    std::string json =
-        "{\n  " + fb::json_field("bench", fb::json_str("force_entry"));
-    json += ",\n  " + fb::json_field("np", fb::json_num(std::uint64_t(np)));
-    json += ",\n  " + fb::json_field(
-                          "invocations",
-                          fb::json_num(std::uint64_t(invocations)));
-    json += ",\n  " +
-            fb::json_field("host_cpus",
-                           fb::json_num(std::uint64_t(
-                               std::thread::hardware_concurrency())));
-#if defined(__linux__)
-    json += ",\n  " + fb::json_field("host_os", fb::json_str("linux"));
-#elif defined(__APPLE__)
-    json += ",\n  " + fb::json_field("host_os", fb::json_str("darwin"));
-#else
-    json += ",\n  " + fb::json_field("host_os", fb::json_str("other"));
-#endif
-    json += ",\n  " + fb::json_field("thread_pooled_speedup",
-                                     fb::json_num(thread_speedup));
-    json += ",\n  " + fb::json_field("thread_nm_pooled_speedup",
-                                     fb::json_num(thread_nm_speedup));
-    json += ",\n  " + fb::json_field("os_fork_pooled_speedup",
-                                     fb::json_num(os_fork_speedup));
-    json += ",\n  \"results\": [\n";
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-      const auto& e = entries[i];
-      json += fb::json_object(
+    std::vector<std::string> meta = {
+        fb::json_field("np", fb::json_num(std::uint64_t(np))),
+        fb::json_field("invocations", fb::json_num(std::uint64_t(invocations)))};
+    for (auto& h : fb::host_meta_fields()) meta.push_back(std::move(h));
+    meta.push_back(fb::json_field("thread_pooled_speedup",
+                                  fb::json_num(thread_speedup)));
+    meta.push_back(fb::json_field("thread_nm_pooled_speedup",
+                                  fb::json_num(thread_nm_speedup)));
+    meta.push_back(fb::json_field("os_fork_pooled_speedup",
+                                  fb::json_num(os_fork_speedup)));
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& e : entries) {
+      rows.push_back(
           {fb::json_field("model", fb::json_str(e.model)),
            fb::json_field("mode", fb::json_str(e.mode)),
            fb::json_field("np", fb::json_num(std::uint64_t(np))),
            fb::json_field("ns_per_invocation",
-                          fb::json_num(e.ns_per_invocation))},
-          "    ");
-      json += (i + 1 < entries.size()) ? ",\n" : "\n";
+                          fb::json_num(e.ns_per_invocation))});
     }
-    json += "  ]\n}\n";
+    const std::string json = fb::render_bench_json("force_entry", meta, rows);
     if (fb::write_text_file(spawn_json_path, json)) {
       std::printf("Wrote %s\n", spawn_json_path.c_str());
     }
   }
 
-  const std::string gate_path = cli.get("gate");
-  if (!gate_path.empty()) {
-    // Ratio gate, not an absolute one: wall time on a shared CI host is
-    // noisy, but the pooled-vs-respawn ratio is measured back to back on
-    // the same host, so a >1.5x drop against the recorded baseline means
-    // pooled re-entry itself regressed.
-    std::ifstream in(gate_path);
-    if (!in.good()) {
-      std::fprintf(stderr, "gate: cannot open baseline %s\n",
-                   gate_path.c_str());
-      return 1;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string baseline = ss.str();
-    bool ok = true;
-    const auto check = [&](const char* key, double current) {
-      const double base = json_field_value(baseline, key, 0.0);
-      if (base <= 0.0) return;  // field absent: nothing to gate against
-      const double floor = base / 1.5;
-      const bool pass = current >= floor;
-      std::printf("gate: %-26s baseline %.1fx, current %.1fx, floor "
-                  "%.1fx -> %s\n",
-                  key, base, current, floor, pass ? "ok" : "REGRESSED");
-      ok = ok && pass;
-    };
-    check("thread_pooled_speedup", thread_speedup);
-    check("thread_nm_pooled_speedup", thread_nm_speedup);
-    check("os_fork_pooled_speedup", os_fork_speedup);
-    if (!ok) return 1;
-  }
-
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
     namespace fb = force::bench;
-    std::string json =
-        "{\n  " + fb::json_field("bench", fb::json_str("process_spawn"));
-    json += ",\n  " +
-            fb::json_field("np", fb::json_num(std::uint64_t(np)));
+    std::vector<std::string> meta = {
+        fb::json_field("np", fb::json_num(std::uint64_t(np)))};
     if (hep_wall > 0.0 && osfork_wall > 0.0) {
-      json += ",\n  " + fb::json_field("os_fork_over_hep_create",
-                                       fb::json_num(osfork_wall / hep_wall));
+      meta.push_back(fb::json_field("os_fork_over_hep_create",
+                                    fb::json_num(osfork_wall / hep_wall)));
     }
-    json += ",\n  \"results\": [\n";
-    for (std::size_t i = 0; i < records.size(); ++i) {
-      const auto& r = records[i];
-      json += fb::json_object(
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& r : records) {
+      rows.push_back(
           {fb::json_field("model", fb::json_str(r.model)),
-           fb::json_field("private_kib",
-                          fb::json_num(std::uint64_t(r.kib))),
+           fb::json_field("private_kib", fb::json_num(std::uint64_t(r.kib))),
            fb::json_field("bytes_copied", fb::json_num(r.bytes_copied)),
-           fb::json_field("wall_ns", fb::json_num(r.wall_ns))},
-          "    ");
-      json += (i + 1 < records.size()) ? ",\n" : "\n";
+           fb::json_field("wall_ns", fb::json_num(r.wall_ns))});
     }
-    json += "  ]\n}\n";
+    const std::string json = fb::render_bench_json("process_spawn", meta, rows);
     if (fb::write_text_file(json_path, json)) {
       std::printf("\nWrote %s\n", json_path.c_str());
     }
