@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <set>
+#include <tuple>
 
 #include "preproc/textutil.hpp"
 
@@ -158,8 +159,8 @@ ConstructGraph build_construct_graph(const RewriteResult& pass1) {
 }
 
 void LockOrderGraph::add_edge(const std::string& outer,
-                              const std::string& inner, int line) {
-  edges[outer].emplace(inner, line);  // keep the first site
+                              const std::string& inner, const SrcSite& site) {
+  edges[outer].emplace(inner, site);  // keep the first site
 }
 
 std::vector<std::vector<std::string>> LockOrderGraph::cycles() const {
@@ -167,7 +168,7 @@ std::vector<std::vector<std::string>> LockOrderGraph::cycles() const {
   std::set<std::string> nodes;
   for (const auto& [from, tos] : edges) {
     nodes.insert(from);
-    for (const auto& [to, line] : tos) nodes.insert(to);
+    for (const auto& [to, site] : tos) nodes.insert(to);
   }
   // reach[a] = every node reachable from a (graphs here are tiny: one
   // node per distinct lock name in the program).
@@ -180,7 +181,7 @@ std::vector<std::vector<std::string>> LockOrderGraph::cycles() const {
       stack.pop_back();
       const auto it = edges.find(cur);
       if (it == edges.end()) continue;
-      for (const auto& [to, line] : it->second) {
+      for (const auto& [to, site] : it->second) {
         if (r.insert(to).second) stack.push_back(to);
       }
     }
@@ -204,17 +205,43 @@ std::vector<std::vector<std::string>> LockOrderGraph::cycles() const {
   return out;
 }
 
-int LockOrderGraph::cycle_line(const std::vector<std::string>& cycle) const {
+SrcSite LockOrderGraph::cycle_site(const std::vector<std::string>& cycle)
+    const {
   const std::set<std::string> members(cycle.begin(), cycle.end());
-  int line = 0;
+  SrcSite site;
   for (const auto& from : cycle) {
     const auto it = edges.find(from);
     if (it == edges.end()) continue;
-    for (const auto& [to, l] : it->second) {
-      if (members.count(to) != 0) line = std::max(line, l);
+    for (const auto& [to, s] : it->second) {
+      if (members.count(to) == 0) continue;
+      if (std::tie(s.file, s.line) > std::tie(site.file, site.line)) site = s;
     }
   }
-  return line;
+  return site;
+}
+
+RoutineIndex::RoutineIndex(const std::vector<ProgramUnit>& units) {
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const auto& routines = units[u].graph.routines;
+    for (std::size_t r = 0; r < routines.size(); ++r) {
+      index_.emplace(routines[r].name,
+                     RoutineRef{static_cast<int>(u), static_cast<int>(r)});
+    }
+  }
+}
+
+const RoutineRef* RoutineIndex::resolve(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+const char* async_out_name(AsyncOut out) {
+  switch (out) {
+    case AsyncOut::kFull: return "full";
+    case AsyncOut::kEmpty: return "empty";
+    case AsyncOut::kUnknown: return "unknown";
+  }
+  return "?";
 }
 
 }  // namespace force::preproc

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -90,13 +91,26 @@ struct ConstructGraph {
 /// effort, never throw - pass1 has already diagnosed them.
 ConstructGraph build_construct_graph(const RewriteResult& pass1);
 
-/// The static lock-order graph (rule R4). Nodes are lock names; an edge
-/// A->B means B was acquired somewhere while A was held.
-struct LockOrderGraph {
-  /// outer name -> inner name -> source line of the first such acquisition.
-  std::map<std::string, std::map<std::string, int>> edges;
+/// A source position with file provenance. `file` is empty for the
+/// primary translation unit (rendered under the unit name forcepp was
+/// given); whole-program lint stamps the extra units' file names so
+/// cross-file findings point into the right file.
+struct SrcSite {
+  std::string file;
+  int line = 0;
+};
 
-  void add_edge(const std::string& outer, const std::string& inner, int line);
+/// The static lock-order graph (rule R4). Nodes are lock names; an edge
+/// A->B means B was acquired somewhere while A was held - in whole-program
+/// mode the acquisitions may sit in different routines (the inner lock
+/// acquired by a callee while the caller holds the outer) or different
+/// translation units.
+struct LockOrderGraph {
+  /// outer name -> inner name -> site of the first such acquisition.
+  std::map<std::string, std::map<std::string, SrcSite>> edges;
+
+  void add_edge(const std::string& outer, const std::string& inner,
+                const SrcSite& site);
 
   /// Every nontrivial strongly connected component (mutual-reachability
   /// knot) plus self-loops, as sorted lock-name lists, deterministically
@@ -104,9 +118,88 @@ struct LockOrderGraph {
   /// the set contradicts another.
   [[nodiscard]] std::vector<std::vector<std::string>> cycles() const;
 
-  /// The latest source line among the edges internal to `cycle` - where a
-  /// diagnostic for it should point.
-  [[nodiscard]] int cycle_line(const std::vector<std::string>& cycle) const;
+  /// The latest source site among the edges internal to `cycle` - where a
+  /// diagnostic for it should point ("latest" by (file, line) so the
+  /// choice is deterministic across units).
+  [[nodiscard]] SrcSite cycle_site(const std::vector<std::string>& cycle)
+      const;
 };
+
+// --- whole-program layer ----------------------------------------------------
+
+/// One translation unit of a whole program: its (report) name and its
+/// lowered construct graph.
+struct ProgramUnit {
+  std::string name;
+  ConstructGraph graph;
+};
+
+/// Index of every routine definition across a program's units. First
+/// definition of a name wins (Fortran-style: duplicate definitions are a
+/// link-time concern, not lint's).
+struct RoutineRef {
+  int unit = -1;
+  int routine = -1;
+};
+
+class RoutineIndex {
+ public:
+  explicit RoutineIndex(const std::vector<ProgramUnit>& units);
+
+  /// nullptr when `name` has no definition in any unit (an Externf whose
+  /// module was not given to the whole-program run).
+  [[nodiscard]] const RoutineRef* resolve(const std::string& name) const;
+
+ private:
+  std::map<std::string, RoutineRef> index_;
+};
+
+/// How a routine leaves one async variable's full/empty state, observed
+/// at its return (the transformer the caller applies at a Forcecall).
+enum class AsyncOut {
+  kFull,     ///< definitely full on every straight-line path
+  kEmpty,    ///< definitely empty on every straight-line path
+  kUnknown,  ///< touched under control flow / work distribution
+};
+
+/// Bottom-up interprocedural effect summary of one routine: what a caller
+/// must assume happens when every process Forcecalls it. Computed by
+/// lint's fixpoint (preproc/lint.cpp) over the whole-program call graph;
+/// the lattice top ("this routine may do anything") is expressed by
+/// `calls_unresolved` + `async_top` + `may_execute_collective`.
+struct EffectSummary {
+  std::string routine;
+  std::string unit;  ///< defining unit name ("" = primary)
+
+  /// A collective construct (Barrier, DOALL, Pcase, Reduce, Askfor,
+  /// Seedwork, Join) may execute inside this routine or its callees.
+  bool may_execute_collective = false;
+  /// ... and at least one executes on the straight-line (non-divergent)
+  /// path, i.e. on every invocation.
+  bool collective_on_straight_path = false;
+  /// This routine (transitively) Forcecalls a routine with no definition
+  /// in the program: every non-monotone fact degrades to "unknown".
+  bool calls_unresolved = false;
+  /// Async effects are unknowable: the routine recurses, or calls an
+  /// unresolved routine. Callers must drop every async variable to the
+  /// unknown state at the call site.
+  bool async_top = false;
+  /// Locks/critical sections (transitively) acquired inside. For an
+  /// unresolved callee no lock knowledge is invented: R4 under-
+  /// approximates there (docs/VALIDATION.md, soundness stance).
+  std::set<std::string> locks_acquired;
+  /// Shared variables (transitively) written inside.
+  std::set<std::string> shared_writes;
+  /// Per async variable (COMMON-style, matched by name): the state the
+  /// routine leaves it in. Variables absent from the map are untouched.
+  std::map<std::string, AsyncOut> async_out;
+  /// Resolved callee names (the call-graph edges), for tooling.
+  std::set<std::string> callees;
+
+  /// Equality drives the fixpoint's convergence test.
+  [[nodiscard]] bool operator==(const EffectSummary& other) const = default;
+};
+
+const char* async_out_name(AsyncOut out);  ///< "full" | "empty" | "unknown"
 
 }  // namespace force::preproc

@@ -17,7 +17,7 @@ const char* severity_name(Severity s) {
 }  // namespace
 
 std::string Diagnostic::render(const std::string& filename) const {
-  std::string out = filename;
+  std::string out = file.empty() ? filename : file;
   if (line > 0) {
     out += ":" + std::to_string(line);
     if (col > 0) out += ":" + std::to_string(col);
@@ -59,13 +59,22 @@ void DiagSink::error(int line, std::string message) {
 void DiagSink::report(Severity severity, int line, int col, int length,
                       std::string rule, std::string message,
                       std::string snippet) {
-  if (severity == Severity::kWarning) {
-    ++warning_count_;
-    if (werror_) severity = Severity::kError;
-  }
-  if (severity == Severity::kError) ++error_count_;
-  diags_.push_back({severity, line, col, length, std::move(rule),
-                    std::move(message), std::move(snippet)});
+  report_in_file("", severity, line, col, length, std::move(rule),
+                 std::move(message), std::move(snippet));
+}
+
+void DiagSink::report_in_file(std::string file, Severity severity, int line,
+                              int col, int length, std::string rule,
+                              std::string message, std::string snippet) {
+  const bool was_warning = severity == Severity::kWarning;
+  if (was_warning && werror_) severity = Severity::kError;
+  const Diagnostic d{severity,        std::move(file),    line,
+                     col,             length,             std::move(rule),
+                     std::move(message), std::move(snippet)};
+  if (std::find(diags_.begin(), diags_.end(), d) != diags_.end()) return;
+  if (was_warning) ++warning_count_;
+  if (d.severity == Severity::kError) ++error_count_;
+  diags_.push_back(d);
 }
 
 std::string DiagSink::render_all(const std::string& filename) const {
@@ -73,6 +82,8 @@ std::string DiagSink::render_all(const std::string& filename) const {
   std::iota(order.begin(), order.end(), 0u);
   std::stable_sort(order.begin(), order.end(),
                    [this](std::size_t a, std::size_t b) {
+                     if (diags_[a].file != diags_[b].file)
+                       return diags_[a].file < diags_[b].file;
                      if (diags_[a].line != diags_[b].line)
                        return diags_[a].line < diags_[b].line;
                      return diags_[a].col < diags_[b].col;

@@ -10,6 +10,7 @@ enum class Severity { kNote, kWarning, kError };
 
 struct Diagnostic {
   Severity severity = Severity::kError;
+  std::string file;  ///< source file; empty = the unit render() is given
   int line = 0;     ///< 1-based source line; 0 = whole file
   int col = 0;      ///< 1-based column; 0 = whole line
   int length = 0;   ///< source-range length in chars (0 = point)
@@ -19,7 +20,11 @@ struct Diagnostic {
 
   /// "file:line:col: severity: message [rule]" plus, when a snippet is
   /// attached, the source line and a caret/underline marking the range.
+  /// `filename` is the default unit name, used when `file` is empty (the
+  /// single-file case); whole-program lint stamps `file` per unit.
   [[nodiscard]] std::string render(const std::string& filename) const;
+
+  [[nodiscard]] bool operator==(const Diagnostic& other) const = default;
 };
 
 /// Collects diagnostics during translation.
@@ -30,9 +35,19 @@ class DiagSink {
   void error(int line, std::string message);
 
   /// Full-fidelity emission with position, rule id and caret snippet.
-  /// Warnings are promoted to errors when werror mode is on.
+  /// Warnings are promoted to errors when werror mode is on. An exact
+  /// duplicate of an already-recorded diagnostic (same file, position,
+  /// rule, message - e.g. the same finding reached through two call
+  /// paths in whole-program lint) is dropped, so counts and rendering
+  /// agree and stay deterministic.
   void report(Severity severity, int line, int col, int length,
               std::string rule, std::string message, std::string snippet);
+
+  /// As above with explicit file provenance (whole-program mode; empty
+  /// file means "the primary unit").
+  void report_in_file(std::string file, Severity severity, int line, int col,
+                      int length, std::string rule, std::string message,
+                      std::string snippet);
 
   /// -Werror: subsequently reported warnings are recorded as errors and
   /// count in errors(), so ok() (and forcepp's exit code) reflects them.
@@ -43,8 +58,10 @@ class DiagSink {
   [[nodiscard]] std::size_t errors() const { return error_count_; }
   [[nodiscard]] std::size_t warnings() const { return warning_count_; }
   [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
-  /// Renders every diagnostic sorted by (line, col); ties keep emission
-  /// order, whole-file diagnostics (line 0) come first.
+  /// Renders every diagnostic sorted by (file, line, col) - the empty
+  /// (primary-unit) file first, so multi-file runs never interleave
+  /// units. Ties keep emission order, whole-file diagnostics (line 0)
+  /// lead their file.
   [[nodiscard]] std::string render_all(const std::string& filename) const;
 
  private:

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "preproc/machmacros.hpp"
 
@@ -33,6 +35,14 @@ struct TranslateOptions {
   bool lint = false;
   /// The `--lint=` spec: rule subset and W/E severity (empty = all, W).
   std::string lint_spec;
+  /// Extra translation units for whole-program lint (`--lint-units=`):
+  /// (name, source) pairs linted together with the primary source so
+  /// Forcecall sites resolve across files. Only lint sees these; the
+  /// translator proper still translates one unit at a time.
+  std::vector<std::pair<std::string, std::string>> lint_units;
+  /// Render the machine-readable lint report into
+  /// TranslationResult::lint_report_json (`--lint-report=`). Implies lint.
+  bool lint_report = false;
   /// Promote every warning (lint findings included) to an error.
   bool werror = false;
   /// Process backend baked into the generated driver: empty keeps the

@@ -67,7 +67,16 @@ int main(int argc, char** argv) {
       .optional_value_option(
           "lint", "all",
           "run forcelint; optional spec selects rules and severity, e.g. "
-          "--lint=R2,R4,E (R1..R6 subset, W=warnings, E=errors)")
+          "--lint=R2,R4,E (R1..R7 subset, W=warnings, E=errors)")
+      .option("lint-units", "",
+              "comma-separated extra .force files linted together with the "
+              "input (whole-program mode: Forcecall sites resolve across "
+              "files); implies --lint")
+      .option("lint-report", "",
+              "write the machine-readable lint report (findings, effect "
+              "summaries, process-model compatibility matrix) to this JSON "
+              "path; implies --lint and is written even when translation "
+              "fails")
       .flag("Werror", "treat warnings (lint findings included) as errors")
       .flag("list-machines", "list the supported machine models and exit");
 
@@ -90,8 +99,14 @@ int main(int argc, char** argv) {
     options.source_name = input;
     options.emit_pass1 = cli.get_flag("emit-pass1");
     options.module_mode = cli.get_flag("module");
-    options.lint = cli.seen("lint");
-    options.lint_spec = cli.get("lint");
+    options.lint = cli.seen("lint") || cli.seen("lint-units") ||
+                   cli.seen("lint-report");
+    options.lint_spec = cli.seen("lint") ? cli.get("lint") : "";
+    options.lint_report = cli.seen("lint-report");
+    for (const std::string& path :
+         force::util::split_csv(cli.get("lint-units"))) {
+      options.lint_units.emplace_back(path, read_file(path));
+    }
     options.werror = cli.get_flag("Werror");
     options.process_model = cli.get("process-model");
     FORCE_CHECK(options.process_model.empty() ||
@@ -111,6 +126,16 @@ int main(int argc, char** argv) {
         force::preproc::translate(read_file(input), options);
 
     std::fputs(result.diags.render_all(input).c_str(), stderr);
+
+    // The lint report is written before the ok check: a gate consuming
+    // the compatibility matrix gets it even for programs that fail to
+    // translate.
+    const std::string report_path = cli.get("lint-report");
+    if (!report_path.empty()) {
+      write_file(report_path, result.lint_report_json);
+      std::fprintf(stderr, "forcepp: wrote lint report %s\n",
+                   report_path.c_str());
+    }
     if (!result.ok) return 1;
 
     if (options.emit_pass1) {

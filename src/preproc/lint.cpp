@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <optional>
 
+#include "preproc/machmacros.hpp"
+#include "preproc/pass1.hpp"
 #include "preproc/textutil.hpp"
 
 namespace force::preproc {
@@ -284,6 +288,32 @@ class Suppressions {
     return off_all || off.count(rule) != 0;
   }
 
+  /// Directive lines whose `off` region is still open at end of file
+  /// (the W1 diagnostic: rules silently disabled for the rest of the
+  /// unit is almost always a forgotten `!force$ lint on`).
+  [[nodiscard]] std::vector<int> unclosed_off_lines() const {
+    std::optional<int> open_all;
+    std::map<LintRule, int> open_rules;
+    for (const Event& ev : events_) {
+      if (ev.all) {
+        if (ev.off) {
+          open_all = ev.line;
+        } else {
+          open_all.reset();
+        }
+        open_rules.clear();
+      } else if (ev.off) {
+        open_rules.emplace(ev.rule, ev.line);  // region start = first off
+      } else {
+        open_rules.erase(ev.rule);
+      }
+    }
+    std::set<int> lines;
+    if (open_all) lines.insert(*open_all);
+    for (const auto& [rule, line] : open_rules) lines.insert(line);
+    return {lines.begin(), lines.end()};
+  }
+
  private:
   struct Event {
     int line = 0;
@@ -327,7 +357,7 @@ class Suppressions {
     if (rest.front() != '(' || rest.back() != ')') return;
     for (const auto& tok : split_args(rest.substr(1, rest.size() - 2))) {
       const std::string t = to_lower(tok);
-      if (t.size() == 2 && t[0] == 'r' && t[1] >= '1' && t[1] <= '6') {
+      if (t.size() == 2 && t[0] == 'r' && t[1] >= '1' && t[1] <= '7') {
         events_.push_back(
             {lineno, off, false,
              static_cast<LintRule>(t[1] - '1')});
@@ -350,6 +380,9 @@ struct Prot {
 
 enum class AsyncState { kEmpty, kFull, kUnknown };
 
+/// Collective constructs every process must reach together. Forcecall is
+/// NOT in this set: whether a call is collective is decided by the
+/// callee's effect summary (interprocedural R1).
 bool is_collective(StmtKind k) {
   switch (k) {
     case StmtKind::kBarrierBegin:
@@ -364,7 +397,6 @@ bool is_collective(StmtKind k) {
     case StmtKind::kAskforEnd:
     case StmtKind::kSeedwork:
     case StmtKind::kReduce:
-    case StmtKind::kForcecall:
     case StmtKind::kJoin:
       return true;
     default:
@@ -372,26 +404,264 @@ bool is_collective(StmtKind k) {
   }
 }
 
+/// One lowered translation unit plus everything the rule walk needs from
+/// it: source lines for snippets/columns, suppression regions, and the
+/// diagnostic file tag ("" = primary unit).
+struct UnitState {
+  std::string file;         ///< diagnostic provenance; "" = primary unit
+  std::string report_name;  ///< real name (report JSON, summaries)
+  std::vector<std::string> lines;
+  Suppressions suppress;
+  ConstructGraph graph;
+};
+
+// --- interprocedural effect summaries ---------------------------------------
+
+/// Computes per-routine EffectSummary bottom-up over the whole-program
+/// Forcecall graph. Monotone facts (collectives, locks, shared writes,
+/// unresolved-call taint) converge by fixpoint iteration; the async
+/// full/empty transformer is not monotone under recursion, so every
+/// routine on a call-graph cycle is pre-marked async-top (callers drop
+/// all async knowledge at the call, then apply any definite states the
+/// routine establishes after its last recursive call).
+class SummaryBuilder {
+ public:
+  explicit SummaryBuilder(const std::vector<UnitState>& units)
+      : units_(units) {
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      const auto& routines = units_[u].graph.routines;
+      for (std::size_t r = 0; r < routines.size(); ++r) {
+        const std::string& name = routines[r].name;
+        if (order_.count(name) != 0) continue;  // first definition wins
+        order_.emplace(name, owned_.size());
+        owned_.push_back({u, r});
+      }
+    }
+    mark_recursive();
+  }
+
+  std::map<std::string, EffectSummary> build() {
+    std::map<std::string, EffectSummary> out;
+    for (const auto& [name, idx] : order_) {
+      EffectSummary s;
+      s.routine = name;
+      s.unit = units_[owned_[idx].first].report_name;
+      s.async_top = recursive_.count(name) != 0;
+      out.emplace(name, std::move(s));
+    }
+    // Fixpoint: the monotone facts form a finite lattice, so iteration
+    // bounded by the routine count converges; the bound below is a
+    // belt-and-braces guard, after which unstable routines (which a
+    // correct premark should have prevented) degrade to the top.
+    const std::size_t max_iters = 2 * owned_.size() + 4;
+    bool changed = true;
+    std::size_t iter = 0;
+    while (changed && iter++ < max_iters) {
+      changed = false;
+      for (const auto& [u, r] : owned_) {
+        const Routine& routine = units_[u].graph.routines[r];
+        EffectSummary next = summarize(units_[u], routine, out);
+        EffectSummary& cur = out[routine.name];
+        if (!(next == cur)) {
+          cur = std::move(next);
+          changed = true;
+        }
+      }
+    }
+    if (changed) {
+      for (auto& [name, s] : out) s.async_top = true;
+    }
+    return out;
+  }
+
+ private:
+  /// Syntactic call edges (resolved names only), used to find routines
+  /// that can reach themselves.
+  void mark_recursive() {
+    std::map<std::string, std::set<std::string>> callees;
+    for (const auto& [u, r] : owned_) {
+      const Routine& routine = units_[u].graph.routines[r];
+      auto& edges = callees[routine.name];
+      for (const Stmt& s : routine.stmts) {
+        if (s.kind == StmtKind::kForcecall && order_.count(s.name) != 0) {
+          edges.insert(s.name);
+        }
+      }
+    }
+    for (const auto& [name, direct] : callees) {
+      std::set<std::string> seen;
+      std::vector<std::string> stack(direct.begin(), direct.end());
+      bool reaches_self = direct.count(name) != 0;
+      while (!stack.empty() && !reaches_self) {
+        const std::string cur = stack.back();
+        stack.pop_back();
+        if (!seen.insert(cur).second) continue;
+        const auto it = callees.find(cur);
+        if (it == callees.end()) continue;
+        if (it->second.count(name) != 0) reaches_self = true;
+        for (const auto& next : it->second) stack.push_back(next);
+      }
+      if (reaches_self) recursive_.insert(name);
+    }
+  }
+
+  static void set_async(EffectSummary& s, const std::string& var,
+                        AsyncOut out) {
+    s.async_out[var] = out;
+  }
+
+  EffectSummary summarize(const UnitState& unit, const Routine& r,
+                          const std::map<std::string, EffectSummary>& cur) {
+    EffectSummary s;
+    s.routine = r.name;
+    s.unit = unit.report_name;
+    s.async_top = recursive_.count(r.name) != 0;
+    ControlTracker tracker;
+    int region_depth = 0;  // DOALL / Askfor bodies run per-iteration
+    for (const Stmt& st : r.stmts) {
+      if (st.kind == StmtKind::kComment) continue;
+      if (st.kind == StmtKind::kPassthrough) {
+        const std::string stripped = strip_code(st.text);
+        if (trim(stripped).empty()) continue;
+        for (const auto& [name, var] : r.vars) {
+          if (var.cls != VarClass::kShared) continue;
+          if (!find_writes(stripped, name).empty()) {
+            s.shared_writes.insert(name);
+          }
+        }
+        tracker.feed(stripped);
+        continue;
+      }
+      const bool conditional =
+          tracker.inside_any() || region_depth > 0;
+      if (is_collective(st.kind)) {
+        s.may_execute_collective = true;
+        if (!tracker.divergent_now()) s.collective_on_straight_path = true;
+      }
+      tracker.consume_statement();
+      switch (st.kind) {
+        case StmtKind::kCriticalBegin:
+        case StmtKind::kLock:
+          if (!st.name.empty()) s.locks_acquired.insert(st.name);
+          break;
+        case StmtKind::kProduce:
+          set_async(s, st.name,
+                    conditional ? AsyncOut::kUnknown : AsyncOut::kFull);
+          break;
+        case StmtKind::kConsume:
+        case StmtKind::kVoid:
+          set_async(s, st.name,
+                    conditional ? AsyncOut::kUnknown : AsyncOut::kEmpty);
+          break;
+        case StmtKind::kDoBegin:
+        case StmtKind::kAskforBegin:
+          ++region_depth;
+          break;
+        case StmtKind::kDoEnd:
+        case StmtKind::kAskforEnd:
+          if (region_depth > 0) --region_depth;
+          break;
+        case StmtKind::kForcecall: {
+          const auto callee = cur.find(st.name);
+          if (callee == cur.end()) {
+            // Unresolved: the lattice top. It may execute a collective
+            // and do anything to async state; no lock knowledge is
+            // invented (R4 under-approximates across unknown callees).
+            s.calls_unresolved = true;
+            s.async_top = true;
+            s.may_execute_collective = true;
+            for (auto& [var, out] : s.async_out) out = AsyncOut::kUnknown;
+            break;
+          }
+          const EffectSummary& c = callee->second;
+          s.callees.insert(st.name);
+          s.may_execute_collective |= c.may_execute_collective;
+          if (!tracker.divergent_now() && c.collective_on_straight_path) {
+            s.collective_on_straight_path = true;
+          }
+          s.calls_unresolved |= c.calls_unresolved;
+          s.locks_acquired.insert(c.locks_acquired.begin(),
+                                  c.locks_acquired.end());
+          s.shared_writes.insert(c.shared_writes.begin(),
+                                 c.shared_writes.end());
+          if (c.async_top) {
+            // Everything known so far is stale; states the callee (or
+            // this routine, later) establishes definitively still apply.
+            s.async_top = true;
+            for (auto& [var, out] : s.async_out) out = AsyncOut::kUnknown;
+          }
+          for (const auto& [var, out] : c.async_out) {
+            set_async(s, var,
+                      conditional ? AsyncOut::kUnknown : out);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return s;
+  }
+
+  const std::vector<UnitState>& units_;
+  std::map<std::string, std::size_t> order_;           // name -> owned_ idx
+  std::vector<std::pair<std::size_t, std::size_t>> owned_;  // (unit, routine)
+  std::set<std::string> recursive_;
+};
+
 class Linter {
  public:
   Linter(const LintOptions& opts, DiagSink& diags,
-         std::vector<std::string> src_lines)
-      : opts_(opts), diags_(diags), src_lines_(std::move(src_lines)),
-        suppress_(src_lines_) {}
+         const std::vector<UnitState>& units)
+      : opts_(opts), diags_(diags), units_(units) {}
 
-  LintResult run(const ConstructGraph& graph) {
-    for (const Routine& r : graph.routines) lint_routine(r);
+  LintResult run() {
+    SummaryBuilder builder(units_);
+    summaries_ = builder.build();
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      cur_unit_ = u;
+      for (const Routine& r : units_[u].graph.routines) lint_routine(r);
+    }
+    scan_process_models();
     report_lock_cycles();
+    report_unclosed_suppressions();
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      for (const Routine& r : units_[u].graph.routines) {
+        const auto it = summaries_.find(r.name);
+        if (it != summaries_.end() &&
+            it->second.unit == units_[u].report_name &&
+            !contains_summary(it->second.routine)) {
+          result_.summaries.push_back(it->second);
+        }
+      }
+    }
     return std::move(result_);
   }
 
  private:
+  [[nodiscard]] bool contains_summary(const std::string& routine) const {
+    return std::any_of(result_.summaries.begin(), result_.summaries.end(),
+                       [&](const EffectSummary& s) {
+                         return s.routine == routine;
+                       });
+  }
+
   // --- emission -------------------------------------------------------------
 
+  [[nodiscard]] const UnitState& unit() const { return units_[cur_unit_]; }
+
+  [[nodiscard]] std::size_t unit_index_for_file(const std::string& file)
+      const {
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      if (units_[u].file == file) return u;
+    }
+    return 0;
+  }
+
   [[nodiscard]] std::string source_line(int line) const {
-    if (line < 1 || static_cast<std::size_t>(line) > src_lines_.size())
-      return "";
-    return src_lines_[static_cast<std::size_t>(line) - 1];
+    const auto& lines = unit().lines;
+    if (line < 1 || static_cast<std::size_t>(line) > lines.size()) return "";
+    return lines[static_cast<std::size_t>(line) - 1];
   }
 
   /// Column of the statement's first token in the original source line.
@@ -405,11 +675,12 @@ class Linter {
 
   void emit(LintRule rule, int line, int col, int length, std::string msg) {
     if (opts_.rules.count(rule) == 0) return;
-    if (suppress_.suppressed(rule, line)) return;
+    if (unit().suppress.suppressed(rule, line)) return;
     const Severity sev = opts_.findings_are_errors ? Severity::kError
                                                    : Severity::kWarning;
-    diags_.report(sev, line, col, length, lint_rule_id(rule),
-                  std::move(msg), source_line(line));
+    diags_.report_in_file(unit().file, sev, line, col, length,
+                          lint_rule_id(rule), std::move(msg),
+                          source_line(line));
     ++result_.findings;
   }
 
@@ -488,7 +759,8 @@ class Linter {
 
   void acquire_lock(const Stmt& s, ProtKind kind) {
     for (const std::string& outer : held_locks()) {
-      result_.lock_graph.add_edge(outer, s.name, s.line);
+      result_.lock_graph.add_edge(outer, s.name,
+                                  SrcSite{unit().file, s.line});
     }
     prot_.push_back({kind, s.name, {}});
   }
@@ -551,6 +823,26 @@ class Linter {
         break;
       default:
         break;
+    }
+  }
+
+  /// Applies the callee's async transformer at a Forcecall site - the
+  /// interprocedural upgrade over "everything becomes unknown".
+  void apply_call_async(const EffectSummary* callee) {
+    if (callee == nullptr || callee->async_top) {
+      async_all_unknown();
+      if (callee == nullptr) return;
+    }
+    const bool ctx_unknown = async_context_unknown();
+    for (const auto& [var, out] : callee->async_out) {
+      const auto it = async_.find(var);
+      if (it == async_.end()) continue;
+      if (ctx_unknown || out == AsyncOut::kUnknown) {
+        it->second = AsyncState::kUnknown;
+      } else {
+        it->second = out == AsyncOut::kFull ? AsyncState::kFull
+                                            : AsyncState::kEmpty;
+      }
     }
   }
 
@@ -620,6 +912,11 @@ class Linter {
 
   // --- the walk -------------------------------------------------------------
 
+  [[nodiscard]] const EffectSummary* summary(const std::string& name) const {
+    const auto it = summaries_.find(name);
+    return it == summaries_.end() ? nullptr : &it->second;
+  }
+
   void lint_routine(const Routine& r) {
     tracker_ = ControlTracker{};
     prot_.clear();
@@ -661,11 +958,39 @@ class Linter {
                     "already been joined");
         }
       }
-      if (is_collective(s.kind) && tracker_.divergent_now()) {
-        emit_stmt(LintRule::kR1, s,
-                  "collective construct on a divergent control path - "
-                  "processes not taking this branch never arrive and the "
-                  "force deadlocks");
+
+      // R1: collective on a divergent path. A Forcecall is collective
+      // exactly when its callee's summary says a collective may execute
+      // inside (unresolved callees stay conservatively collective).
+      const EffectSummary* callee =
+          s.kind == StmtKind::kForcecall ? summary(s.name) : nullptr;
+      bool collective = is_collective(s.kind);
+      if (s.kind == StmtKind::kForcecall) {
+        collective = callee == nullptr || callee->may_execute_collective;
+      }
+      if (collective && tracker_.divergent_now()) {
+        if (s.kind == StmtKind::kForcecall) {
+          emit_stmt(LintRule::kR1,
+                    s,
+                    callee == nullptr
+                        ? "Forcecall '" + s.name +
+                              "' on a divergent control path - the callee "
+                              "is not statically resolvable and may "
+                              "execute a collective construct, so "
+                              "processes not taking this branch never "
+                              "arrive and the force deadlocks"
+                        : "Forcecall '" + s.name +
+                              "' on a divergent control path - routine '" +
+                              s.name +
+                              "' executes a collective construct, so "
+                              "processes not taking this branch never "
+                              "arrive and the force deadlocks");
+        } else {
+          emit_stmt(LintRule::kR1, s,
+                    "collective construct on a divergent control path - "
+                    "processes not taking this branch never arrive and the "
+                    "force deadlocks");
+        }
       }
       tracker_.consume_statement();
 
@@ -722,8 +1047,18 @@ class Linter {
           async_op(r, s);
           break;
         case StmtKind::kForcecall:
-          // The callee may produce/consume anything.
-          async_all_unknown();
+          // R4: locks the callee acquires while the caller holds one are
+          // ordered after every held lock - the cross-routine edges.
+          if (callee != nullptr) {
+            for (const std::string& outer : held_locks()) {
+              for (const std::string& inner : callee->locks_acquired) {
+                result_.lock_graph.add_edge(
+                    outer, inner, SrcSite{unit().file, s.line});
+              }
+            }
+          }
+          // R3: apply the callee's async transformer.
+          apply_call_async(callee);
           break;
         case StmtKind::kJoin:
           join_seen = true;
@@ -734,6 +1069,78 @@ class Linter {
     }
   }
 
+  // --- R7: process-model portability ----------------------------------------
+
+  void add_model_violation(const Stmt& s, const std::string& model,
+                           const std::string& construct,
+                           const std::string& reason) {
+    result_.model_violations.push_back(
+        {model, construct, unit().file, s.line, reason});
+    if (model == opts_.target_process_model) {
+      emit_stmt(LintRule::kR7, s,
+                reason + " - this program cannot run with --process-model=" +
+                    model);
+    }
+  }
+
+  void scan_stmts_for_models(const std::vector<Stmt>& stmts) {
+    for (const Stmt& s : stmts) {
+      switch (s.kind) {
+        case StmtKind::kPcaseBegin: {
+          const std::string reason =
+              "Pcase is rejected by the os-fork process model (its "
+              "section-negotiation state is per-address-space; the "
+              "runtime refuses it only after fork(2))";
+          add_model_violation(s, "os-fork", "Pcase", reason);
+          add_model_violation(
+              s, "cluster", "Pcase",
+              "Pcase is rejected by the planned cluster process model "
+              "(inherits every os-fork narrowing rule)");
+          break;
+        }
+        case StmtKind::kAskforBegin: {
+          if (s.args.size() < 3) break;
+          const std::string& type = s.args[2];
+          if (!map_force_type(type).empty()) break;  // Force scalar: OK
+          const std::string reason =
+              "Askfor task type '" + type +
+              "' is not provably trivially copyable - the os-fork "
+              "backend memcpys tasks through a fixed shared-memory ring "
+              "and rejects such payloads at run time";
+          add_model_violation(s, "os-fork", "Askfor payload", reason);
+          add_model_violation(
+              s, "cluster", "Askfor payload",
+              "Askfor task type '" + type +
+                  "' is not provably trivially copyable - the planned "
+                  "cluster model ships tasks over a message transport");
+          break;
+        }
+        case StmtKind::kIsfull: {
+          add_model_violation(
+              s, "cluster", "Isfull",
+              "Isfull is rejected by the planned cluster process model "
+              "(a non-blocking full/empty probe of a cell with no shared "
+              "mapping is stale by the time the answer arrives)");
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void scan_process_models() {
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      cur_unit_ = u;
+      for (const Routine& r : units_[u].graph.routines) {
+        scan_stmts_for_models(r.stmts);
+      }
+      scan_stmts_for_models(units_[u].graph.toplevel);
+    }
+  }
+
+  // --- program-level reports ------------------------------------------------
+
   void report_lock_cycles() {
     for (const auto& cycle : result_.lock_graph.cycles()) {
       std::string names;
@@ -742,9 +1149,10 @@ class Linter {
         names += "'" + n + "'";
       }
       if (cycle.size() == 1) names += " -> '" + cycle[0] + "'";
-      const int line = result_.lock_graph.cycle_line(cycle);
-      emit(LintRule::kR4, line, stmt_col(line),
-           static_cast<int>(trim(source_line(line)).size()),
+      const SrcSite site = result_.lock_graph.cycle_site(cycle);
+      cur_unit_ = unit_index_for_file(site.file);
+      emit(LintRule::kR4, site.line, stmt_col(site.line),
+           static_cast<int>(trim(source_line(site.line)).size()),
            "static lock-order cycle: " + names +
                " - a schedule interleaving these acquisition chains "
                "deadlocks (the runtime Sentry reports the same "
@@ -752,10 +1160,27 @@ class Linter {
     }
   }
 
+  void report_unclosed_suppressions() {
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      cur_unit_ = u;
+      for (const int line : unit().suppress.unclosed_off_lines()) {
+        diags_.report_in_file(
+            unit().file, Severity::kWarning, line, stmt_col(line),
+            static_cast<int>(trim(source_line(line)).size()),
+            kLintUnclosedSuppressionId,
+            "'!force$ lint off' region is never closed - the suppressed "
+            "rules stay disabled to end of file (add '!force$ lint on')",
+            source_line(line));
+        ++result_.findings;
+      }
+    }
+  }
+
   const LintOptions& opts_;
   DiagSink& diags_;
-  std::vector<std::string> src_lines_;
-  Suppressions suppress_;
+  const std::vector<UnitState>& units_;
+  std::size_t cur_unit_ = 0;
+  std::map<std::string, EffectSummary> summaries_;
   LintResult result_;
 
   ControlTracker tracker_;
@@ -763,6 +1188,53 @@ class Linter {
   std::vector<bool> pcase_sect_;
   std::map<std::string, AsyncState> async_;
 };
+
+// --- report JSON ------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string json_str_list(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_str(items[i]);
+  }
+  return out + "]";
+}
+
+const char* severity_json_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
 
 }  // namespace
 
@@ -774,8 +1246,22 @@ const char* lint_rule_id(LintRule rule) {
     case LintRule::kR4: return "force-lint-R4";
     case LintRule::kR5: return "force-lint-R5";
     case LintRule::kR6: return "force-lint-R6";
+    case LintRule::kR7: return "force-lint-R7";
   }
   return "force-lint";
+}
+
+const std::vector<std::string>& lint_process_models() {
+  static const std::vector<std::string> models = {"thread", "os-fork",
+                                                  "cluster"};
+  return models;
+}
+
+bool LintResult::compatible_with(const std::string& model) const {
+  return std::none_of(model_violations.begin(), model_violations.end(),
+                      [&](const ModelViolation& v) {
+                        return v.model == model;
+                      });
 }
 
 LintOptions parse_lint_spec(const std::string& spec) {
@@ -788,7 +1274,7 @@ LintOptions parse_lint_spec(const std::string& spec) {
       opts.findings_are_errors = true;
       continue;
     }
-    if (tok.size() == 2 && tok[0] == 'r' && tok[1] >= '1' && tok[1] <= '6') {
+    if (tok.size() == 2 && tok[0] == 'r' && tok[1] >= '1' && tok[1] <= '7') {
       selected.insert(static_cast<LintRule>(tok[1] - '1'));
       continue;
     }
@@ -800,6 +1286,11 @@ LintOptions parse_lint_spec(const std::string& spec) {
 
 LintResult run_forcelint(const std::string& source, const LintOptions& opts,
                          DiagSink& diags) {
+  return run_forcelint_program({{std::string(), source}}, opts, diags);
+}
+
+LintResult run_forcelint_program(const std::vector<LintUnit>& units,
+                                 const LintOptions& opts, DiagSink& diags) {
   if (!opts.unknown_tokens.empty()) {
     std::string toks;
     for (const auto& t : opts.unknown_tokens) {
@@ -807,15 +1298,131 @@ LintResult run_forcelint(const std::string& source, const LintOptions& opts,
       toks += "'" + t + "'";
     }
     diags.note(0, "forcelint: ignoring unknown --lint token(s) " + toks +
-                      " (expected R1..R6, W, E, all)");
+                      " (expected R1..R7, W, E, all)");
   }
-  // Lint analyzes whatever pass 1 can recover; its syntax diagnostics are
-  // the translator's to report, so they go to a scratch sink here.
-  DiagSink scratch;
-  const RewriteResult pass1 = rewrite_force_syntax(source, scratch);
-  const ConstructGraph graph = build_construct_graph(pass1);
-  Linter linter(opts, diags, split_lines(source));
-  return linter.run(graph);
+  std::vector<UnitState> states;
+  states.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    // Lint analyzes whatever pass 1 can recover; its syntax diagnostics
+    // are the translator's to report, so they go to a scratch sink here.
+    DiagSink scratch;
+    const RewriteResult pass1 = rewrite_force_syntax(units[i].source,
+                                                     scratch);
+    std::vector<std::string> lines = split_lines(units[i].source);
+    states.push_back(UnitState{
+        i == 0 ? std::string() : units[i].name, units[i].name, lines,
+        Suppressions(lines), build_construct_graph(pass1)});
+  }
+  Linter linter(opts, diags, states);
+  return linter.run();
+}
+
+std::string render_lint_report(const std::vector<LintUnit>& units,
+                               const LintOptions& opts,
+                               const LintResult& result,
+                               const DiagSink& diags) {
+  const std::string primary = units.empty() ? "" : units[0].name;
+  const auto file_of = [&](const std::string& f) {
+    return f.empty() ? primary : f;
+  };
+
+  std::string out = "{\n";
+  out += "  \"schema_version\": " +
+         std::to_string(kLintReportSchemaVersion) + ",\n";
+  out += "  \"generator\": \"forcelint\",\n";
+
+  std::vector<std::string> unit_names;
+  unit_names.reserve(units.size());
+  for (const auto& u : units) unit_names.push_back(u.name);
+  out += "  \"units\": " + json_str_list(unit_names) + ",\n";
+
+  out += "  \"target_process_model\": " +
+         json_str(opts.target_process_model.empty()
+                      ? "thread"
+                      : opts.target_process_model) +
+         ",\n";
+
+  std::vector<std::string> rules;
+  for (const LintRule r : opts.rules) {
+    rules.push_back(std::string("R") +
+                    std::to_string(static_cast<int>(r) + 1));
+  }
+  out += "  \"rules\": " + json_str_list(rules) + ",\n";
+  out += std::string("  \"findings_are_errors\": ") +
+         (opts.findings_are_errors ? "true" : "false") + ",\n";
+
+  // Findings: every rule-carrying diagnostic, with file provenance.
+  out += "  \"findings\": [";
+  bool first = true;
+  for (const Diagnostic& d : diags.all()) {
+    if (d.rule.empty()) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": " + json_str(d.rule) +
+           ", \"severity\": " + json_str(severity_json_name(d.severity)) +
+           ", \"file\": " + json_str(file_of(d.file)) +
+           ", \"line\": " + std::to_string(d.line) +
+           ", \"col\": " + std::to_string(d.col) +
+           ", \"message\": " + json_str(d.message) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  // Per-routine effect summaries.
+  out += "  \"routines\": [";
+  first = true;
+  for (const EffectSummary& s : result.summaries) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": " + json_str(s.routine) +
+           ", \"unit\": " + json_str(s.unit.empty() ? primary : s.unit) +
+           ", \"may_execute_collective\": " +
+           (s.may_execute_collective ? "true" : "false") +
+           ", \"collective_on_straight_path\": " +
+           (s.collective_on_straight_path ? "true" : "false") +
+           ", \"calls_unresolved\": " +
+           (s.calls_unresolved ? "true" : "false") +
+           ", \"async_top\": " + (s.async_top ? "true" : "false");
+    out += ", \"locks\": " +
+           json_str_list({s.locks_acquired.begin(), s.locks_acquired.end()});
+    out += ", \"shared_writes\": " +
+           json_str_list({s.shared_writes.begin(), s.shared_writes.end()});
+    out += ", \"callees\": " +
+           json_str_list({s.callees.begin(), s.callees.end()});
+    out += ", \"async\": {";
+    bool afirst = true;
+    for (const auto& [var, st] : s.async_out) {
+      if (!afirst) out += ", ";
+      afirst = false;
+      out += json_str(var) + ": " + json_str(async_out_name(st));
+    }
+    out += "}}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  // The compatibility matrix: every model, every violation, always.
+  out += "  \"models\": [\n";
+  const auto& models = lint_process_models();
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const std::string& model = models[m];
+    out += "    {\"model\": " + json_str(model) + ", \"compatible\": " +
+           (result.compatible_with(model) ? "true" : "false") +
+           ", \"violations\": [";
+    bool vfirst = true;
+    for (const ModelViolation& v : result.model_violations) {
+      if (v.model != model) continue;
+      out += vfirst ? "\n" : ",\n";
+      vfirst = false;
+      out += "      {\"construct\": " + json_str(v.construct) +
+             ", \"file\": " + json_str(file_of(v.file)) +
+             ", \"line\": " + std::to_string(v.line) +
+             ", \"reason\": " + json_str(v.reason) + "}";
+    }
+    out += vfirst ? "]}" : "\n    ]}";
+    out += m + 1 < models.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace force::preproc

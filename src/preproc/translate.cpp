@@ -17,9 +17,26 @@ TranslationResult translate(const std::string& source,
 
   // Step 0: forcelint - the static construct-graph analysis. Runs before
   // translation so its findings lead the diagnostic stream even when the
-  // translator later bails out.
-  if (options.lint) {
-    run_forcelint(source, parse_lint_spec(options.lint_spec), result.diags);
+  // translator later bails out. With --lint-units the run is whole-program:
+  // the extra units are linted together with this source so Forcecall
+  // sites resolve across files (only lint sees them; translation stays
+  // one unit at a time).
+  if (options.lint || options.lint_report) {
+    LintOptions lint_opts = parse_lint_spec(options.lint_spec);
+    lint_opts.target_process_model = options.process_model;
+    std::vector<LintUnit> units;
+    units.push_back({options.source_name, source});
+    for (const auto& [name, text] : options.lint_units) {
+      units.push_back({name, text});
+    }
+    const LintResult lint =
+        run_forcelint_program(units, lint_opts, result.diags);
+    if (options.lint_report) {
+      // Rendered now, while the sink holds only lint findings - the
+      // translator's own diagnostics are not part of the report.
+      result.lint_report_json =
+          render_lint_report(units, lint_opts, lint, result.diags);
+    }
   }
 
   // Step 1: "sed" - Force syntax to parameterized macro calls.

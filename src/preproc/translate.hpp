@@ -26,6 +26,11 @@ struct TranslationResult {
   DiagSink diags;
   std::size_t macro_expansions = 0;
   TranslateContext context;  ///< symbol/module information for tooling
+  /// The machine-readable lint report (options.lint_report): findings,
+  /// per-routine effect summaries and the process-model compatibility
+  /// matrix. Rendered even when translation fails, so a gate can consume
+  /// it either way. Empty when no report was requested.
+  std::string lint_report_json;
 };
 
 /// Translates Force-dialect source for one target machine.

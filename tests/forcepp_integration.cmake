@@ -33,27 +33,86 @@ if(LINT_FIXTURE_DIR)
                         "stats_module.force:\n${e}")
   endif()
   message(STATUS "lint clean: ${EXAMPLES_DIR}/multifile/stats_module.force")
-  # Each seeded fixture must fail, naming its rule.
-  foreach(rule 1 2 3 4 5 6)
+  # Each seeded fixture must fail, naming its rule. R7 fixtures are
+  # portability findings: they only fire against the process model that
+  # rejects the construct, so those runs add --process-model=os-fork.
+  foreach(rule 1 2 3 4 5 6 7)
     file(GLOB fixtures "${LINT_FIXTURE_DIR}/r${rule}_*.force")
+    list(SORT fixtures)
     list(LENGTH fixtures n)
-    if(NOT n EQUAL 1)
-      message(FATAL_ERROR "expected one r${rule}_*.force fixture, got ${n}")
+    if(n EQUAL 0)
+      message(FATAL_ERROR "expected at least one r${rule}_*.force fixture")
     endif()
-    list(GET fixtures 0 fixture)
-    execute_process(
-      COMMAND ${FORCEPP} ${fixture} --lint --Werror
-        --o=${WORK_DIR}/lint_seeded.cpp
-      RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
-    if(rc EQUAL 0)
-      message(FATAL_ERROR "seeded fixture ${fixture} was not flagged")
+    set(extra_flags "")
+    if(rule EQUAL 7)
+      set(extra_flags "--process-model=os-fork")
     endif()
-    if(NOT e MATCHES "force-lint-R${rule}")
-      message(FATAL_ERROR
-        "${fixture} failed without mentioning force-lint-R${rule}:\n${e}")
-    endif()
-    message(STATUS "lint fixture OK: ${fixture} -> force-lint-R${rule}")
+    foreach(fixture ${fixtures})
+      execute_process(
+        COMMAND ${FORCEPP} ${fixture} --lint --Werror ${extra_flags}
+          --o=${WORK_DIR}/lint_seeded.cpp
+        RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+      if(rc EQUAL 0)
+        message(FATAL_ERROR "seeded fixture ${fixture} was not flagged")
+      endif()
+      if(NOT e MATCHES "force-lint-R${rule}")
+        message(FATAL_ERROR
+          "${fixture} failed without mentioning force-lint-R${rule}:\n${e}")
+      endif()
+      message(STATUS "lint fixture OK: ${fixture} -> force-lint-R${rule}")
+    endforeach()
   endforeach()
+
+  # Whole-program mode over the multifile example: Forcecall sites resolve
+  # across units, the program stays clean, and the machine-readable report
+  # lists it os-fork compatible (the seed acceptance case).
+  execute_process(
+    COMMAND ${FORCEPP} ${EXAMPLES_DIR}/multifile/main.force
+      --lint --Werror
+      --lint-units=${EXAMPLES_DIR}/multifile/stats_module.force
+      --lint-report=${WORK_DIR}/lint_report.json
+      --o=${WORK_DIR}/lint_program.cpp
+    RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "whole-program lint flagged examples/multifile:\n${e}")
+  endif()
+  file(READ "${WORK_DIR}/lint_report.json" report)
+  if(NOT report MATCHES "\"schema_version\": 1")
+    message(FATAL_ERROR "lint report missing schema_version:\n${report}")
+  endif()
+  if(NOT report MATCHES "\"model\": \"os-fork\", \"compatible\": true")
+    message(FATAL_ERROR
+      "multifile example should be os-fork compatible:\n${report}")
+  endif()
+  message(STATUS "whole-program lint OK: examples/multifile (report valid)")
+
+  # The cross-file seeded fixture: the lock-order cycle exists only when
+  # both units are linted together, and the report must call it out.
+  execute_process(
+    COMMAND ${FORCEPP} ${LINT_FIXTURE_DIR}/multifile/r4x_main.force
+      --lint --Werror
+      --lint-units=${LINT_FIXTURE_DIR}/multifile/r4x_stats.force
+      --lint-report=${WORK_DIR}/lint_report_r4x.json
+      --o=${WORK_DIR}/lint_program_r4x.cpp
+    RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "cross-file R4 fixture was not flagged")
+  endif()
+  if(NOT e MATCHES "force-lint-R4")
+    message(FATAL_ERROR
+      "cross-file fixture failed without force-lint-R4:\n${e}")
+  endif()
+  # Each unit alone must be clean - the finding requires the whole program.
+  execute_process(
+    COMMAND ${FORCEPP} ${LINT_FIXTURE_DIR}/multifile/r4x_main.force
+      --lint --Werror --o=${WORK_DIR}/lint_single_r4x.cpp
+    RESULT_VARIABLE rc OUTPUT_VARIABLE o ERROR_VARIABLE e)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "r4x_main.force alone should lint clean (cycle needs both units):\n${e}")
+  endif()
+  message(STATUS "whole-program lint OK: cross-file R4 fixture")
   return()
 endif()
 

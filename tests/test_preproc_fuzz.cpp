@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "preproc/lint.hpp"
 #include "preproc/translate.hpp"
@@ -21,12 +22,36 @@ pp::TranslationResult run(const std::string& src) {
 
 /// forcelint over arbitrary soup must terminate with a verdict (possibly
 /// zero findings) and be deterministic: two runs render identically.
+/// Whole-program mode gets the same guarantee: the soup split in two
+/// units (summaries, fixpoint, report rendering included).
 void lint_is_robust_and_deterministic(const std::string& src) {
   pp::DiagSink a;
   pp::DiagSink b;
   EXPECT_NO_THROW({ (void)pp::run_forcelint(src, {}, a); }) << src;
   EXPECT_NO_THROW({ (void)pp::run_forcelint(src, {}, b); }) << src;
   EXPECT_EQ(a.render_all("fuzz.force"), b.render_all("fuzz.force")) << src;
+
+  const std::size_t half = src.size() / 2;
+  const std::vector<pp::LintUnit> units = {
+      {"fuzz_a.force", src.substr(0, half)},
+      {"fuzz_b.force", src.substr(half)}};
+  pp::LintOptions opts;
+  opts.target_process_model = "os-fork";
+  pp::DiagSink pa;
+  pp::DiagSink pb;
+  std::string ra;
+  std::string rb;
+  EXPECT_NO_THROW({
+    const pp::LintResult res = pp::run_forcelint_program(units, opts, pa);
+    ra = pp::render_lint_report(units, opts, res, pa);
+  }) << src;
+  EXPECT_NO_THROW({
+    const pp::LintResult res = pp::run_forcelint_program(units, opts, pb);
+    rb = pp::render_lint_report(units, opts, res, pb);
+  }) << src;
+  EXPECT_EQ(pa.render_all("fuzz_a.force"), pb.render_all("fuzz_a.force"))
+      << src;
+  EXPECT_EQ(ra, rb) << src;
 }
 
 }  // namespace
@@ -94,6 +119,19 @@ TEST(PreprocFuzz, LintThroughTranslateNeverThrowsOnAdversarialInput) {
       "Force P\nif (x\nBarrier\nEnd barrier\nJoin\n",  // unbalanced paren
       "Force P\n!force$ lint off(\nJoin\n",       // malformed directive
       "Force P\n!force$ lint off(R9)\nJoin\n",    // out-of-range rule
+      "Force P\n!force$ lint off\nJoin\n",        // unclosed region (W1)
+      "Force P\nForcecall P\nJoin\n",             // main calls itself
+      "Force P\nForcecall\nJoin\n",               // call without a name
+      // Mutual recursion across Forcesubs: the fixpoint must terminate.
+      "Force P\nForcecall A\nJoin\n"
+      "Forcesub A\nForcecall B\nEnd Forcesub\n"
+      "Forcesub B\nForcecall A\nEnd Forcesub\n",
+      // Forcecall to a routine defined twice (first definition wins).
+      "Force P\nForcecall A\nJoin\n"
+      "Forcesub A\nBarrier\nEnd barrier\nEnd Forcesub\n"
+      "Forcesub A\nEnd Forcesub\n",
+      "Force P\nAskfor 1 T of\nJoin\n",           // truncated askfor
+      "Force P\nSeedwork 1\nAskfor 1 T of weird&type\n1 End Askfor\nJoin\n",
   };
   for (const char* src : cases) {
     EXPECT_NO_THROW({ (void)pp::translate(src, opts); }) << src;
@@ -121,6 +159,9 @@ TEST(PreprocFuzz, RandomLineSoupNeverCrashes) {
       "Produce V = 1", "Consume V into X", "Selfsched DO 9 I = 1, 4",
       "9 End Selfsched DO", "Reduce X into Y", "Forcecall Q",
       "x += 1;",     "if (true) {",    "}",
+      "Forcesub Q",  "End Forcesub",   "Externf Q",
+      "Lock A",      "Unlock A",       "Async real V",
+      "Askfor 7 T of integer", "7 End Askfor", "Isfull V into X",
   };
   for (int trial = 0; trial < 50; ++trial) {
     std::string src;

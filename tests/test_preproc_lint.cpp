@@ -4,6 +4,8 @@
 // clean fixture and every shipped example stay finding-free; suppression
 // comments, rule subsets, --Werror promotion, and diagnostic rendering
 // behave as documented.
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -80,11 +82,45 @@ INSTANTIATE_TEST_SUITE_P(
         RuleFixture{"r3_async_protocol.force", "force-lint-R3"},
         RuleFixture{"r4_lock_order.force", "force-lint-R4"},
         RuleFixture{"r5_doall_dependence.force", "force-lint-R5"},
-        RuleFixture{"r6_code_after_join.force", "force-lint-R6"}),
+        RuleFixture{"r6_code_after_join.force", "force-lint-R6"},
+        RuleFixture{"r1_xproc_divergent_call.force", "force-lint-R1"},
+        RuleFixture{"r4_xproc_lock_order.force", "force-lint-R4"}),
     [](const auto& info) {
       std::string name = info.param.file;
-      return name.substr(0, name.find('_'));
+      name = name.substr(0, name.rfind(".force"));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
     });
+
+class LintR7FixtureTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LintR7FixtureTest, SeededFixtureTripsR7UnderOsForkTarget) {
+  fp::LintOptions opts;
+  opts.target_process_model = "os-fork";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(fixture(GetParam()), diags, opts);
+  EXPECT_GT(res.findings, 0u) << GetParam();
+  EXPECT_TRUE(has_rule(diags, "force-lint-R7"))
+      << GetParam() << ":\n" << diags.render_all(GetParam());
+  EXPECT_FALSE(res.compatible_with("os-fork"));
+  // Without a target model the same fixture produces no diagnostic (the
+  // construct is fine under the thread model) - R7 is a portability rule.
+  fp::DiagSink silent;
+  const fp::LintResult none = lint(fixture(GetParam()), silent);
+  EXPECT_FALSE(has_rule(silent, "force-lint-R7"));
+  EXPECT_FALSE(none.compatible_with("os-fork"));
+}
+
+INSTANTIATE_TEST_SUITE_P(R7Fixtures, LintR7FixtureTest,
+                         ::testing::Values("r7_pcase_osfork.force",
+                                           "r7_askfor_payload.force"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           name = name.substr(0, name.rfind(".force"));
+                           return name;
+                         });
 
 TEST(LintFixtures, CleanFixtureHasZeroFindings) {
   fp::DiagSink diags;
@@ -165,7 +201,8 @@ TEST(LintSuppression, BareOffSilencesEveryRule) {
       "C = 1;\n"
       "Join\n"
       "Barrier\n"
-      "End barrier\n";
+      "End barrier\n"
+      "!force$ lint on\n";
   fp::DiagSink diags;
   const fp::LintResult res = lint(src, diags);
   EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
@@ -178,10 +215,43 @@ TEST(LintSuppression, DirectiveAcceptsTrailingComment) {
       "End declarations\n"
       "!force$ lint off(R2)   ! deliberate: debug counter\n"
       "C = 1;\n"
+      "!force$ lint on(R2)\n"
       "Join\n";
   fp::DiagSink diags;
   const fp::LintResult res = lint(src, diags);
   EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+TEST(LintSuppression, UnclosedOffRegionGetsW1Warning) {
+  const std::string src =
+      "Force S\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "!force$ lint off\n"
+      "C = 1;\n"
+      "Join\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  // The suppression still holds (no R2) but the unclosed region itself is
+  // a finding: silently disabling rules to end of file is almost always a
+  // forgotten "lint on".
+  EXPECT_FALSE(has_rule(diags, "force-lint-R2"));
+  EXPECT_TRUE(has_rule(diags, "force-lint-W1")) << diags.render_all("s");
+  EXPECT_EQ(res.findings, 1u);
+  ASSERT_EQ(diags.all().size(), 1u);
+  EXPECT_EQ(diags.all()[0].line, 4);  // points at the directive itself
+}
+
+TEST(LintSuppression, UnclosedPerRuleRegionsReportEachDirective) {
+  const std::string src =
+      "Force S\n"
+      "End declarations\n"
+      "!force$ lint off(R2)\n"
+      "!force$ lint off(R3)\n"
+      "Join\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  EXPECT_EQ(res.findings, 2u) << diags.render_all("s");
 }
 
 TEST(LintSuppression, UnrelatedRuleStaysActive) {
@@ -199,9 +269,10 @@ TEST(LintSuppression, UnrelatedRuleStaysActive) {
 
 // --- spec parsing and rule subsets ------------------------------------------
 
-TEST(LintSpec, DefaultEnablesAllSixRulesAsWarnings) {
+TEST(LintSpec, DefaultEnablesAllSevenRulesAsWarnings) {
   const fp::LintOptions opts = fp::parse_lint_spec("");
-  EXPECT_EQ(opts.rules.size(), 6u);
+  EXPECT_EQ(opts.rules.size(), 7u);
+  EXPECT_EQ(opts.rules.count(fp::LintRule::kR7), 1u);
   EXPECT_FALSE(opts.findings_are_errors);
   EXPECT_TRUE(opts.unknown_tokens.empty());
 }
@@ -413,7 +484,32 @@ TEST(LintRules, DuplicateJoinIsR6) {
   EXPECT_TRUE(has_rule(diags, "force-lint-R6")) << diags.render_all("s");
 }
 
-TEST(LintRules, ForcecallMakesAsyncStateUnknown) {
+// --- interprocedural effect summaries ---------------------------------------
+
+TEST(LintInterproc, ForcecallAppliesCalleeAsyncTransformer) {
+  // HELPER definitely produces CELL, so the Consume after the call is
+  // clean - the summary's async transformer, not a blanket "unknown".
+  const std::string src =
+      "Force S\n"
+      "Async real CELL\n"
+      "Private real T\n"
+      "End declarations\n"
+      "Forcecall HELPER\n"
+      "Consume CELL into T\n"
+      "Join\n"
+      "Forcesub HELPER\n"
+      "Async real CELL\n"
+      "End declarations\n"
+      "Produce CELL = 1.0\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+TEST(LintInterproc, CallToNonProducingCalleeKeepsCellEmpty) {
+  // HELPER touches nothing: the pre-call "empty" state survives the call
+  // and the Consume is a definite R3.
   const std::string src =
       "Force S\n"
       "Async real CELL\n"
@@ -426,9 +522,475 @@ TEST(LintRules, ForcecallMakesAsyncStateUnknown) {
       "End declarations\n"
       "End Forcesub\n";
   fp::DiagSink diags;
+  lint(src, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R3")) << diags.render_all("s");
+}
+
+TEST(LintInterproc, UnresolvedCallMakesAsyncUnknown) {
+  // HELPER has no definition in the program: the sound top - it may have
+  // produced CELL, so no definite violation.
+  const std::string src =
+      "Force S\n"
+      "Async real CELL\n"
+      "Private real T\n"
+      "End declarations\n"
+      "Externf HELPER\n"
+      "Forcecall HELPER\n"
+      "Consume CELL into T\n"
+      "Join\n";
+  fp::DiagSink diags;
   const fp::LintResult res = lint(src, diags);
-  // The callee may have produced CELL: no definite violation.
   EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+TEST(LintInterproc, DivergentCallToCollectiveCalleeIsR1) {
+  const std::string src =
+      "Force S\n"
+      "Shared integer C\n"
+      "Private integer ME\n"
+      "End declarations\n"
+      "ME = 0;\n"
+      "if (ME == 1) {\n"
+      "Forcecall WORK\n"
+      "}\n"
+      "Join\n"
+      "Forcesub WORK\n"
+      "End declarations\n"
+      "Barrier\n"
+      "End barrier\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  lint(src, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R1")) << diags.render_all("s");
+}
+
+TEST(LintInterproc, DivergentCallToCollectiveFreeCalleeIsClean) {
+  // The precision upgrade over "every Forcecall is collective": WORK has
+  // no collective anywhere, so a divergent call to it cannot deadlock the
+  // force.
+  const std::string src =
+      "Force S\n"
+      "Private integer ME\n"
+      "End declarations\n"
+      "ME = 0;\n"
+      "if (ME == 1) {\n"
+      "Forcecall WORK\n"
+      "}\n"
+      "Join\n"
+      "Forcesub WORK\n"
+      "Private integer T\n"
+      "End declarations\n"
+      "T = 2;\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+}
+
+TEST(LintInterproc, DivergentCallToUnresolvedCalleeStaysR1) {
+  const std::string src =
+      "Force S\n"
+      "Private integer ME\n"
+      "End declarations\n"
+      "Externf WORK\n"
+      "ME = 0;\n"
+      "if (ME == 1) {\n"
+      "Forcecall WORK\n"
+      "}\n"
+      "Join\n";
+  fp::DiagSink diags;
+  lint(src, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R1")) << diags.render_all("s");
+}
+
+TEST(LintInterproc, CrossRoutineLockOrderCycleIsR4) {
+  // The caller holds order_a while SUB_B acquires order_b, and holds
+  // order_b while SUB_A acquires order_a - an inversion no single routine
+  // exhibits.
+  const std::string src =
+      "Force S\n"
+      "End declarations\n"
+      "Lock order_a\n"
+      "Forcecall SUB_B\n"
+      "Unlock order_a\n"
+      "Lock order_b\n"
+      "Forcecall SUB_A\n"
+      "Unlock order_b\n"
+      "Join\n"
+      "Forcesub SUB_A\n"
+      "End declarations\n"
+      "Lock order_a\n"
+      "Unlock order_a\n"
+      "End Forcesub\n"
+      "Forcesub SUB_B\n"
+      "End declarations\n"
+      "Lock order_b\n"
+      "Unlock order_b\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R4")) << diags.render_all("s");
+  ASSERT_EQ(res.lock_graph.cycles().size(), 1u);
+  EXPECT_EQ(res.lock_graph.cycles()[0],
+            (std::vector<std::string>{"order_a", "order_b"}));
+}
+
+TEST(LintInterproc, RecursionTerminatesAndDegradesToAsyncTop) {
+  const std::string src =
+      "Force S\n"
+      "End declarations\n"
+      "Forcecall R\n"
+      "Join\n"
+      "Forcesub R\n"
+      "End declarations\n"
+      "Forcecall R\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);  // must not hang
+  const auto it = std::find_if(
+      res.summaries.begin(), res.summaries.end(),
+      [](const fp::EffectSummary& s) { return s.routine == "R"; });
+  ASSERT_NE(it, res.summaries.end());
+  EXPECT_TRUE(it->async_top);
+  EXPECT_FALSE(it->calls_unresolved);  // R resolves, it just recurses
+}
+
+TEST(LintInterproc, SummariesExposeTransitiveEffects) {
+  const std::string src =
+      "Force S\n"
+      "End declarations\n"
+      "Forcecall A\n"
+      "Join\n"
+      "Forcesub A\n"
+      "End declarations\n"
+      "Forcecall B\n"
+      "End Forcesub\n"
+      "Forcesub B\n"
+      "Shared integer W\n"
+      "End declarations\n"
+      "Lock inner\n"
+      "W = 1;\n"
+      "Unlock inner\n"
+      "Barrier\n"
+      "End barrier\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = lint(src, diags);
+  const auto it = std::find_if(
+      res.summaries.begin(), res.summaries.end(),
+      [](const fp::EffectSummary& s) { return s.routine == "A"; });
+  ASSERT_NE(it, res.summaries.end());
+  EXPECT_TRUE(it->may_execute_collective);   // via B's Barrier
+  EXPECT_EQ(it->locks_acquired.count("inner"), 1u);
+  EXPECT_EQ(it->shared_writes.count("W"), 1u);
+  EXPECT_EQ(it->callees.count("B"), 1u);
+  EXPECT_FALSE(it->async_top);
+  EXPECT_FALSE(it->calls_unresolved);
+}
+
+// --- whole-program (multi-unit) mode ----------------------------------------
+
+TEST(LintProgram, ForcecallResolvesAcrossUnits) {
+  const std::string main_src =
+      "Force S\n"
+      "Private integer ME\n"
+      "End declarations\n"
+      "Externf STATS\n"
+      "ME = 0;\n"
+      "if (ME == 1) {\n"
+      "Forcecall STATS\n"
+      "}\n"
+      "Join\n";
+  const std::string module_src =
+      "Forcesub STATS\n"
+      "End declarations\n"
+      "Barrier\n"
+      "End barrier\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  fp::run_forcelint_program(
+      {{"main.force", main_src}, {"stats.force", module_src}}, {}, diags);
+  // The divergent call is R1 because STATS - defined in the OTHER unit -
+  // contains a Barrier; single-unit lint of main_src alone could only
+  // guess.
+  EXPECT_TRUE(has_rule(diags, "force-lint-R1"))
+      << diags.render_all("main.force");
+  ASSERT_FALSE(diags.all().empty());
+  EXPECT_NE(diags.all()[0].message.find("STATS"), std::string::npos);
+}
+
+TEST(LintProgram, FindingsInExtraUnitsCarryFileProvenance) {
+  const std::string main_src =
+      "Force S\n"
+      "End declarations\n"
+      "Join\n";
+  const std::string module_src =
+      "Forcesub STATS\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "C = 1;\n"
+      "End Forcesub\n";
+  fp::DiagSink diags;
+  fp::run_forcelint_program(
+      {{"main.force", main_src}, {"stats.force", module_src}}, {}, diags);
+  ASSERT_TRUE(has_rule(diags, "force-lint-R2"))
+      << diags.render_all("main.force");
+  for (const auto& d : diags.all()) {
+    if (d.rule == "force-lint-R2") {
+      EXPECT_EQ(d.file, "stats.force");
+    }
+  }
+  const std::string rendered = diags.render_all("main.force");
+  EXPECT_NE(rendered.find("stats.force:4:"), std::string::npos) << rendered;
+}
+
+TEST(LintProgram, IdenticalDiagnosticsDedupe) {
+  fp::DiagSink diags;
+  diags.report_in_file("u.force", fp::Severity::kWarning, 3, 1, 2,
+                       "force-lint-R2", "same finding", "C = 1;");
+  diags.report_in_file("u.force", fp::Severity::kWarning, 3, 1, 2,
+                       "force-lint-R2", "same finding", "C = 1;");
+  EXPECT_EQ(diags.all().size(), 1u);
+  EXPECT_EQ(diags.warnings(), 1u);
+}
+
+TEST(LintProgram, MultifileExampleIsCleanWholeProgram) {
+  const std::vector<fp::LintUnit> units = {
+      {"main.force", example_source("multifile/main.force")},
+      {"stats_module.force", example_source("multifile/stats_module.force")}};
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint_program(units, {}, diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("main.force");
+  // The seed acceptance case: STATS resolves across units and the whole
+  // program is os-fork portable.
+  const auto it = std::find_if(
+      res.summaries.begin(), res.summaries.end(),
+      [](const fp::EffectSummary& s) { return s.routine == "FORCEMAIN"; });
+  for (const auto& s : res.summaries) {
+    if (s.callees.count("STATS") != 0) {
+      EXPECT_FALSE(s.calls_unresolved);
+    }
+  }
+  (void)it;
+  EXPECT_TRUE(res.compatible_with("os-fork"));
+  EXPECT_TRUE(res.compatible_with("thread"));
+}
+
+// --- R7: process-model portability ------------------------------------------
+
+TEST(LintR7, PcaseUnderOsForkTargetFires) {
+  const std::string src =
+      "Force S\n"
+      "End declarations\n"
+      "Pcase\n"
+      "Usect\n"
+      "  ;\n"
+      "End pcase\n"
+      "Join\n";
+  fp::LintOptions opts;
+  opts.target_process_model = "os-fork";
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint(src, opts, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R7")) << diags.render_all("s");
+  EXPECT_FALSE(res.compatible_with("os-fork"));
+  EXPECT_FALSE(res.compatible_with("cluster"));  // inherits the narrowing
+  EXPECT_TRUE(res.compatible_with("thread"));
+}
+
+TEST(LintR7, MatrixIsComputedEvenWithoutATargetModel) {
+  const std::string src =
+      "Force S\n"
+      "End declarations\n"
+      "Pcase\n"
+      "Usect\n"
+      "  ;\n"
+      "End pcase\n"
+      "Join\n";
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint(src, {}, diags);
+  // No diagnostic (the program targets the thread model, which accepts
+  // Pcase) but the matrix still records what os-fork would reject.
+  EXPECT_FALSE(has_rule(diags, "force-lint-R7")) << diags.render_all("s");
+  EXPECT_EQ(res.findings, 0u);
+  EXPECT_FALSE(res.compatible_with("os-fork"));
+  ASSERT_FALSE(res.model_violations.empty());
+  EXPECT_EQ(res.model_violations[0].construct, "Pcase");
+  EXPECT_EQ(res.model_violations[0].line, 3);
+}
+
+TEST(LintR7, NonScalarAskforPayloadIsNotForkPortable) {
+  const std::string src =
+      "Force S\n"
+      "Private integer T\n"
+      "End declarations\n"
+      "Seedwork 10 1\n"
+      "Askfor 10 T of std::string\n"
+      "10 End Askfor\n"
+      "Join\n";
+  fp::LintOptions opts;
+  opts.target_process_model = "os-fork";
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint(src, opts, diags);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R7")) << diags.render_all("s");
+  EXPECT_FALSE(res.compatible_with("os-fork"));
+}
+
+TEST(LintR7, ScalarAskforPayloadIsPortable) {
+  const std::string src =
+      "Force S\n"
+      "Private integer T\n"
+      "End declarations\n"
+      "Seedwork 10 1\n"
+      "Askfor 10 T of integer\n"
+      "10 End Askfor\n"
+      "Join\n";
+  fp::LintOptions opts;
+  opts.target_process_model = "os-fork";
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint(src, opts, diags);
+  EXPECT_FALSE(has_rule(diags, "force-lint-R7")) << diags.render_all("s");
+  EXPECT_TRUE(res.compatible_with("os-fork"));
+}
+
+TEST(LintR7, IsfullIsRejectedByTheClusterModelOnly) {
+  const std::string src =
+      "Force S\n"
+      "Async real CELL\n"
+      "Private integer F\n"
+      "End declarations\n"
+      "Produce CELL = 1.0\n"
+      "Isfull CELL into F\n"
+      "Join\n";
+  fp::LintOptions opts;
+  opts.target_process_model = "os-fork";
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint(src, opts, diags);
+  EXPECT_FALSE(has_rule(diags, "force-lint-R7")) << diags.render_all("s");
+  EXPECT_TRUE(res.compatible_with("os-fork"));
+  EXPECT_FALSE(res.compatible_with("cluster"));
+}
+
+TEST(LintR7, SuppressionDirectiveCoversR7) {
+  const std::string src =
+      "Force S\n"
+      "End declarations\n"
+      "!force$ lint off(R7)\n"
+      "Pcase\n"
+      "Usect\n"
+      "  ;\n"
+      "End pcase\n"
+      "!force$ lint on(R7)\n"
+      "Join\n";
+  fp::LintOptions opts;
+  opts.target_process_model = "os-fork";
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint(src, opts, diags);
+  EXPECT_EQ(res.findings, 0u) << diags.render_all("s");
+  // Suppression silences the diagnostic, not the matrix.
+  EXPECT_FALSE(res.compatible_with("os-fork"));
+}
+
+// --- the machine-readable report --------------------------------------------
+
+TEST(LintReport, CleanProgramListsOsForkCompatible) {
+  const std::vector<fp::LintUnit> units = {
+      {"main.force", example_source("multifile/main.force")},
+      {"stats_module.force", example_source("multifile/stats_module.force")}};
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint_program(units, {}, diags);
+  const std::string json = fp::render_lint_report(units, {}, res, diags);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"main.force\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats_module.force\""), std::string::npos);
+  EXPECT_NE(
+      json.find("{\"model\": \"os-fork\", \"compatible\": true"),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"findings\": []"), std::string::npos) << json;
+}
+
+TEST(LintReport, ViolatingProgramListsTheConstructWithProvenance) {
+  const std::vector<fp::LintUnit> units = {
+      {"pcase.force",
+       "Force S\n"
+       "End declarations\n"
+       "Pcase\n"
+       "Usect\n"
+       "  ;\n"
+       "End pcase\n"
+       "Join\n"}};
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint_program(units, {}, diags);
+  const std::string json = fp::render_lint_report(units, {}, res, diags);
+  EXPECT_NE(
+      json.find("{\"model\": \"os-fork\", \"compatible\": false"),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"construct\": \"Pcase\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"pcase.force\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+}
+
+TEST(LintReport, TranslateRendersReportAndExtraUnits) {
+  fp::TranslateOptions opts;
+  opts.lint_report = true;
+  opts.lint = true;
+  opts.source_name = "main.force";
+  opts.lint_units.emplace_back(
+      "stats_module.force", example_source("multifile/stats_module.force"));
+  const auto result =
+      fp::translate(example_source("multifile/main.force"), opts);
+  EXPECT_TRUE(result.ok) << result.diags.render_all("main.force");
+  EXPECT_NE(result.lint_report_json.find("\"schema_version\": 1"),
+            std::string::npos);
+  EXPECT_NE(result.lint_report_json.find("\"stats_module.force\""),
+            std::string::npos);
+  EXPECT_NE(result.lint_report_json.find("\"routines\""), std::string::npos);
+}
+
+// --- static R7 matches the runtime's os-fork rejections ---------------------
+
+TEST(LintR7, StaticallyFlagsWhatTheForkBackendRejectsAtRuntime) {
+  // tests/test_process_fork.cpp (ForkConfig.PcaseAndResolveAreRejected,
+  // AskforPayloads) shows the fork backend rejecting Pcase and
+  // non-trivially-copyable askfor payloads at run time; R7 must flag the
+  // dialect-visible subset of exactly those constructs statically.
+  const std::string pcase_src =
+      "Force S\n"
+      "End declarations\n"
+      "Pcase\n"
+      "Usect\n"
+      "  ;\n"
+      "End pcase\n"
+      "Join\n";
+  const std::string askfor_src =
+      "Force S\n"
+      "Private integer T\n"
+      "End declarations\n"
+      "Seedwork 10 1\n"
+      "Askfor 10 T of std::string\n"
+      "10 End Askfor\n"
+      "Join\n";
+  const std::string clean_src =
+      "Force S\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "Barrier\n"
+      "  C = 1;\n"
+      "End barrier\n"
+      "Join\n";
+  fp::LintOptions opts;
+  opts.target_process_model = "os-fork";
+  for (const auto* rejected : {&pcase_src, &askfor_src}) {
+    fp::DiagSink diags;
+    const fp::LintResult res = fp::run_forcelint(*rejected, opts, diags);
+    EXPECT_TRUE(has_rule(diags, "force-lint-R7"));
+    EXPECT_FALSE(res.compatible_with("os-fork"));
+  }
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint(clean_src, opts, diags);
+  EXPECT_FALSE(has_rule(diags, "force-lint-R7"));
+  EXPECT_TRUE(res.compatible_with("os-fork"));
 }
 
 }  // namespace

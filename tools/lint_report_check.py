@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate (and optionally gate on) a forcepp --lint-report JSON artifact.
+
+Contract (shared with preproc/lint.hpp render_lint_report()):
+
+  {
+    "schema_version": 1,
+    "generator": "forcelint",
+    "units": ["main.force", ...],
+    "target_process_model": "thread" | "os-fork" | "cluster",
+    "rules": ["R1", ...],
+    "findings_are_errors": bool,
+    "findings": [ {"rule", "severity", "file", "line", "col", "message"} ],
+    "routines": [ {"name", "unit", "may_execute_collective",
+                   "collective_on_straight_path", "calls_unresolved",
+                   "async_top", "locks", "shared_writes", "callees",
+                   "async"} ],
+    "models": [ {"model", "compatible", "violations":
+                 [{"construct", "file", "line", "reason"}]} ]
+  }
+
+Usage:
+
+  # schema-validate one artifact (the writer/consumer contract check):
+  lint_report_check.py --check lint_report.json
+
+  # additionally require a model verdict - the admission gate a deploy
+  # pipeline runs before selecting a process backend:
+  lint_report_check.py --check --require-compatible os-fork report.json
+  lint_report_check.py --check --require-incompatible os-fork report.json
+
+Exit codes: 0 ok; 1 a required model verdict does not hold; 2 schema
+violation or usage error. Mirrors tools/bench_gate.py --check for
+BENCH_*.json.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+MODELS = ("thread", "os-fork", "cluster")
+
+
+class SchemaError(Exception):
+    """Contract violation in the report artifact (exit 2)."""
+
+
+def fail(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_report(report):
+    fail(isinstance(report, dict), "report root must be an object")
+    fail(report.get("schema_version") == SCHEMA_VERSION,
+         "schema_version must be %d, got %r"
+         % (SCHEMA_VERSION, report.get("schema_version")))
+    fail(report.get("generator") == "forcelint",
+         "generator must be 'forcelint'")
+
+    units = report.get("units")
+    fail(isinstance(units, list) and units, "units must be a non-empty list")
+    fail(all(isinstance(u, str) for u in units), "units must be strings")
+
+    fail(report.get("target_process_model") in MODELS,
+         "target_process_model must be one of %s" % (MODELS,))
+
+    rules = report.get("rules")
+    fail(isinstance(rules, list) and rules, "rules must be a non-empty list")
+    fail(isinstance(report.get("findings_are_errors"), bool),
+         "findings_are_errors must be a bool")
+
+    findings = report.get("findings")
+    fail(isinstance(findings, list), "findings must be a list")
+    for f in findings:
+        for key in ("rule", "severity", "file", "message"):
+            fail(isinstance(f.get(key), str),
+                 "finding field %r must be a string: %r" % (key, f))
+        for key in ("line", "col"):
+            fail(isinstance(f.get(key), int),
+                 "finding field %r must be an int: %r" % (key, f))
+        fail(f["file"] in units,
+             "finding names unknown unit %r" % f["file"])
+
+    routines = report.get("routines")
+    fail(isinstance(routines, list), "routines must be a list")
+    for r in routines:
+        for key in ("name", "unit"):
+            fail(isinstance(r.get(key), str),
+                 "routine field %r must be a string: %r" % (key, r))
+        for key in ("may_execute_collective", "collective_on_straight_path",
+                    "calls_unresolved", "async_top"):
+            fail(isinstance(r.get(key), bool),
+                 "routine field %r must be a bool: %r" % (key, r))
+        for key in ("locks", "shared_writes", "callees"):
+            fail(isinstance(r.get(key), list),
+                 "routine field %r must be a list: %r" % (key, r))
+        fail(isinstance(r.get("async"), dict),
+             "routine field 'async' must be an object: %r" % r)
+        fail(all(v in ("full", "empty", "unknown")
+                 for v in r["async"].values()),
+             "async states must be full/empty/unknown: %r" % r)
+
+    models = report.get("models")
+    fail(isinstance(models, list), "models must be a list")
+    fail(tuple(m.get("model") for m in models) == MODELS,
+         "models must cover exactly %s in order" % (MODELS,))
+    for m in models:
+        fail(isinstance(m.get("compatible"), bool),
+             "model field 'compatible' must be a bool: %r" % m)
+        violations = m.get("violations")
+        fail(isinstance(violations, list),
+             "model field 'violations' must be a list: %r" % m)
+        fail(m["compatible"] == (not violations),
+             "model %r: compatible flag contradicts its violations"
+             % m["model"])
+        for v in violations:
+            for key in ("construct", "file", "reason"):
+                fail(isinstance(v.get(key), str),
+                     "violation field %r must be a string: %r" % (key, v))
+            fail(isinstance(v.get("line"), int),
+                 "violation field 'line' must be an int: %r" % v)
+            fail(v["file"] in units,
+                 "violation names unknown unit %r" % v["file"])
+    thread = models[0]
+    fail(thread["compatible"] and not thread["violations"],
+         "the thread model accepts every construct by definition")
+
+
+def verdict(report, model):
+    for m in report["models"]:
+        if m["model"] == model:
+            return m["compatible"]
+    raise SchemaError("model %r not in report" % model)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="validate a forcepp --lint-report JSON artifact")
+    parser.add_argument("report", help="path to the lint report JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="schema-validate the artifact")
+    parser.add_argument("--require-compatible", metavar="MODEL",
+                        choices=MODELS, default=None,
+                        help="exit 1 unless the report lists MODEL "
+                             "compatible")
+    parser.add_argument("--require-incompatible", metavar="MODEL",
+                        choices=MODELS, default=None,
+                        help="exit 1 unless the report lists MODEL "
+                             "incompatible")
+    args = parser.parse_args(argv)
+    if not (args.check or args.require_compatible
+            or args.require_incompatible):
+        parser.error("nothing to do: pass --check and/or --require-*")
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print("lint_report_check: cannot read %s: %s" % (args.report, e),
+              file=sys.stderr)
+        return 2
+
+    try:
+        check_report(report)
+    except SchemaError as e:
+        print("lint_report_check: %s: %s" % (args.report, e),
+              file=sys.stderr)
+        return 2
+
+    rc = 0
+    if args.require_compatible and not verdict(report,
+                                               args.require_compatible):
+        print("lint_report_check: %s is NOT %s-compatible"
+              % (args.report, args.require_compatible), file=sys.stderr)
+        rc = 1
+    if args.require_incompatible and verdict(report,
+                                             args.require_incompatible):
+        print("lint_report_check: %s unexpectedly %s-compatible"
+              % (args.report, args.require_incompatible), file=sys.stderr)
+        rc = 1
+    if rc == 0:
+        print("lint_report_check: %s ok (units=%d, findings=%d)"
+              % (args.report, len(report["units"]),
+                 len(report["findings"])))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
