@@ -44,9 +44,11 @@ int main(int argc, char** argv) {
       "cost per machine; then the grain a program needs before a fork "
       "pays off.");
 
-  // The thread-emulated models plus the real thing: os-fork spawns actual
+  // The thread-emulated models plus the real things: os-fork spawns actual
   // fork(2) children, so its wall time is the genuine UNIX process-control
-  // cost the paper complains about, measured on this host.
+  // cost the paper complains about, measured on this host; cluster adds a
+  // socket connection per member on top of the fork (bare spawn, no DSM
+  // arena installed - the transport handshake is what is being priced).
   struct SpawnRecord {
     const char* model;
     std::size_t kib;
@@ -61,7 +63,8 @@ int main(int argc, char** argv) {
   for (auto kind : {md::ProcessModelKind::kHepCreate,
                     md::ProcessModelKind::kForkSharedData,
                     md::ProcessModelKind::kForkJoinCopy,
-                    md::ProcessModelKind::kOsFork}) {
+                    md::ProcessModelKind::kOsFork,
+                    md::ProcessModelKind::kCluster}) {
     for (std::size_t kib : {64, 1024}) {
       md::PrivateSpace space(kib * 1024 / 2, kib * 1024 / 2);
       md::ProcessTeam team(kind);
@@ -85,16 +88,24 @@ int main(int argc, char** argv) {
   // costs to stand up than the HEP's "subroutine call" creation.
   double hep_wall = 0.0;
   double osfork_wall = 0.0;
+  double cluster_wall = 0.0;
   for (const auto& r : records) {
     if (r.kib != 64) continue;
     if (std::string(r.model) == "hep-create") hep_wall = r.wall_ns;
     if (std::string(r.model) == "os-fork") osfork_wall = r.wall_ns;
+    if (std::string(r.model) == "cluster") cluster_wall = r.wall_ns;
   }
   if (hep_wall > 0.0 && osfork_wall > 0.0) {
     std::printf(
         "\nReal fork(2) spawn is %.1fx the thread-emulated hep-create "
         "spawn at 64 KiB private space.\n",
         osfork_wall / hep_wall);
+  }
+  if (osfork_wall > 0.0 && cluster_wall > 0.0) {
+    std::printf(
+        "Cluster spawn (fork + one socket handshake per member) is %.1fx "
+        "the plain os-fork spawn at 64 KiB private space.\n",
+        cluster_wall / osfork_wall);
   }
 
   std::printf("\nSimulated creation cost (np=%d, 1 MiB private/proc):\n\n",
@@ -117,6 +128,7 @@ int main(int argc, char** argv) {
         copied = 0;
         break;
       case md::ProcessModelKind::kOsFork:
+      case md::ProcessModelKind::kCluster:
         copied = 0;  // copy-on-write: nothing is copied eagerly at spawn
         break;
     }
@@ -212,6 +224,14 @@ int main(int argc, char** argv) {
     cfg.team_pool = true;
     measure_entry("os-fork", "pooled", cfg);
   }
+  {
+    // No pooled mode: the cluster backend rejects team_pool (each entry
+    // forks a fresh socket-connected team), so this row prices exactly
+    // the per-entry tax a driver-per-step embedding would pay.
+    force::ForceConfig cfg;
+    cfg.process_model = "cluster";
+    measure_entry("cluster", "respawn", cfg);
+  }
 
   force::util::Table pool_tab({"model", "team lifetime", "ns/invocation"});
   const auto entry_of = [&](const std::string& model,
@@ -232,10 +252,14 @@ int main(int argc, char** argv) {
       entry_of("thread", "respawn") / entry_of("thread-nm", "pooled");
   const double os_fork_speedup =
       entry_of("os-fork", "respawn") / entry_of("os-fork", "pooled");
+  const double cluster_entry_ratio =
+      entry_of("cluster", "respawn") / entry_of("os-fork", "respawn");
   std::printf(
       "\nPooled re-entry speedup over cold spawn: thread %.1fx, "
-      "thread N:M %.1fx, os-fork %.1fx.\n",
-      thread_speedup, thread_nm_speedup, os_fork_speedup);
+      "thread N:M %.1fx, os-fork %.1fx; cluster re-entry costs %.1fx "
+      "the os-fork respawn.\n",
+      thread_speedup, thread_nm_speedup, os_fork_speedup,
+      cluster_entry_ratio);
 
   // The pooled re-entry regression gate lives in tools/bench_gate.py
   // (the one gate mechanism for every BENCH_*.json): the *_pooled_speedup
@@ -255,6 +279,8 @@ int main(int argc, char** argv) {
                                   fb::json_num(thread_nm_speedup)));
     meta.push_back(fb::json_field("os_fork_pooled_speedup",
                                   fb::json_num(os_fork_speedup)));
+    meta.push_back(fb::json_field("cluster_entry_over_os_fork",
+                                  fb::json_num(cluster_entry_ratio)));
     std::vector<std::vector<std::string>> rows;
     for (const auto& e : entries) {
       rows.push_back(
@@ -278,6 +304,15 @@ int main(int argc, char** argv) {
     if (hep_wall > 0.0 && osfork_wall > 0.0) {
       meta.push_back(fb::json_field("os_fork_over_hep_create",
                                     fb::json_num(osfork_wall / hep_wall)));
+    }
+    if (osfork_wall > 0.0 && cluster_wall > 0.0) {
+      // Host-relative (both sides measured back to back on this runner):
+      // gate with tools/bench_gate.py --metric cluster_spawn_over_os_fork
+      // :lower so a transport-setup regression goes red without absolute
+      // CI-host noise tripping it.
+      meta.push_back(
+          fb::json_field("cluster_spawn_over_os_fork",
+                         fb::json_num(cluster_wall / osfork_wall)));
     }
     std::vector<std::vector<std::string>> rows;
     for (const auto& r : records) {

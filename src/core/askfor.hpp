@@ -42,6 +42,7 @@
 #include <type_traits>
 
 #include "core/env.hpp"
+#include "machdep/cluster.hpp"
 #include "machdep/locks.hpp"
 #include "machdep/shm.hpp"
 #include "machdep/stealdeque.hpp"
@@ -187,6 +188,17 @@ class Askfor {
  public:
   explicit Askfor(ForceEnvironment& env, const std::string& key = "askfor")
       : env_(&env) {
+    if (env.cluster_backend()) {
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        cluster_key_ = key;
+        label_ = "askfor '" + key + "'";
+      } else {
+        FORCE_CHECK(false,
+                    "cluster askfor tasks must be trivially copyable "
+                    "(they cross the wire by memcpy)");
+      }
+      return;
+    }
     if (env.fork_backend()) {
       if constexpr (std::is_trivially_copyable_v<T>) {
         const auto stride = static_cast<std::uint32_t>(sizeof(T));
@@ -212,6 +224,12 @@ class Askfor {
   /// Adds a task; thread-safe, callable before or during work().
   void put(T task) {
     maybe_rearm();
+    if (!cluster_key_.empty()) {
+      auto& client = machdep::cluster::require_client();
+      client.note_site(label_);
+      client.askfor_put(cluster_key_, &task, sizeof(T));
+      return;
+    }
     if (shm_ != nullptr) {
       machdep::shm::shm_askfor_put(*shm_, &task);
       return;
@@ -230,6 +248,7 @@ class Askfor {
   /// Returns the number of tasks this process executed.
   std::size_t work(const std::function<void(T&, Askfor<T>&)>& body) {
     maybe_rearm();
+    if (!cluster_key_.empty()) return work_cluster(body);
     if (shm_ != nullptr) return work_fork(body);
     // Register with the dispatch fast path for the duration of the loop
     // (no-op on lock-only machines).
@@ -260,6 +279,10 @@ class Askfor {
   /// Aborts the computation (e.g. a search hit).
   void probend() {
     maybe_rearm();
+    if (!cluster_key_.empty()) {
+      machdep::cluster::require_client().askfor_probend(cluster_key_);
+      return;
+    }
     if (shm_ != nullptr) {
       machdep::shm::shm_askfor_probend(*shm_);
       return;
@@ -268,10 +291,24 @@ class Askfor {
   }
 
   [[nodiscard]] bool ended() const {
+    if (!cluster_key_.empty()) {
+      bool is_ended = false;
+      std::size_t grants = 0;
+      machdep::cluster::require_client().askfor_status(cluster_key_, &is_ended,
+                                                       &grants);
+      return is_ended;
+    }
     if (shm_ != nullptr) return machdep::shm::shm_askfor_ended(*shm_);
     return core_->ended();
   }
   [[nodiscard]] std::size_t granted() const {
+    if (!cluster_key_.empty()) {
+      bool is_ended = false;
+      std::size_t grants = 0;
+      machdep::cluster::require_client().askfor_status(cluster_key_, &is_ended,
+                                                       &grants);
+      return grants;
+    }
     if (shm_ != nullptr) {
       return static_cast<std::size_t>(
           shm_->granted.load(std::memory_order_relaxed));
@@ -290,12 +327,36 @@ class Askfor {
   /// entry's drained/probend latch. Tasks in tasks_ stay (grow-only
   /// storage invariant); only the dispatch state re-arms.
   void maybe_rearm() {
+    // Cluster monitor state lives in the coordinator, which is fresh per
+    // force entry (team pools are rejected under cluster): no re-arming.
+    if (!cluster_key_.empty()) return;
     const std::uint32_t gen = env_->run_generation();
     if (shm_ != nullptr) {
       machdep::shm::shm_askfor_rearm(*shm_, gen);
     } else {
       core_->rearm_for(gen);
     }
+  }
+
+  std::size_t work_cluster(const std::function<void(T&, Askfor<T>&)>& body) {
+    auto& client = machdep::cluster::require_client();
+    client.note_site(label_);
+    std::size_t executed = 0;
+    // Raw storage, same rationale as work_fork: the grant memcpy fully
+    // initializes it and T need not be default constructible.
+    alignas(T) unsigned char raw[sizeof(T)];
+    T* task = reinterpret_cast<T*>(raw);
+    while (client.askfor_ask(cluster_key_, raw, sizeof(T))) {
+      try {
+        body(*task, *this);
+      } catch (...) {
+        client.askfor_complete(cluster_key_);
+        throw;
+      }
+      ++executed;
+      client.askfor_complete(cluster_key_);
+    }
+    return executed;
   }
 
   std::size_t work_fork(const std::function<void(T&, Askfor<T>&)>& body) {
@@ -321,6 +382,7 @@ class Askfor {
   ForceEnvironment* env_;
   std::unique_ptr<AskforCore> core_;  // thread backends only
   machdep::shm::ShmAskforState* shm_ = nullptr;  // os-fork only
+  std::string cluster_key_;  // non-empty iff the cluster backend is active
   std::string label_;
   /// Guards growth of tasks_ only. The monitor lock cannot be reused
   /// (put() may be called while the caller does not hold it), and a plain

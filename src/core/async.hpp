@@ -31,6 +31,7 @@
 
 #include "core/env.hpp"
 #include "core/sentry.hpp"
+#include "machdep/cluster.hpp"
 #include "machdep/hepcell.hpp"
 #include "machdep/locks.hpp"
 #include "machdep/shm.hpp"
@@ -56,6 +57,19 @@ class Async {
         hardware_(!env.fork_backend() &&
                   env.machine().spec().hardware_full_empty),
         label_(std::move(label)) {
+    if (env.cluster_backend()) {
+      // The full/empty state and payload live in the coordinator's cell
+      // table, keyed by the label; every access is one RPC. The value
+      // crosses the wire by memcpy, so the payload rules match os-fork.
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        cluster_ = true;
+      } else {
+        FORCE_CHECK(false,
+                    "cluster async payloads must be trivially copyable "
+                    "(they cross the wire by memcpy)");
+      }
+      return;
+    }
     if (env.fork_backend()) {
       // Both per-process schemes (lock pair + value_ member, HEP cell +
       // value_ member) keep the payload in this object, which a sibling
@@ -92,6 +106,12 @@ class Async {
   /// Waits for empty, writes `v`, leaves full.
   void produce(const T& v) {
     env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+    if (cluster_) {
+      auto& client = machdep::cluster::require_client();
+      client.note_site(label_);
+      client.cell_produce(label_, &v, sizeof(T));
+      return;
+    }
     if (shm_cell_ != nullptr) {
       machdep::shm::shm_cell_produce(*shm_cell_, shm_payload_, &v, sizeof(T),
                                      label_.c_str());
@@ -139,6 +159,13 @@ class Async {
   /// Waits for full, reads, leaves empty.
   T consume() {
     env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
+    if (cluster_) {
+      auto& client = machdep::cluster::require_client();
+      client.note_site(label_);
+      T v{};
+      client.cell_consume(label_, &v, sizeof(T));
+      return v;
+    }
     if (shm_cell_ != nullptr) {
       T v{};
       machdep::shm::shm_cell_consume(*shm_cell_, shm_payload_, &v, sizeof(T),
@@ -189,6 +216,13 @@ class Async {
 
   /// Waits for full, reads, leaves full (the Force Copy access).
   T copy() {
+    if (cluster_) {
+      auto& client = machdep::cluster::require_client();
+      client.note_site(label_);
+      T v{};
+      client.cell_copy(label_, &v, sizeof(T));
+      return v;
+    }
     if (shm_cell_ != nullptr) {
       T v{};
       machdep::shm::shm_cell_copy(*shm_cell_, shm_payload_, &v, sizeof(T),
@@ -240,6 +274,13 @@ class Async {
 
   /// Non-blocking produce; true on success.
   bool try_produce(const T& v) {
+    if (cluster_) {
+      auto& client = machdep::cluster::require_client();
+      client.note_site(label_);
+      const bool ok = client.cell_try_produce(label_, &v, sizeof(T));
+      if (ok) env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
+      return ok;
+    }
     if (shm_cell_ != nullptr) {
       const bool ok = machdep::shm::shm_cell_try_produce(*shm_cell_,
                                                          shm_payload_, &v,
@@ -286,6 +327,13 @@ class Async {
   /// Non-blocking consume; true on success.
   bool try_consume(T* out) {
     FORCE_CHECK(out != nullptr, "try_consume needs an output slot");
+    if (cluster_) {
+      auto& client = machdep::cluster::require_client();
+      client.note_site(label_);
+      const bool ok = client.cell_try_consume(label_, out, sizeof(T));
+      if (ok) env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
+      return ok;
+    }
     if (shm_cell_ != nullptr) {
       const bool ok = machdep::shm::shm_cell_try_consume(*shm_cell_,
                                                          shm_payload_, out,
@@ -333,6 +381,12 @@ class Async {
   /// Concurrent Voids are serialized; a Void that overlaps an in-flight
   /// Produce may land before or after it, as on the original machines.
   void void_state() {
+    if (cluster_) {
+      auto& client = machdep::cluster::require_client();
+      client.note_site(label_);
+      client.cell_void(label_);
+      return;
+    }
     if (shm_cell_ != nullptr) {
       machdep::shm::shm_cell_void(*shm_cell_);
       return;
@@ -356,6 +410,10 @@ class Async {
 
   /// Tests the state (Force's Isfull). Inherently a snapshot.
   [[nodiscard]] bool is_full() const {
+    FORCE_CHECK(!cluster_,
+                "Isfull is not supported under the cluster backend (the "
+                "full/empty state lives in the coordinator, so any snapshot "
+                "would be stale by the time it arrived)");
     if (shm_cell_ != nullptr) return machdep::shm::shm_cell_is_full(*shm_cell_);
     if (hardware_) return cell_.is_full();
     return full_.load(std::memory_order_acquire);
@@ -393,6 +451,9 @@ class Async {
   // MAP_SHARED arena (null on thread backends).
   machdep::shm::ShmCellState* shm_cell_ = nullptr;
   void* shm_payload_ = nullptr;
+  // Cluster scheme state: all cell state is coordinator-side, keyed by
+  // label_; this flag is the only per-process residue.
+  bool cluster_ = false;
   // Payload (software scheme, or hardware scheme with wide payloads):
   T value_{};
 };

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/env.hpp"
+#include "machdep/cluster.hpp"
 #include "machdep/fiber.hpp"
 #include "util/check.hpp"
 
@@ -227,6 +228,20 @@ void ProcessSharedBarrier::arrive(int proc0,
   machdep::shm::shm_barrier_arrive(*state_,
                                    static_cast<std::uint32_t>(width_),
                                    section, label_.c_str());
+}
+
+ClusterBarrier::ClusterBarrier(int width, const std::string& key)
+    : width_(width), key_(key), label_("barrier '" + key + "'") {
+  FORCE_CHECK(width_ > 0, "barrier width must be positive");
+}
+
+void ClusterBarrier::arrive(int proc0, const std::function<void()>& section) {
+  FORCE_CHECK(proc0 >= 0 && proc0 < width_, "barrier process id out of range");
+  machdep::cluster::ClusterClient& client =
+      machdep::cluster::require_client();
+  client.note_site(label_);
+  client.barrier_arrive(key_, width_,
+                        has_section(section) ? &section : nullptr);
 }
 
 // ---------------------------------------------------------------------------

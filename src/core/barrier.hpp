@@ -166,6 +166,28 @@ class ProcessSharedBarrier final : public BarrierAlgorithm {
   std::string label_;
 };
 
+/// Barrier for the cluster backend: arrival, champion election, section
+/// and release are all served by the coordinator over the socket
+/// transport (machdep/cluster.hpp); the last arriver runs the section with
+/// every earlier arrival's arena updates already applied, and the release
+/// carries the section's writes to every member. The object itself holds
+/// only the key - it is constructed freely in any process (including the
+/// coordinator, which never arrives); the member's client is looked up at
+/// arrive time.
+class ClusterBarrier final : public BarrierAlgorithm {
+ public:
+  using BarrierAlgorithm::arrive;
+  ClusterBarrier(int width, const std::string& key);
+  void arrive(int proc0, const std::function<void()>& section) override;
+  const char* name() const override { return "cluster"; }
+  int width() const override { return width_; }
+
+ private:
+  int width_;
+  std::string key_;
+  std::string label_;
+};
+
 /// Names accepted by make_barrier / ForceConfig::barrier_algorithm.
 std::vector<std::string> barrier_algorithm_names();
 

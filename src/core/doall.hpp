@@ -28,6 +28,7 @@
 #include <memory>
 #include <string>
 
+#include "core/barrier.hpp"
 #include "machdep/locks.hpp"
 #include "machdep/shm.hpp"
 
@@ -98,6 +99,21 @@ class SelfschedLoop {
   // loop; faithful to the paper there is still no exit barrier.
   machdep::shm::ShmSelfschedState* shm_ = nullptr;
   std::string label_;
+
+  // Cluster backend: the dispatch counter lives in the coordinator (keyed
+  // by the site), the episode entry is a coordinator barrier, and the
+  // bounds ride the distributed arena in this blob - the champion writes
+  // them in the barrier section, so the release slice publishes them to
+  // every member before any claim is drawn.
+  struct ClusterBounds {
+    std::int64_t start = 0;
+    std::int64_t last = 0;
+    std::int64_t incr = 1;
+    std::int64_t trips = 0;
+  };
+  std::unique_ptr<BarrierAlgorithm> cluster_entry_;
+  ClusterBounds* cluster_bounds_ = nullptr;
+  std::string cluster_key_;
 
   // The paper's shared environment variables for this loop site:
   std::unique_ptr<machdep::BasicLock> barwin_;   // entry gate

@@ -5,6 +5,7 @@
 
 #include "core/barrier.hpp"
 #include "core/sentry.hpp"
+#include "machdep/cluster.hpp"
 #include "machdep/shm.hpp"
 #include "machdep/teampool.hpp"
 #include "util/check.hpp"
@@ -36,12 +37,20 @@ void apply_env_overrides(ForceConfig& config) {
   if (config.pool_workers == 0) {
     config.pool_workers =
         static_cast<int>(env_u64("FORCE_POOL_WORKERS", 0));
-    // Env-var-driven N:M is dropped where it cannot work (os-fork forks
-    // one child per member), so suite-wide pooled runs don't break the
-    // fork tests. Explicit configs are validated in the constructor.
-    if (config.process_model == "os-fork") config.pool_workers = 0;
+    // Env-var-driven N:M is dropped where it cannot work (os-fork and
+    // cluster fork one child per member), so suite-wide pooled runs don't
+    // break the fork tests. Explicit configs are validated in the
+    // constructor.
+    if (config.process_model == "os-fork" ||
+        config.process_model == "cluster") {
+      config.pool_workers = 0;
+    }
   }
   if (config.pool_workers > 0) config.team_pool = true;
+  if (config.cluster_transport == "unix") {
+    const char* t = std::getenv("FORCE_CLUSTER_TRANSPORT");
+    if (t != nullptr && *t != '\0') config.cluster_transport = t;
+  }
 }
 
 }  // namespace
@@ -63,16 +72,23 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
   FORCE_CHECK(config_.dispatch == "auto" || config_.dispatch == "locked",
               "ForceConfig::dispatch must be 'auto' or 'locked'");
   FORCE_CHECK(config_.process_model == "machine" ||
-                  config_.process_model == "os-fork",
-              "ForceConfig::process_model must be 'machine' or 'os-fork'");
+                  config_.process_model == "os-fork" ||
+                  config_.process_model == "cluster",
+              "ForceConfig::process_model must be 'machine', 'os-fork' or "
+              "'cluster'");
   fork_backend_ = config_.process_model == "os-fork";
+  cluster_backend_ = config_.process_model == "cluster";
+  FORCE_CHECK(config_.cluster_transport == "unix" ||
+                  config_.cluster_transport == "tcp",
+              "ForceConfig::cluster_transport must be 'unix' or 'tcp'");
   FORCE_CHECK(config_.pool_workers >= 0,
               "ForceConfig::pool_workers must be non-negative");
   if (config_.pool_workers > 0) {
     config_.team_pool = true;
-    FORCE_CHECK(!fork_backend_,
+    FORCE_CHECK(!fork_backend_ && !cluster_backend_,
                 "N:M member scheduling is thread-only; the os-fork pool "
-                "keeps one resident child per member");
+                "keeps one resident child per member and the cluster "
+                "backend forks one peer per member");
     // Two members multiplexed on one OS thread defeat the sentry's
     // per-thread bookkeeping (ThreadScope, vector clocks, locksets).
     // Explicit configs are an error; the FORCE_SENTRY family is dropped
@@ -81,18 +97,24 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
                 "the sentry cannot observe N:M pooled members (two members "
                 "share one OS thread); validate with a 1:1 team");
   }
-  if (fork_backend_) {
+  if (fork_backend_ || cluster_backend_) {
     // These observers keep their state in ordinary (per-address-space)
-    // memory, so they cannot see an os-fork team. Explicitly asking for
-    // them is a configuration error; the FORCE_SENTRY family of
-    // environment variables is dropped below instead, so suite-wide
-    // validation runs do not break the fork tests.
+    // memory, so they cannot see an os-fork or cluster team. Explicitly
+    // asking for them is a configuration error; the FORCE_SENTRY family
+    // of environment variables is dropped below instead, so suite-wide
+    // validation runs do not break the fork/cluster tests.
     FORCE_CHECK(!config_.sentry && config_.schedule_fuzz == 0,
-                "the sentry cannot observe an os-fork team (its state is "
-                "per-process); validate on a thread-emulated process model");
+                "the sentry cannot observe a separate-address-space team "
+                "(its state is per-process); validate on a thread-emulated "
+                "process model");
     FORCE_CHECK(!config_.trace,
-                "tracing is per-address-space; the os-fork backend cannot "
-                "collect child events");
+                "tracing is per-address-space; the os-fork and cluster "
+                "backends cannot collect child events");
+  }
+  if (cluster_backend_) {
+    FORCE_CHECK(!config_.team_pool,
+                "persistent team pools are not supported under the cluster "
+                "backend (each run forks a fresh socket-connected team)");
   }
   const machdep::MachineSpec& spec = machdep::machine_spec(config_.machine);
   machine_ = std::make_unique<machdep::MachineModel>(spec);
@@ -113,9 +135,13 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
         &arena_->get_or_create<std::atomic<std::uint32_t>>("%force/run_gen");
   }
   apply_env_overrides(config_);
-  if (fork_backend_ && config_.sentry) {
+  if ((fork_backend_ || cluster_backend_) && config_.sentry) {
     config_.sentry = false;  // env-var-driven; see the note above
     config_.schedule_fuzz = 0;
+  }
+  if (cluster_backend_ && config_.team_pool) {
+    config_.team_pool = false;  // env-var-driven (FORCE_TEAM_POOL); see above
+    config_.pool_workers = 0;
   }
   if (config_.pool_workers > 0 && config_.sentry) {
     config_.sentry = false;  // env-var-driven; see the N:M note above
@@ -130,7 +156,7 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
   }
   // Last: the barrier's locks may be ObservedLocks referencing sentry_.
   global_barrier_ =
-      fork_backend_
+      fork_backend_ || cluster_backend_
           ? make_process_shared_barrier(config_.nproc, "%force/global")
           : make_barrier(config_.nproc);
 }
@@ -151,6 +177,12 @@ ForceEnvironment::~ForceEnvironment() {
 
 std::unique_ptr<machdep::BasicLock> ForceEnvironment::new_lock(
     machdep::LockRole role, std::string label) {
+  if (cluster_backend_) {
+    // One keyed lock cell on the coordinator. Same label discipline as
+    // the fork branch below: construct-unique labels mean every member
+    // contends on the same coordinator cell.
+    return std::make_unique<machdep::cluster::ClusterLock>(std::move(label));
+  }
   if (fork_backend_) {
     // One futex word in the MAP_SHARED arena, keyed by the construct
     // label. Labels are construct-unique here (critical sections embed
@@ -257,6 +289,9 @@ machdep::ProcessTeam ForceEnvironment::process_team() const {
   if (fork_backend_) {
     return machdep::ProcessTeam(machdep::ProcessModelKind::kOsFork);
   }
+  if (cluster_backend_) {
+    return machdep::ProcessTeam(machdep::ProcessModelKind::kCluster);
+  }
   return machine_->process_team();
 }
 
@@ -270,14 +305,18 @@ std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_barrier(int width) {
 
 std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_barrier(
     int width, const std::string& algorithm) {
-  FORCE_CHECK(!fork_backend_,
-              "thread barrier algorithms cannot span os-fork processes; "
-              "use make_process_shared_barrier with a shared-arena key");
+  FORCE_CHECK(!fork_backend_ && !cluster_backend_,
+              "thread barrier algorithms cannot span separate address "
+              "spaces; use make_process_shared_barrier with a keyed "
+              "barrier");
   return make_barrier_algorithm(algorithm, *this, width);
 }
 
 std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_process_shared_barrier(
     int width, const std::string& shm_key) {
+  if (cluster_backend_) {
+    return std::make_unique<ClusterBarrier>(width, shm_key);
+  }
   return std::make_unique<ProcessSharedBarrier>(*this, width, shm_key);
 }
 

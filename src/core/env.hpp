@@ -53,13 +53,21 @@ struct ForceConfig {
   /// Process backend. "machine" (default) uses the machine model's
   /// thread-emulated process creation; "os-fork" spawns real child
   /// processes with fork(2) over a MAP_SHARED arena and process-shared
-  /// (futex) synchronization - see docs/PORTING.md, process-model axis.
-  /// Under os-fork the sentry, tracing and schedule fuzzing are
-  /// unavailable (their state is per-address-space): setting them
-  /// explicitly is an error, while the FORCE_SENTRY/FORCE_SCHEDULE_FUZZ
-  /// environment variables are silently ignored so a suite-wide
-  /// validation run does not break the fork tests.
+  /// (futex) synchronization; "cluster" spawns real child processes with
+  /// *no shared mapping at all* - a coordinator serves every construct
+  /// over a framed socket transport and a software distributed-shared
+  /// arena (machdep/cluster.hpp) - see docs/PORTING.md, process-model
+  /// axis. Under os-fork and cluster the sentry, tracing and schedule
+  /// fuzzing are unavailable (their state is per-address-space): setting
+  /// them explicitly is an error, while the FORCE_SENTRY /
+  /// FORCE_SCHEDULE_FUZZ environment variables are silently ignored so a
+  /// suite-wide validation run does not break the fork/cluster tests.
   std::string process_model = "machine";
+  /// Socket transport between cluster members and the coordinator:
+  /// "unix" (AF_UNIX socketpair, default) or "tcp" (loopback TCP with
+  /// TCP_NODELAY). Cluster backend only; also set by
+  /// FORCE_CLUSTER_TRANSPORT when left at the default.
+  std::string cluster_transport = "unix";
   /// Shared arena capacity (rounded up to whole pages).
   std::size_t arena_bytes = 4u << 20;
   /// Private data / stack region sizes per process.
@@ -170,6 +178,11 @@ class ForceEnvironment {
   /// arena, and synchronization must be process-shared.
   [[nodiscard]] bool fork_backend() const { return fork_backend_; }
 
+  /// True when this run uses the cluster backend: separate processes with
+  /// no shared mapping; every construct is an RPC to the coordinator and
+  /// shared data travels through the software distributed-shared arena.
+  [[nodiscard]] bool cluster_backend() const { return cluster_backend_; }
+
   /// The team that Force::run spawns: the machine model's emulated team,
   /// or the real-fork team when process_model is "os-fork".
   [[nodiscard]] machdep::ProcessTeam process_team() const;
@@ -257,6 +270,7 @@ class ForceEnvironment {
   std::unique_ptr<Sentry> sentry_;
   std::unique_ptr<BarrierAlgorithm> global_barrier_;
   bool fork_backend_ = false;
+  bool cluster_backend_ = false;
   /// Pooled teams (lazily created; null when team_pool is off). Declared
   /// after arena_ so they are destroyed first: the fork pool's children
   /// still reference the MAP_SHARED arena while they park.

@@ -1,5 +1,6 @@
 #include "core/force.hpp"
 
+#include "machdep/cluster.hpp"
 #include "machdep/teampool.hpp"
 #include "util/check.hpp"
 
@@ -16,6 +17,9 @@ void Ctx::call(const std::string& subroutine) {
 ResolveBuilder Ctx::resolve(const Site& site) {
   FORCE_CHECK(!env_->fork_backend(),
               "Resolve is not supported under the os-fork backend (its "
+              "component barriers and claim state are per-address-space)");
+  FORCE_CHECK(!env_->cluster_backend(),
+              "Resolve is not supported under the cluster backend (its "
               "component barriers and claim state are per-address-space)");
   return ResolveBuilder(*this, site_key(site));
 }
@@ -156,6 +160,14 @@ machdep::SpawnStats Force::run(const std::function<void(Ctx&)>& program) {
     }
     stats = env_->team_pool().run(np, member);
     if (space != nullptr) stats.bytes_copied = space->bytes_copied();
+  } else if (env_->cluster_backend()) {
+    // The cluster team reads its arena and transport through the installed
+    // runtime config (ProcessTeam::run's signature carries neither); the
+    // scope guarantees no dangling arena pointer survives this run.
+    machdep::cluster::ScopedRuntimeConfig cluster_cfg(
+        {&env_->arena(), env_->config().cluster_transport});
+    auto team = env_->process_team();
+    stats = team.run(np, space, member);
   } else {
     auto team = env_->process_team();
     stats = team.run(np, space, member);

@@ -144,6 +144,9 @@ class Ctx {
     FORCE_CHECK(!env_->fork_backend(),
                 "Pcase is not supported under the os-fork backend (its "
                 "claim registry is per-address-space)");
+    FORCE_CHECK(!env_->cluster_backend(),
+                "Pcase is not supported under the cluster backend (its "
+                "claim registry is per-address-space)");
     return PcaseBuilder(*env_, me0_, np_, site_key(site));
   }
 

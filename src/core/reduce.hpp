@@ -50,6 +50,27 @@ class Reduction {
   Reduction(ForceEnvironment& env, int width,
             const std::string& key = "reduce")
       : width_(width) {
+    if (env.cluster_backend()) {
+      // Same faithful critical idiom as os-fork, across address spaces:
+      // the accumulator blob rides the distributed arena, the lock and
+      // barrier are coordinator RPCs. The lock's acquire applies every
+      // earlier contributor's arena updates, so combine() always sees the
+      // freshest accumulator; the barrier release publishes the result.
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        cluster_state_ = &env.arena().get_or_create<ClusterState>(
+            "%reduce/" + key);
+        label_ = "reduce '" + key + "'";
+        cluster_lock_ =
+            env.new_lock(machdep::LockRole::kMutex, "reduce@" + key);
+        cluster_barrier_ = std::make_unique<ClusterBarrier>(
+            width_, "%reduce/" + key + "/barrier");
+      } else {
+        FORCE_CHECK(false,
+                    "cluster reductions need trivially copyable payloads "
+                    "(the accumulator rides the distributed arena)");
+      }
+      return;
+    }
     if (env.fork_backend()) {
       if constexpr (std::is_trivially_copyable_v<T>) {
         shm_ = &env.arena().get_or_create<ShmState>("%reduce/" + key);
@@ -75,6 +96,11 @@ class Reduction {
   T allreduce(int me0, const T& local, const std::function<T(T, T)>& combine,
               ReduceStrategy strategy, T* shared_target = nullptr) {
     FORCE_CHECK(me0 >= 0 && me0 < width_, "bad reduce process id");
+    if (cluster_state_ != nullptr) {
+      // Per-process slots cannot cross the wire either; the cluster runs
+      // the faithful critical idiom regardless of the requested strategy.
+      return allreduce_cluster(me0, local, combine, shared_target);
+    }
     if (shm_ != nullptr) {
       // The tournament's per-process slots cannot cross address spaces;
       // os-fork always runs the faithful critical idiom.
@@ -119,6 +145,26 @@ class Reduction {
         },
         label_.c_str());
     return shm_->result;
+  }
+
+  T allreduce_cluster(int me0, const T& local,
+                      const std::function<T(T, T)>& combine,
+                      T* shared_target) {
+    cluster_lock_->acquire();
+    if (cluster_state_->arrived == 0) {
+      cluster_state_->accumulator = local;
+    } else {
+      cluster_state_->accumulator =
+          combine(cluster_state_->accumulator, local);
+    }
+    ++cluster_state_->arrived;
+    cluster_lock_->release();
+    cluster_barrier_->arrive(me0, [this, shared_target] {
+      cluster_state_->result = cluster_state_->accumulator;
+      cluster_state_->arrived = 0;
+      if (shared_target != nullptr) *shared_target = cluster_state_->result;
+    });
+    return cluster_state_->result;
   }
 
   T allreduce_critical(int me0, const T& local,
@@ -216,6 +262,16 @@ class Reduction {
   std::unique_ptr<BarrierAlgorithm> barrier_;  // thread backends only
   ShmState* shm_ = nullptr;                    // os-fork only
   std::string label_;
+  /// Arena-resident state of one cluster reduction site; the lock and
+  /// barrier that guard it are coordinator RPCs (cluster backend only).
+  struct ClusterState {
+    std::int32_t arrived = 0;
+    T accumulator{};  ///< guarded by *cluster_lock_
+    T result{};       ///< written by the barrier champion
+  };
+  ClusterState* cluster_state_ = nullptr;
+  std::unique_ptr<machdep::BasicLock> cluster_lock_;
+  std::unique_ptr<BarrierAlgorithm> cluster_barrier_;
   std::vector<Slot> slots_;
   // kCritical state (guarded by critical_ / published by the barrier):
   T accumulator_{};

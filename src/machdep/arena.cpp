@@ -142,6 +142,10 @@ const std::byte* SharedArena::usable_base() const {
   return const_cast<SharedArena*>(this)->usable_base();
 }
 
+std::byte* SharedArena::raw_bytes() { return usable_base(); }
+
+const std::byte* SharedArena::raw_bytes() const { return usable_base(); }
+
 ShmArenaEntry* SharedArena::shm_find_locked(const std::string& name) const {
   for (std::uint32_t i = 0; i < shm_header_->entry_count; ++i) {
     ShmArenaEntry& e = shm_header_->entries[i];

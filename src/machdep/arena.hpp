@@ -164,6 +164,13 @@ class SharedArena {
       const std::function<void(const std::string&, void*, std::size_t)>& fn)
       const;
 
+  /// First byte of the usable region. The cluster backend's software
+  /// distributed-shared-arena addresses its update records as offsets from
+  /// here; the region start is page-aligned and placement is deterministic,
+  /// so the coordinator and every forked peer agree on offsets.
+  [[nodiscard]] std::byte* raw_bytes();
+  [[nodiscard]] const std::byte* raw_bytes() const;
+
  private:
   struct Allocation {
     std::size_t offset = 0;

@@ -1,0 +1,210 @@
+#include "machdep/net.hpp"
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+#include <bit>
+
+namespace force::machdep::net {
+
+static_assert(std::endian::native == std::endian::little,
+              "the cluster wire codec assumes a little-endian host (as does "
+              "the rest of machdep)");
+
+void encode_frame_header(const FrameHeader& h,
+                         unsigned char out[kFrameHeaderBytes]) {
+  std::uint32_t magic = kFrameMagic;
+  std::memcpy(out, &magic, 4);
+  std::memcpy(out + 4, &h.version, 2);
+  std::memcpy(out + 6, &h.type, 2);
+  std::memcpy(out + 8, &h.payload_bytes, 4);
+}
+
+DecodeStatus decode_frame_header(const unsigned char* data, std::size_t len,
+                                 FrameHeader* out) {
+  if (len < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, data, 4);
+  if (magic != kFrameMagic) return DecodeStatus::kBadMagic;
+  FrameHeader h;
+  std::memcpy(&h.version, data + 4, 2);
+  std::memcpy(&h.type, data + 6, 2);
+  std::memcpy(&h.payload_bytes, data + 8, 4);
+  if (h.version != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (h.payload_bytes > kMaxPayloadBytes) return DecodeStatus::kOversized;
+  *out = h;
+  return DecodeStatus::kOk;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Conn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Conn::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool send_all(int fd, const unsigned char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd{fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 100);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET: the far side is gone.
+  }
+  return true;
+}
+
+void Conn::send_frame(MsgType type, const void* payload, std::size_t n) {
+  FORCE_CHECK(fd_ >= 0, "send_frame on a closed cluster connection");
+  FORCE_CHECK(n <= kMaxPayloadBytes,
+              "cluster frame payload exceeds kMaxPayloadBytes");
+  unsigned char hdr[kFrameHeaderBytes];
+  FrameHeader h;
+  h.type = static_cast<std::uint16_t>(type);
+  h.payload_bytes = static_cast<std::uint32_t>(n);
+  encode_frame_header(h, hdr);
+  const bool ok =
+      send_all(fd_, hdr, sizeof hdr) &&
+      (n == 0 ||
+       send_all(fd_, static_cast<const unsigned char*>(payload), n));
+  FORCE_CHECK(ok, "cluster connection closed while sending a frame (the "
+                  "coordinator is gone)");
+}
+
+namespace {
+
+// Blocking read of exactly n bytes. Returns bytes read (short only at EOF).
+std::size_t recv_exact(int fd, unsigned char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    break;  // EOF or hard error.
+  }
+  return got;
+}
+
+}  // namespace
+
+bool Conn::recv_frame(MsgType* type, std::vector<unsigned char>* payload) {
+  FORCE_CHECK(fd_ >= 0, "recv_frame on a closed cluster connection");
+  unsigned char hdr[kFrameHeaderBytes];
+  const std::size_t got = recv_exact(fd_, hdr, sizeof hdr);
+  if (got == 0) return false;  // orderly EOF at a frame boundary
+  FORCE_CHECK(got == sizeof hdr,
+              "cluster connection closed mid-frame (truncated header)");
+  FrameHeader h;
+  const DecodeStatus st = decode_frame_header(hdr, sizeof hdr, &h);
+  FORCE_CHECK(st == DecodeStatus::kOk,
+              st == DecodeStatus::kBadMagic
+                  ? "cluster frame rejected: bad magic"
+                  : (st == DecodeStatus::kBadVersion
+                         ? "cluster frame rejected: protocol version mismatch"
+                         : "cluster frame rejected: oversized payload"));
+  payload->resize(h.payload_bytes);
+  if (h.payload_bytes != 0) {
+    const std::size_t body = recv_exact(fd_, payload->data(), h.payload_bytes);
+    FORCE_CHECK(body == h.payload_bytes,
+                "cluster connection closed mid-frame (truncated payload)");
+  }
+  *type = static_cast<MsgType>(h.type);
+  return true;
+}
+
+std::pair<Conn, Conn> connected_pair(const std::string& transport) {
+  if (transport == "unix" || transport.empty()) {
+    int fds[2] = {-1, -1};
+    FORCE_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+                "socketpair(AF_UNIX) failed for the cluster transport");
+    return {Conn(fds[0]), Conn(fds[1])};
+  }
+  FORCE_CHECK(transport == "tcp",
+              "cluster_transport must be \"unix\" or \"tcp\"");
+  // Loopback TCP: listen on an ephemeral port, connect, accept. Models the
+  // real-cluster topology (a routable stream with no kernel-shared state)
+  // while staying self-contained in one host.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FORCE_CHECK(lfd >= 0, "socket(AF_INET) failed for the cluster transport");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  bool ok = ::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0 &&
+            ::listen(lfd, 1) == 0;
+  socklen_t alen = sizeof addr;
+  ok = ok && ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen) == 0;
+  FORCE_CHECK(ok, "could not bind a loopback listener for cluster tcp");
+  const int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FORCE_CHECK(cfd >= 0, "socket(AF_INET) failed for the cluster transport");
+  FORCE_CHECK(
+      ::connect(cfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+      "loopback connect failed for cluster tcp");
+  const int afd = ::accept(lfd, nullptr, nullptr);
+  ::close(lfd);
+  FORCE_CHECK(afd >= 0, "loopback accept failed for cluster tcp");
+  int one = 1;
+  (void)::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return {Conn(afd), Conn(cfd)};
+}
+
+#else  // !unix
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  return *this;
+}
+void Conn::close() { fd_ = -1; }
+void Conn::shutdown_both() {}
+bool send_all(int, const unsigned char*, std::size_t) { return false; }
+void Conn::send_frame(MsgType, const void*, std::size_t) {
+  FORCE_CHECK(false, "the cluster transport requires a POSIX platform");
+}
+bool Conn::recv_frame(MsgType*, std::vector<unsigned char>*) {
+  FORCE_CHECK(false, "the cluster transport requires a POSIX platform");
+}
+std::pair<Conn, Conn> connected_pair(const std::string&) {
+  FORCE_CHECK(false, "the cluster transport requires a POSIX platform");
+}
+
+#endif
+
+}  // namespace force::machdep::net

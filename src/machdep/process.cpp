@@ -19,6 +19,7 @@
 #include <unistd.h>
 #endif
 
+#include "machdep/cluster.hpp"
 #include "machdep/shm.hpp"
 #include "util/check.hpp"
 #include "util/timing.hpp"
@@ -31,6 +32,7 @@ const char* process_model_name(ProcessModelKind kind) {
     case ProcessModelKind::kForkSharedData: return "fork-shared-data";
     case ProcessModelKind::kHepCreate: return "hep-create";
     case ProcessModelKind::kOsFork: return "os-fork";
+    case ProcessModelKind::kCluster: return "cluster";
   }
   return "unknown";
 }
@@ -46,6 +48,7 @@ PrivateSpace::InitMode init_mode_for(ProcessModelKind kind) {
   switch (kind) {
     case ProcessModelKind::kForkJoinCopy:
     case ProcessModelKind::kOsFork:
+    case ProcessModelKind::kCluster:
       // Real fork gives every child COW copies of data and stack; the
       // emulated kCopyBoth charges the same copies to creation time.
       return PrivateSpace::InitMode::kCopyBoth;
@@ -62,6 +65,9 @@ SpawnStats ProcessTeam::run(int nproc, PrivateSpace* space,
   FORCE_CHECK(nproc > 0, "a force needs at least one process");
   if (kind_ == ProcessModelKind::kOsFork) {
     return run_os_fork(nproc, space, entry);
+  }
+  if (kind_ == ProcessModelKind::kCluster) {
+    return cluster::run_cluster_team(nproc, space, entry);
   }
   SpawnStats stats;
   stats.processes = nproc;

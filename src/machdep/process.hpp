@@ -39,7 +39,9 @@ enum class ProcessModelKind {
   kForkJoinCopy,    ///< Unix fork: copy data + stack (Sequent/Encore/Flex/Cray)
   kForkSharedData,  ///< Alliant: share data, copy stack only
   kHepCreate,       ///< HEP: subroutine-call creation, nothing copied
-  kOsFork           ///< real fork(2) children over a MAP_SHARED arena
+  kOsFork,          ///< real fork(2) children over a MAP_SHARED arena
+  kCluster          ///< separate processes, no shared mapping: socket
+                    ///< transport + software distributed-shared-arena
 };
 
 const char* process_model_name(ProcessModelKind kind);

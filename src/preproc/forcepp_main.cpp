@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
       .option("process-model", "",
               "process backend baked into the driver: empty keeps the "
               "machine's thread-emulated model, os-fork runs real fork(2) "
-              "children over a MAP_SHARED arena")
+              "children over a MAP_SHARED arena, cluster runs separate "
+              "processes over a socket transport with a distributed arena")
       .optional_value_option(
           "team-pool", "0",
           "bake a persistent team pool into the driver; the optional value "
@@ -110,8 +111,9 @@ int main(int argc, char** argv) {
     options.werror = cli.get_flag("Werror");
     options.process_model = cli.get("process-model");
     FORCE_CHECK(options.process_model.empty() ||
-                    options.process_model == "os-fork",
-                "--process-model must be empty or os-fork");
+                    options.process_model == "os-fork" ||
+                    options.process_model == "cluster",
+                "--process-model must be empty, os-fork or cluster");
     options.team_pool = cli.seen("team-pool");
     options.pool_workers =
         options.team_pool ? static_cast<int>(cli.get_int("team-pool")) : 0;
@@ -121,6 +123,9 @@ int main(int argc, char** argv) {
                     options.process_model != "os-fork",
                 "--team-pool=<workers> (N:M) is thread-only; the os-fork "
                 "pool keeps one resident child per member");
+    FORCE_CHECK(!options.team_pool || options.process_model != "cluster",
+                "--team-pool is not available under the cluster process "
+                "model (each run forks a fresh socket-connected team)");
 
     const auto result =
         force::preproc::translate(read_file(input), options);

@@ -1094,7 +1094,7 @@ class Linter {
           add_model_violation(s, "os-fork", "Pcase", reason);
           add_model_violation(
               s, "cluster", "Pcase",
-              "Pcase is rejected by the planned cluster process model "
+              "Pcase is rejected by the cluster process model "
               "(inherits every os-fork narrowing rule)");
           break;
         }
@@ -1111,14 +1111,14 @@ class Linter {
           add_model_violation(
               s, "cluster", "Askfor payload",
               "Askfor task type '" + type +
-                  "' is not provably trivially copyable - the planned "
-                  "cluster model ships tasks over a message transport");
+                  "' is not provably trivially copyable - the cluster "
+                  "model ships tasks over a message transport");
           break;
         }
         case StmtKind::kIsfull: {
           add_model_violation(
               s, "cluster", "Isfull",
-              "Isfull is rejected by the planned cluster process model "
+              "Isfull is rejected by the cluster process model "
               "(a non-blocking full/empty probe of a cell with no shared "
               "mapping is stale by the time the answer arrives)");
           break;

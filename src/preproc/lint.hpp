@@ -42,7 +42,7 @@
 //   R6  unreachable or duplicate statements after Join.
 //   R7  process-model portability: a construct the targeted process model
 //       rejects at run time (Pcase under os-fork, askfor payload types
-//       not provably trivially copyable, Isfull under the planned cluster
+//       not provably trivially copyable, Isfull under the cluster
 //       model). Diagnostics fire for the --process-model being targeted;
 //       the full per-model compatibility matrix is always computed and
 //       exported by `forcepp --lint-report=<path>.json`.

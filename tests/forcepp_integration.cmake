@@ -35,7 +35,8 @@ if(LINT_FIXTURE_DIR)
   message(STATUS "lint clean: ${EXAMPLES_DIR}/multifile/stats_module.force")
   # Each seeded fixture must fail, naming its rule. R7 fixtures are
   # portability findings: they only fire against the process model that
-  # rejects the construct, so those runs add --process-model=os-fork.
+  # rejects the construct, so those runs add --process-model=os-fork
+  # (or =cluster for the *_cluster fixtures - Isfull is cluster-only).
   foreach(rule 1 2 3 4 5 6 7)
     file(GLOB fixtures "${LINT_FIXTURE_DIR}/r${rule}_*.force")
     list(SORT fixtures)
@@ -43,11 +44,15 @@ if(LINT_FIXTURE_DIR)
     if(n EQUAL 0)
       message(FATAL_ERROR "expected at least one r${rule}_*.force fixture")
     endif()
-    set(extra_flags "")
-    if(rule EQUAL 7)
-      set(extra_flags "--process-model=os-fork")
-    endif()
     foreach(fixture ${fixtures})
+      set(extra_flags "")
+      if(rule EQUAL 7)
+        if(fixture MATCHES "_cluster\\.force$")
+          set(extra_flags "--process-model=cluster")
+        else()
+          set(extra_flags "--process-model=os-fork")
+        endif()
+      endif()
       execute_process(
         COMMAND ${FORCEPP} ${fixture} --lint --Werror ${extra_flags}
           --o=${WORK_DIR}/lint_seeded.cpp

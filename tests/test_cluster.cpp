@@ -1,0 +1,314 @@
+// Cluster backend fault-injection wall (ISSUE 9 satellite).
+//
+// The cluster process model runs force members as separate processes with
+// no shared mapping at all: every construct is a coordinator RPC over a
+// socket, and the arena is kept coherent by a write-through software DSM.
+// These tests prove the death machinery end to end:
+//
+//   * a peer SIGKILLed mid-barrier or mid-askfor surfaces as a
+//     ProcessDeathError with peer provenance (process number, pid, signal)
+//     well inside the 30 s acceptance bound, and the surviving peers are
+//     released by team poison rather than hanging in their parked RPCs;
+//   * a fresh force constructed after such a death runs to completion;
+//   * a torn connection (peer closes its socket but keeps running) is
+//     diagnosed distinctly and the wedged peer is reclaimed;
+//   * the narrowing rules the static lint (R7, target cluster) promises
+//     are enforced at runtime with matching diagnostics: Pcase, Resolve,
+//     non-trivially-copyable askfor payloads, Isfull, the sentry, tracing
+//     and team pools are all rejected with cluster-specific messages.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/force.hpp"
+#include "machdep/cluster.hpp"
+#include "machdep/process.hpp"
+#include "util/check.hpp"
+
+namespace fc = force::core;
+namespace md = force::machdep;
+
+namespace {
+
+force::ForceConfig cluster_config(int nproc) {
+  force::ForceConfig cfg;
+  cfg.nproc = nproc;
+  cfg.process_model = "cluster";
+  return cfg;
+}
+
+/// Seconds elapsed running `body`; the death tests assert the reaper's
+/// grace machinery resolves well inside the 30 s acceptance bound.
+template <typename Body>
+double timed_seconds(Body&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// --- SIGKILL fault injection -------------------------------------------------
+
+TEST(ClusterDeath, SigkillMidBarrierSurfacesWithProvenance) {
+  force::Force f(cluster_config(4));
+  const double secs = timed_seconds([&] {
+    try {
+      f.run([](fc::Ctx& ctx) {
+        // Three peers park inside the barrier RPC; the fourth dies without
+        // arriving. The coordinator must reap it, poison the team, and
+        // release the parked survivors.
+        if (ctx.me() == 4) raise(SIGKILL);
+        ctx.barrier();
+      });
+      FAIL() << "expected ProcessDeathError";
+    } catch (const md::ProcessDeathError& e) {
+      EXPECT_EQ(e.process(), 4);
+      EXPECT_GT(e.pid(), 0);
+      EXPECT_EQ(e.term_signal(), SIGKILL);
+      EXPECT_EQ(e.exit_code(), -1);
+      EXPECT_NE(std::string(e.what()).find("killed by signal"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("surviving processes released"),
+                std::string::npos);
+    }
+  });
+  EXPECT_LT(secs, 30.0);
+}
+
+TEST(ClusterDeath, SigkillMidAskforReleasesParkedSurvivors) {
+  force::Force f(cluster_config(4));
+  const double secs = timed_seconds([&] {
+    try {
+      f.run([](fc::Ctx& ctx) {
+        auto& af = ctx.askfor<std::int64_t>(FORCE_SITE);
+        // One token, granted to whichever peer asks first; the task never
+        // completes (its holder dies), so the other peers stay parked in
+        // ask() at the coordinator until the poison releases them.
+        if (ctx.leader()) af.put(1);
+        af.work([](std::int64_t&, fc::Askfor<std::int64_t>&) {
+          raise(SIGKILL);
+        });
+        ctx.barrier();
+      });
+      FAIL() << "expected ProcessDeathError";
+    } catch (const md::ProcessDeathError& e) {
+      EXPECT_EQ(e.term_signal(), SIGKILL);
+      EXPECT_NE(e.site().find("askfor"), std::string::npos)
+          << "victim site: " << e.site();
+    }
+  });
+  EXPECT_LT(secs, 30.0);
+}
+
+TEST(ClusterDeath, FreshForceSucceedsAfterPeerDeath) {
+  {
+    force::Force f(cluster_config(3));
+    EXPECT_THROW(f.run([](fc::Ctx& ctx) {
+      if (ctx.me() == 2) raise(SIGKILL);
+      ctx.barrier();
+    }),
+                 md::ProcessDeathError);
+  }
+  // The dead team left no residue the next team could trip on: all its
+  // state was coordinator-side and died with the run.
+  force::Force f(cluster_config(3));
+  auto& total = f.shared<std::int64_t>("total");
+  total = 0;
+  f.run([&](fc::Ctx& ctx) {
+    ctx.critical(FORCE_SITE, [&] { total += ctx.me(); });
+    ctx.barrier();
+  });
+  EXPECT_EQ(total, 6);
+}
+
+TEST(ClusterDeath, TornConnectionIsDiagnosedAndPeerReclaimed) {
+  force::Force f(cluster_config(4));
+  const double secs = timed_seconds([&] {
+    try {
+      f.run([](fc::Ctx& ctx) {
+        if (ctx.me() == 2) {
+          // Half-close: the peer process stays alive and busy, but its
+          // socket is gone. The coordinator must classify this as a torn
+          // connection and SIGKILL the wedged peer rather than wait for
+          // an exit that will never come.
+          md::cluster::sever_connection_for_test();
+          for (;;) pause();
+        }
+        ctx.barrier();
+      });
+      FAIL() << "expected ProcessDeathError";
+    } catch (const md::ProcessDeathError& e) {
+      EXPECT_EQ(e.process(), 2);
+      EXPECT_EQ(e.term_signal(), SIGKILL);
+      EXPECT_NE(e.error_text().find("torn"), std::string::npos)
+          << "error text: " << e.error_text();
+    }
+  });
+  EXPECT_LT(secs, 30.0);
+}
+
+TEST(ClusterDeath, PeerExceptionCarriesConstructSiteProvenance) {
+  force::Force f(cluster_config(2));
+  try {
+    f.run([](fc::Ctx& ctx) {
+      ctx.critical(FORCE_SITE, [&ctx] {
+        if (ctx.me() == 1) throw std::runtime_error("boom in critical");
+      });
+      ctx.barrier();
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_EQ(e.exit_code(), 1);
+    EXPECT_NE(e.error_text().find("boom in critical"), std::string::npos);
+    // The victim noted the critical's lock site before dying.
+    EXPECT_NE(e.site(), "startup");
+  }
+}
+
+// --- runtime narrowing rules (static lint R7 cross-check, dynamic side) ------
+//
+// Each rejection below is the runtime half of a static R7 verdict: the lint
+// with --process-model=cluster flags the same constructs at translate time
+// (test_preproc_lint.cpp holds the static half).
+
+TEST(ClusterRejects, PcaseWithClusterDiagnostic) {
+  force::Force f(cluster_config(2));
+  try {
+    f.run([](fc::Ctx& ctx) {
+      ctx.pcase(FORCE_SITE).sect([] {}).run_presched();
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_NE(e.error_text().find("Pcase"), std::string::npos);
+    EXPECT_NE(e.error_text().find("cluster"), std::string::npos);
+  }
+}
+
+TEST(ClusterRejects, ResolveWithClusterDiagnostic) {
+  force::Force f(cluster_config(2));
+  try {
+    f.run([](fc::Ctx& ctx) {
+      ctx.resolve(FORCE_SITE)
+          .component("only", 1, [](fc::Ctx&) {})
+          .run();
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_NE(e.error_text().find("Resolve"), std::string::npos);
+    EXPECT_NE(e.error_text().find("cluster"), std::string::npos);
+  }
+}
+
+TEST(ClusterRejects, NonTriviallyCopyableAskforPayload) {
+  force::Force f(cluster_config(2));
+  try {
+    f.run([](fc::Ctx& ctx) {
+      auto& af = ctx.askfor<std::string>(FORCE_SITE);
+      (void)af;
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_NE(e.error_text().find("trivially copyable"), std::string::npos);
+  }
+}
+
+TEST(ClusterRejects, IsfullWithClusterDiagnostic) {
+  force::Force f(cluster_config(2));
+  try {
+    f.run([](fc::Ctx& ctx) {
+      auto& cells = ctx.async_array<std::int64_t>(FORCE_SITE, 1);
+      (void)cells[0].is_full();
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_NE(e.error_text().find("Isfull"), std::string::npos);
+    EXPECT_NE(e.error_text().find("cluster"), std::string::npos);
+  }
+}
+
+TEST(ClusterRejects, SentryAtConfigTime) {
+  force::ForceConfig cfg = cluster_config(2);
+  cfg.sentry = true;
+  EXPECT_THROW(force::Force f(cfg), force::util::CheckError);
+}
+
+TEST(ClusterRejects, TraceAtConfigTime) {
+  force::ForceConfig cfg = cluster_config(2);
+  cfg.trace = true;
+  EXPECT_THROW(force::Force f(cfg), force::util::CheckError);
+}
+
+TEST(ClusterRejects, TeamPoolAtConfigTime) {
+  force::ForceConfig cfg = cluster_config(2);
+  cfg.team_pool = true;
+  EXPECT_THROW(force::Force f(cfg), force::util::CheckError);
+}
+
+TEST(ClusterRejects, UnknownTransportAtConfigTime) {
+  force::ForceConfig cfg = cluster_config(2);
+  cfg.cluster_transport = "carrier-pigeon";
+  EXPECT_THROW(force::Force f(cfg), force::util::CheckError);
+}
+
+// --- transports --------------------------------------------------------------
+
+TEST(ClusterTransport, LoopbackTcpRunsTheSameProgram) {
+  force::ForceConfig cfg = cluster_config(4);
+  cfg.cluster_transport = "tcp";
+  force::Force f(cfg);
+  auto& total = f.shared<std::int64_t>("total");
+  total = 0;
+  f.run([&](fc::Ctx& ctx) {
+    ctx.critical(FORCE_SITE, [&] { total += ctx.me() * ctx.me(); });
+    ctx.barrier();
+  });
+  EXPECT_EQ(total, 1 + 4 + 9 + 16);
+}
+
+// --- DSM coherence edges -----------------------------------------------------
+
+TEST(ClusterDsm, BarrierSectionWritesReachEveryPeer) {
+  // The champion's section writes must ride the release slice to all
+  // peers, and a later per-peer write must ride its flush back: a
+  // round-trip through both DSM directions.
+  force::Force f(cluster_config(4));
+  auto& seed = f.shared<std::int64_t>("seed");
+  auto& echo = f.shared<std::array<std::int64_t, 4>>("echo");
+  seed = 0;
+  echo = {};
+  f.run([&](fc::Ctx& ctx) {
+    ctx.barrier([&] { seed = 41; });
+    // Every peer observed the section write after release.
+    const std::int64_t mine = seed + 1;
+    echo[static_cast<std::size_t>(ctx.me() - 1)] = mine * ctx.me();
+    ctx.barrier();
+  });
+  for (int p = 1; p <= 4; ++p) {
+    EXPECT_EQ(echo[static_cast<std::size_t>(p - 1)], 42 * p) << "peer " << p;
+  }
+}
+
+TEST(ClusterDsm, LockHandoffCarriesLatestWrites) {
+  // Chained critical sections: each process increments a shared counter it
+  // can only see correctly if the lock grant applied the previous holder's
+  // flush. Iterated enough that interleavings vary.
+  force::Force f(cluster_config(4));
+  auto& counter = f.shared<std::int64_t>("counter");
+  counter = 0;
+  f.run([&](fc::Ctx& ctx) {
+    for (int i = 0; i < 25; ++i) {
+      ctx.critical(FORCE_SITE, [&] { counter += 1; });
+    }
+    ctx.barrier();
+  });
+  EXPECT_EQ(counter, 100);
+}

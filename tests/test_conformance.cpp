@@ -11,12 +11,13 @@
 //
 // The configuration cell comes in on the command line:
 //   --machine=<name> --dispatch=auto|locked --barrier=<algorithm> --fork
-//   --pool --pool-nm
+//   --cluster --pool --pool-nm
 // and CMake registers one labeled ctest per cell: every machine model x
 // both dispatch engines x all four barrier algorithms for the thread
-// backends, plus every machine model under the os-fork backend. The same
-// program bytes must produce the same answer everywhere - the paper's
-// portability claim, executed.
+// backends, plus every machine model under the os-fork backend and the
+// cluster backend (separate address spaces over a socket transport). The
+// same program bytes must produce the same answer everywhere - the
+// paper's portability claim, executed.
 //
 // --pool runs each program as several sequential forces on one persistent
 // team pool (config.team_pool), and --pool-nm additionally folds the
@@ -40,6 +41,7 @@ std::string g_machine = "native";
 std::string g_dispatch = "auto";
 std::string g_barrier = "paper-lock";
 bool g_fork = false;
+bool g_cluster = false;
 bool g_pool = false;
 bool g_pool_nm = false;
 
@@ -52,6 +54,7 @@ force::ForceConfig cell_config() {
   cfg.dispatch = g_dispatch;
   cfg.barrier_algorithm = g_barrier;
   if (g_fork) cfg.process_model = "os-fork";
+  if (g_cluster) cfg.process_model = "cluster";
   if (g_pool || g_pool_nm) cfg.team_pool = true;
   if (g_pool_nm) cfg.pool_workers = kNproc / 2;  // NP = 2W
   return cfg;
@@ -213,6 +216,8 @@ int main(int argc, char** argv) {
       g_barrier = arg.substr(10);
     } else if (arg == "--fork") {
       g_fork = true;
+    } else if (arg == "--cluster") {
+      g_cluster = true;
     } else if (arg == "--pool") {
       g_pool = true;
     } else if (arg == "--pool-nm") {

@@ -205,3 +205,46 @@ TEST(FailureInjection, ForkCheckFailureIsDiagnosedWithItsMessage) {
     EXPECT_NE(e.error_text().find("increment"), std::string::npos);
   }
 }
+
+// --- cluster backend ---------------------------------------------------------
+//
+// Same contract across a socket transport: the dying peer ships its what()
+// text to the coordinator over the wire (kError) before exiting, and the
+// coordinator's reaper folds it into the ProcessDeathError.
+
+TEST(FailureInjection, ClusterPeerExceptionBecomesProcessDeathError) {
+  fc::ForceConfig cfg;
+  cfg.nproc = 3;
+  cfg.process_model = "cluster";
+  force::Force f(cfg);
+  try {
+    f.run([](fc::Ctx& ctx) {
+      ctx.selfsched_do(FORCE_SITE, 1, 100, 1, [](std::int64_t i) {
+        if (i == 37) throw std::runtime_error("iteration 37 exploded");
+      });
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_GE(e.process(), 1);
+    EXPECT_LE(e.process(), 3);
+    EXPECT_EQ(e.exit_code(), 1);
+    EXPECT_EQ(e.term_signal(), 0);
+    EXPECT_NE(e.error_text().find("iteration 37 exploded"),
+              std::string::npos);
+  }
+}
+
+TEST(FailureInjection, ClusterCheckFailureIsDiagnosedWithItsMessage) {
+  fc::ForceConfig cfg;
+  cfg.nproc = 2;
+  cfg.process_model = "cluster";
+  force::Force f(cfg);
+  try {
+    f.run([](fc::Ctx& ctx) {
+      ctx.selfsched_do(FORCE_SITE, 1, 10, 0, [](std::int64_t) {});
+    });
+    FAIL() << "expected ProcessDeathError";
+  } catch (const md::ProcessDeathError& e) {
+    EXPECT_NE(e.error_text().find("increment"), std::string::npos);
+  }
+}

@@ -122,6 +122,29 @@ INSTANTIATE_TEST_SUITE_P(R7Fixtures, LintR7FixtureTest,
                            return name;
                          });
 
+TEST(LintR7, IsfullClusterFixtureTripsOnlyTheClusterTarget) {
+  // Isfull is the one narrowing that is cluster-specific: the os-fork
+  // model keeps the full/empty word in the shared arena and accepts it.
+  fp::LintOptions cluster;
+  cluster.target_process_model = "cluster";
+  fp::DiagSink diags;
+  const fp::LintResult res =
+      lint(fixture("r7_isfull_cluster.force"), diags, cluster);
+  EXPECT_GT(res.findings, 0u);
+  EXPECT_TRUE(has_rule(diags, "force-lint-R7"))
+      << diags.render_all("r7_isfull_cluster.force");
+  EXPECT_FALSE(res.compatible_with("cluster"));
+  fp::LintOptions fork;
+  fork.target_process_model = "os-fork";
+  fp::DiagSink silent;
+  const fp::LintResult fork_res =
+      lint(fixture("r7_isfull_cluster.force"), silent, fork);
+  EXPECT_FALSE(has_rule(silent, "force-lint-R7"))
+      << silent.render_all("r7_isfull_cluster.force");
+  EXPECT_TRUE(fork_res.compatible_with("os-fork"));
+  EXPECT_FALSE(fork_res.compatible_with("cluster"));
+}
+
 TEST(LintFixtures, CleanFixtureHasZeroFindings) {
   fp::DiagSink diags;
   const fp::LintResult res = lint(fixture("clean.force"), diags);
@@ -991,6 +1014,59 @@ TEST(LintR7, StaticallyFlagsWhatTheForkBackendRejectsAtRuntime) {
   const fp::LintResult res = fp::run_forcelint(clean_src, opts, diags);
   EXPECT_FALSE(has_rule(diags, "force-lint-R7"));
   EXPECT_TRUE(res.compatible_with("os-fork"));
+}
+
+TEST(LintR7, StaticallyFlagsWhatTheClusterBackendRejectsAtRuntime) {
+  // tests/test_cluster.cpp (ClusterRejects.*) shows the cluster backend
+  // rejecting Pcase, non-trivially-copyable askfor payloads and Isfull at
+  // run time with cluster-specific diagnostics; R7 with a cluster target
+  // must flag the dialect-visible form of exactly those constructs
+  // statically, and accept the programs the backend accepts.
+  const std::string pcase_src =
+      "Force S\n"
+      "End declarations\n"
+      "Pcase\n"
+      "Usect\n"
+      "  ;\n"
+      "End pcase\n"
+      "Join\n";
+  const std::string askfor_src =
+      "Force S\n"
+      "Private integer T\n"
+      "End declarations\n"
+      "Seedwork 10 1\n"
+      "Askfor 10 T of std::string\n"
+      "10 End Askfor\n"
+      "Join\n";
+  const std::string isfull_src =
+      "Force S\n"
+      "Async real CELL\n"
+      "Private integer F\n"
+      "End declarations\n"
+      "Produce CELL = 1.0\n"
+      "Isfull CELL into F\n"
+      "Join\n";
+  const std::string clean_src =
+      "Force S\n"
+      "Shared integer C\n"
+      "End declarations\n"
+      "Barrier\n"
+      "  C = 1;\n"
+      "End barrier\n"
+      "Join\n";
+  fp::LintOptions opts;
+  opts.target_process_model = "cluster";
+  for (const auto* rejected : {&pcase_src, &askfor_src, &isfull_src}) {
+    fp::DiagSink diags;
+    const fp::LintResult res = fp::run_forcelint(*rejected, opts, diags);
+    EXPECT_TRUE(has_rule(diags, "force-lint-R7"))
+        << diags.render_all("s") << *rejected;
+    EXPECT_FALSE(res.compatible_with("cluster")) << *rejected;
+  }
+  fp::DiagSink diags;
+  const fp::LintResult res = fp::run_forcelint(clean_src, opts, diags);
+  EXPECT_FALSE(has_rule(diags, "force-lint-R7")) << diags.render_all("s");
+  EXPECT_TRUE(res.compatible_with("cluster"));
 }
 
 }  // namespace
