@@ -42,9 +42,8 @@
 #include <type_traits>
 
 #include "core/env.hpp"
-#include "machdep/cluster.hpp"
+#include "machdep/backend.hpp"
 #include "machdep/locks.hpp"
-#include "machdep/shm.hpp"
 #include "machdep/stealdeque.hpp"
 #include "util/check.hpp"
 
@@ -178,60 +177,34 @@ class AskforCore {
 /// canonical worker loop. Every process of the force calls work() with the
 /// same site-shared instance; any process may seed() or put() tasks.
 ///
-/// Under the os-fork backend the monitor is a fixed-capacity FIFO ring in
-/// the MAP_SHARED arena (keyed by the construct's site key); T must then
-/// be trivially copyable, and the worker body receives a reference to a
-/// process-local *copy* of the granted task - mutations do not write back
-/// into the ring.
+/// Under the separate-process backends the monitor is a backend engine
+/// keyed by the construct's site key (a fixed-capacity FIFO ring in the
+/// MAP_SHARED arena under os-fork; a coordinator monitor under cluster); T
+/// must then be trivially copyable, and the worker body receives a
+/// reference to a process-local *copy* of the granted task - mutations do
+/// not write back into the ring.
 template <typename T>
 class Askfor {
  public:
   explicit Askfor(ForceEnvironment& env, const std::string& key = "askfor")
       : env_(&env) {
-    if (env.cluster_backend()) {
-      if constexpr (std::is_trivially_copyable_v<T>) {
-        cluster_key_ = key;
-        label_ = "askfor '" + key + "'";
-      } else {
-        FORCE_CHECK(false,
-                    "cluster askfor tasks must be trivially copyable "
-                    "(they cross the wire by memcpy)");
-      }
-      return;
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      ring_ = env.backend().make_askfor_ring(key, kForkRingCapacity,
+                                             sizeof(T));
+    } else {
+      // Null engine + supported capability = the thread monitor below;
+      // backends that cannot memcpy tasks across reject here.
+      env.require(machdep::Capability::kNonTrivialPayloads,
+                  "Askfor task type", key);
     }
-    if (env.fork_backend()) {
-      if constexpr (std::is_trivially_copyable_v<T>) {
-        const auto stride = static_cast<std::uint32_t>(sizeof(T));
-        void* blob = env.arena().allocate_once(
-            "%askfor/" + key,
-            machdep::shm::shm_askfor_bytes(kForkRingCapacity, stride),
-            alignof(machdep::shm::ShmAskforState), machdep::VarClass::kShared,
-            [stride](void* raw) {
-              machdep::shm::shm_askfor_init(raw, kForkRingCapacity, stride);
-            });
-        shm_ = static_cast<machdep::shm::ShmAskforState*>(blob);
-        label_ = "askfor '" + key + "'";
-      } else {
-        FORCE_CHECK(false,
-                    "os-fork askfor tasks must be trivially copyable "
-                    "(they cross address spaces by memcpy)");
-      }
-      return;
-    }
-    core_ = std::make_unique<AskforCore>(env);
+    if (ring_ == nullptr) core_ = std::make_unique<AskforCore>(env);
   }
 
   /// Adds a task; thread-safe, callable before or during work().
   void put(T task) {
     maybe_rearm();
-    if (!cluster_key_.empty()) {
-      auto& client = machdep::cluster::require_client();
-      client.note_site(label_);
-      client.askfor_put(cluster_key_, &task, sizeof(T));
-      return;
-    }
-    if (shm_ != nullptr) {
-      machdep::shm::shm_askfor_put(*shm_, &task);
+    if (ring_ != nullptr) {
+      ring_->put(&task);
       return;
     }
     std::size_t token;
@@ -248,8 +221,7 @@ class Askfor {
   /// Returns the number of tasks this process executed.
   std::size_t work(const std::function<void(T&, Askfor<T>&)>& body) {
     maybe_rearm();
-    if (!cluster_key_.empty()) return work_cluster(body);
-    if (shm_ != nullptr) return work_fork(body);
+    if (ring_ != nullptr) return work_ring(body);
     // Register with the dispatch fast path for the duration of the loop
     // (no-op on lock-only machines).
     AskforCore::WorkerSlot worker(*core_);
@@ -279,39 +251,20 @@ class Askfor {
   /// Aborts the computation (e.g. a search hit).
   void probend() {
     maybe_rearm();
-    if (!cluster_key_.empty()) {
-      machdep::cluster::require_client().askfor_probend(cluster_key_);
-      return;
-    }
-    if (shm_ != nullptr) {
-      machdep::shm::shm_askfor_probend(*shm_);
+    if (ring_ != nullptr) {
+      ring_->probend();
       return;
     }
     core_->probend();
   }
 
   [[nodiscard]] bool ended() const {
-    if (!cluster_key_.empty()) {
-      bool is_ended = false;
-      std::size_t grants = 0;
-      machdep::cluster::require_client().askfor_status(cluster_key_, &is_ended,
-                                                       &grants);
-      return is_ended;
-    }
-    if (shm_ != nullptr) return machdep::shm::shm_askfor_ended(*shm_);
+    if (ring_ != nullptr) return ring_->ended();
     return core_->ended();
   }
   [[nodiscard]] std::size_t granted() const {
-    if (!cluster_key_.empty()) {
-      bool is_ended = false;
-      std::size_t grants = 0;
-      machdep::cluster::require_client().askfor_status(cluster_key_, &is_ended,
-                                                       &grants);
-      return grants;
-    }
-    if (shm_ != nullptr) {
-      return static_cast<std::size_t>(
-          shm_->granted.load(std::memory_order_relaxed));
+    if (ring_ != nullptr) {
+      return static_cast<std::size_t>(ring_->granted());
     }
     return core_->granted();
   }
@@ -327,63 +280,39 @@ class Askfor {
   /// entry's drained/probend latch. Tasks in tasks_ stay (grow-only
   /// storage invariant); only the dispatch state re-arms.
   void maybe_rearm() {
-    // Cluster monitor state lives in the coordinator, which is fresh per
-    // force entry (team pools are rejected under cluster): no re-arming.
-    if (!cluster_key_.empty()) return;
-    const std::uint32_t gen = env_->run_generation();
-    if (shm_ != nullptr) {
-      machdep::shm::shm_askfor_rearm(*shm_, gen);
-    } else {
-      core_->rearm_for(gen);
+    if (ring_ != nullptr) {
+      // The engine decides what re-arming means on its substrate (the
+      // cluster monitor is born fresh per team, so its rearm is a no-op).
+      ring_->rearm(env_->run_generation());
+      return;
     }
+    core_->rearm_for(env_->run_generation());
   }
 
-  std::size_t work_cluster(const std::function<void(T&, Askfor<T>&)>& body) {
-    auto& client = machdep::cluster::require_client();
-    client.note_site(label_);
+  std::size_t work_ring(const std::function<void(T&, Askfor<T>&)>& body) {
     std::size_t executed = 0;
-    // Raw storage, same rationale as work_fork: the grant memcpy fully
-    // initializes it and T need not be default constructible.
-    alignas(T) unsigned char raw[sizeof(T)];
-    T* task = reinterpret_cast<T*>(raw);
-    while (client.askfor_ask(cluster_key_, raw, sizeof(T))) {
-      try {
-        body(*task, *this);
-      } catch (...) {
-        client.askfor_complete(cluster_key_);
-        throw;
-      }
-      ++executed;
-      client.askfor_complete(cluster_key_);
-    }
-    return executed;
-  }
-
-  std::size_t work_fork(const std::function<void(T&, Askfor<T>&)>& body) {
-    std::size_t executed = 0;
-    // Raw storage instead of T{}: the ring memcpy fully initializes it,
+    // Raw storage instead of T{}: the grant memcpy fully initializes it,
     // and T need not be default constructible (only trivially copyable,
     // which the constructor already checked).
     alignas(T) unsigned char raw[sizeof(T)];
     T* task = reinterpret_cast<T*>(raw);
-    while (machdep::shm::shm_askfor_ask(*shm_, raw, label_.c_str())) {
+    while (ring_->ask(raw)) {
       try {
         body(*task, *this);
       } catch (...) {
-        machdep::shm::shm_askfor_complete(*shm_);
+        ring_->complete();
         throw;
       }
       ++executed;
-      machdep::shm::shm_askfor_complete(*shm_);
+      ring_->complete();
     }
     return executed;
   }
 
   ForceEnvironment* env_;
-  std::unique_ptr<AskforCore> core_;  // thread backends only
-  machdep::shm::ShmAskforState* shm_ = nullptr;  // os-fork only
-  std::string cluster_key_;  // non-empty iff the cluster backend is active
-  std::string label_;
+  std::unique_ptr<AskforCore> core_;  // thread backend only
+  /// Backend monitor engine; null on the thread backend.
+  std::unique_ptr<machdep::AskforRing> ring_;
   /// Guards growth of tasks_ only. The monitor lock cannot be reused
   /// (put() may be called while the caller does not hold it), and a plain
   /// mutex suffices: this is task *storage*, not dispatch.

@@ -31,10 +31,9 @@
 
 #include "core/env.hpp"
 #include "core/sentry.hpp"
-#include "machdep/cluster.hpp"
+#include "machdep/backend.hpp"
 #include "machdep/hepcell.hpp"
 #include "machdep/locks.hpp"
-#include "machdep/shm.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
@@ -52,46 +51,24 @@ class Async {
   /// Creates the variable in the *empty* state (like Void at startup).
   /// `label` names the variable in sentry reports.
   explicit Async(ForceEnvironment& env, std::string label = "async")
-      : env_(&env),
-        sentry_(env.sentry()),
-        hardware_(!env.fork_backend() &&
-                  env.machine().spec().hardware_full_empty),
-        label_(std::move(label)) {
-    if (env.cluster_backend()) {
-      // The full/empty state and payload live in the coordinator's cell
-      // table, keyed by the label; every access is one RPC. The value
-      // crosses the wire by memcpy, so the payload rules match os-fork.
-      if constexpr (std::is_trivially_copyable_v<T>) {
-        cluster_ = true;
-      } else {
-        FORCE_CHECK(false,
-                    "cluster async payloads must be trivially copyable "
-                    "(they cross the wire by memcpy)");
-      }
-      return;
+      : env_(&env), sentry_(env.sentry()), label_(std::move(label)) {
+    // Both per-process schemes below (lock pair + value_ member, HEP cell +
+    // value_ member) keep the payload in this object, which a sibling
+    // address space cannot see. Separate-process backends hand out a cell
+    // engine keyed by the label instead (labels are construct-unique:
+    // sites, names, array elements); the payload then crosses by memcpy,
+    // which is why those backends reject non-trivially-copyable types.
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      cell_engine_ = env.backend().make_async_cell(label_, sizeof(T),
+                                                   alignof(T));
+    } else {
+      // Null engine + supported capability = the in-process schemes below;
+      // backends that cannot memcpy the payload across reject here.
+      env.require(machdep::Capability::kNonTrivialPayloads, "Async payload",
+                  label_);
     }
-    if (env.fork_backend()) {
-      // Both per-process schemes (lock pair + value_ member, HEP cell +
-      // value_ member) keep the payload in this object, which a sibling
-      // process cannot see. Under os-fork the full/empty word and the
-      // payload live together in one arena blob keyed by the label (labels
-      // are construct-unique: sites, names, array elements).
-      if constexpr (std::is_trivially_copyable_v<T> && alignof(T) <= 64) {
-        void* blob = env.arena().allocate_once(
-            "%async/" + label_,
-            sizeof(machdep::shm::ShmCellState) + sizeof(T),
-            alignof(machdep::shm::ShmCellState), machdep::VarClass::kShared,
-            [](void* raw) { ::new (raw) machdep::shm::ShmCellState(); });
-        shm_cell_ = static_cast<machdep::shm::ShmCellState*>(blob);
-        shm_payload_ = static_cast<std::byte*>(blob) +
-                       sizeof(machdep::shm::ShmCellState);
-      } else {
-        FORCE_CHECK(false,
-                    "os-fork async payloads must be trivially copyable "
-                    "(they cross address spaces by memcpy)");
-      }
-      return;
-    }
+    if (cell_engine_ != nullptr) return;
+    hardware_ = env.machine().spec().hardware_full_empty;
     if (!hardware_) {
       lock_e_ = env.new_lock(machdep::LockRole::kSemaphore, label_ + ".E");
       lock_f_ = env.new_lock(machdep::LockRole::kSemaphore, label_ + ".F");
@@ -106,15 +83,8 @@ class Async {
   /// Waits for empty, writes `v`, leaves full.
   void produce(const T& v) {
     env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
-    if (cluster_) {
-      auto& client = machdep::cluster::require_client();
-      client.note_site(label_);
-      client.cell_produce(label_, &v, sizeof(T));
-      return;
-    }
-    if (shm_cell_ != nullptr) {
-      machdep::shm::shm_cell_produce(*shm_cell_, shm_payload_, &v, sizeof(T),
-                                     label_.c_str());
+    if (cell_engine_ != nullptr) {
+      cell_engine_->produce(&v);
       return;
     }
     if (hardware_) {
@@ -159,17 +129,9 @@ class Async {
   /// Waits for full, reads, leaves empty.
   T consume() {
     env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
-    if (cluster_) {
-      auto& client = machdep::cluster::require_client();
-      client.note_site(label_);
+    if (cell_engine_ != nullptr) {
       T v{};
-      client.cell_consume(label_, &v, sizeof(T));
-      return v;
-    }
-    if (shm_cell_ != nullptr) {
-      T v{};
-      machdep::shm::shm_cell_consume(*shm_cell_, shm_payload_, &v, sizeof(T),
-                                     label_.c_str());
+      cell_engine_->consume(&v);
       return v;
     }
     if (hardware_) {
@@ -216,17 +178,9 @@ class Async {
 
   /// Waits for full, reads, leaves full (the Force Copy access).
   T copy() {
-    if (cluster_) {
-      auto& client = machdep::cluster::require_client();
-      client.note_site(label_);
+    if (cell_engine_ != nullptr) {
       T v{};
-      client.cell_copy(label_, &v, sizeof(T));
-      return v;
-    }
-    if (shm_cell_ != nullptr) {
-      T v{};
-      machdep::shm::shm_cell_copy(*shm_cell_, shm_payload_, &v, sizeof(T),
-                                  label_.c_str());
+      cell_engine_->copy(&v);
       return v;
     }
     if (hardware_) {
@@ -274,17 +228,8 @@ class Async {
 
   /// Non-blocking produce; true on success.
   bool try_produce(const T& v) {
-    if (cluster_) {
-      auto& client = machdep::cluster::require_client();
-      client.note_site(label_);
-      const bool ok = client.cell_try_produce(label_, &v, sizeof(T));
-      if (ok) env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
-      return ok;
-    }
-    if (shm_cell_ != nullptr) {
-      const bool ok = machdep::shm::shm_cell_try_produce(*shm_cell_,
-                                                         shm_payload_, &v,
-                                                         sizeof(T));
+    if (cell_engine_ != nullptr) {
+      const bool ok = cell_engine_->try_produce(&v);
       if (ok) env_->stats().produces.fetch_add(1, std::memory_order_relaxed);
       return ok;
     }
@@ -327,17 +272,8 @@ class Async {
   /// Non-blocking consume; true on success.
   bool try_consume(T* out) {
     FORCE_CHECK(out != nullptr, "try_consume needs an output slot");
-    if (cluster_) {
-      auto& client = machdep::cluster::require_client();
-      client.note_site(label_);
-      const bool ok = client.cell_try_consume(label_, out, sizeof(T));
-      if (ok) env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
-      return ok;
-    }
-    if (shm_cell_ != nullptr) {
-      const bool ok = machdep::shm::shm_cell_try_consume(*shm_cell_,
-                                                         shm_payload_, out,
-                                                         sizeof(T));
+    if (cell_engine_ != nullptr) {
+      const bool ok = cell_engine_->try_consume(out);
       if (ok) env_->stats().consumes.fetch_add(1, std::memory_order_relaxed);
       return ok;
     }
@@ -381,14 +317,8 @@ class Async {
   /// Concurrent Voids are serialized; a Void that overlaps an in-flight
   /// Produce may land before or after it, as on the original machines.
   void void_state() {
-    if (cluster_) {
-      auto& client = machdep::cluster::require_client();
-      client.note_site(label_);
-      client.cell_void(label_);
-      return;
-    }
-    if (shm_cell_ != nullptr) {
-      machdep::shm::shm_cell_void(*shm_cell_);
+    if (cell_engine_ != nullptr) {
+      cell_engine_->void_state();
       return;
     }
     // Void gives no exclusion window over the payload, so the sentry only
@@ -410,11 +340,9 @@ class Async {
 
   /// Tests the state (Force's Isfull). Inherently a snapshot.
   [[nodiscard]] bool is_full() const {
-    FORCE_CHECK(!cluster_,
-                "Isfull is not supported under the cluster backend (the "
-                "full/empty state lives in the coordinator, so any snapshot "
-                "would be stale by the time it arrived)");
-    if (shm_cell_ != nullptr) return machdep::shm::shm_cell_is_full(*shm_cell_);
+    // Backends without the isfull capability throw the uniform capability
+    // diagnostic from inside their engine.
+    if (cell_engine_ != nullptr) return cell_engine_->is_full();
     if (hardware_) return cell_.is_full();
     return full_.load(std::memory_order_acquire);
   }
@@ -438,8 +366,13 @@ class Async {
 
   ForceEnvironment* env_;
   Sentry* sentry_;  // null when validation is off (the usual case)
-  bool hardware_;
+  bool hardware_ = false;
   std::string label_;
+  // Separate-process backends: the full/empty state and payload live in
+  // one backend cell engine keyed by label_ (an arena blob under os-fork,
+  // the coordinator's cell table under cluster). Null on the thread
+  // backend, which keeps the in-process schemes below.
+  std::unique_ptr<machdep::AsyncCell> cell_engine_;
   // Software scheme state:
   std::unique_ptr<machdep::BasicLock> lock_e_;
   std::unique_ptr<machdep::BasicLock> lock_f_;
@@ -447,13 +380,6 @@ class Async {
   std::atomic<bool> full_{false};
   // Hardware scheme state:
   machdep::HepCell cell_;
-  // os-fork scheme state: full/empty word + payload window in the
-  // MAP_SHARED arena (null on thread backends).
-  machdep::shm::ShmCellState* shm_cell_ = nullptr;
-  void* shm_payload_ = nullptr;
-  // Cluster scheme state: all cell state is coordinator-side, keyed by
-  // label_; this flag is the only per-process residue.
-  bool cluster_ = false;
   // Payload (software scheme, or hardware scheme with wide payloads):
   T value_{};
 };

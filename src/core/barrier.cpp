@@ -4,7 +4,6 @@
 #include <thread>
 
 #include "core/env.hpp"
-#include "machdep/cluster.hpp"
 #include "machdep/fiber.hpp"
 #include "util/check.hpp"
 
@@ -209,39 +208,19 @@ void DisseminationBarrier::arrive(int proc0,
 }
 
 // ---------------------------------------------------------------------------
-// ProcessSharedBarrier
+// EngineBarrier
 // ---------------------------------------------------------------------------
 
-ProcessSharedBarrier::ProcessSharedBarrier(ForceEnvironment& env, int width,
-                                           const std::string& shm_key)
-    : width_(width), label_("barrier '" + shm_key + "'") {
+EngineBarrier::EngineBarrier(int width,
+                             std::unique_ptr<machdep::BarrierEngine> engine)
+    : width_(width), engine_(std::move(engine)) {
   FORCE_CHECK(width_ > 0, "barrier width must be positive");
-  FORCE_CHECK(env.arena().process_shared(),
-              "process-shared barrier needs a MAP_SHARED arena "
-              "(ForceConfig::process_model = \"os-fork\")");
-  state_ = &env.arena().get_or_create<machdep::shm::ShmBarrierState>(shm_key);
+  FORCE_CHECK(engine_ != nullptr, "EngineBarrier needs a barrier engine");
 }
 
-void ProcessSharedBarrier::arrive(int proc0,
-                                  const std::function<void()>& section) {
+void EngineBarrier::arrive(int proc0, const std::function<void()>& section) {
   FORCE_CHECK(proc0 >= 0 && proc0 < width_, "barrier process id out of range");
-  machdep::shm::shm_barrier_arrive(*state_,
-                                   static_cast<std::uint32_t>(width_),
-                                   section, label_.c_str());
-}
-
-ClusterBarrier::ClusterBarrier(int width, const std::string& key)
-    : width_(width), key_(key), label_("barrier '" + key + "'") {
-  FORCE_CHECK(width_ > 0, "barrier width must be positive");
-}
-
-void ClusterBarrier::arrive(int proc0, const std::function<void()>& section) {
-  FORCE_CHECK(proc0 >= 0 && proc0 < width_, "barrier process id out of range");
-  machdep::cluster::ClusterClient& client =
-      machdep::cluster::require_client();
-  client.note_site(label_);
-  client.barrier_arrive(key_, width_,
-                        has_section(section) ? &section : nullptr);
+  engine_->arrive(proc0, has_section(section) ? &section : nullptr);
 }
 
 // ---------------------------------------------------------------------------

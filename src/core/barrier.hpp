@@ -26,8 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "machdep/backend.hpp"
 #include "machdep/locks.hpp"
-#include "machdep/shm.hpp"
 
 namespace force::core {
 
@@ -145,47 +145,22 @@ class DisseminationBarrier final : public BarrierAlgorithm {
   std::atomic<std::uint64_t> section_done_{0};
 };
 
-/// Process-shared episode barrier for the os-fork backend: the whole state
-/// is one ShmBarrierState resident in the MAP_SHARED arena under a
-/// deterministic key, so real child processes - distinct address spaces -
-/// can meet at it. The wrapper object is per-process; only the two futex
-/// words are shared. Waits are bounded and poison-checked (machdep/shm.hpp)
-/// so a dead sibling releases the survivors.
-class ProcessSharedBarrier final : public BarrierAlgorithm {
+/// Adapter over the selected backend's keyed BarrierEngine - the barrier
+/// that spans separate address spaces (futex words in the MAP_SHARED arena
+/// under os-fork; coordinator RPCs under cluster). Core never names the
+/// substrate: ForceEnvironment::make_process_shared_barrier asks the
+/// backend for an engine and wraps it here.
+class EngineBarrier final : public BarrierAlgorithm {
  public:
   using BarrierAlgorithm::arrive;
-  ProcessSharedBarrier(ForceEnvironment& env, int width,
-                       const std::string& shm_key);
+  EngineBarrier(int width, std::unique_ptr<machdep::BarrierEngine> engine);
   void arrive(int proc0, const std::function<void()>& section) override;
-  const char* name() const override { return "process-shared"; }
+  const char* name() const override { return engine_->name(); }
   int width() const override { return width_; }
 
  private:
   int width_;
-  machdep::shm::ShmBarrierState* state_;
-  std::string label_;
-};
-
-/// Barrier for the cluster backend: arrival, champion election, section
-/// and release are all served by the coordinator over the socket
-/// transport (machdep/cluster.hpp); the last arriver runs the section with
-/// every earlier arrival's arena updates already applied, and the release
-/// carries the section's writes to every member. The object itself holds
-/// only the key - it is constructed freely in any process (including the
-/// coordinator, which never arrives); the member's client is looked up at
-/// arrive time.
-class ClusterBarrier final : public BarrierAlgorithm {
- public:
-  using BarrierAlgorithm::arrive;
-  ClusterBarrier(int width, const std::string& key);
-  void arrive(int proc0, const std::function<void()>& section) override;
-  const char* name() const override { return "cluster"; }
-  int width() const override { return width_; }
-
- private:
-  int width_;
-  std::string key_;
-  std::string label_;
+  std::unique_ptr<machdep::BarrierEngine> engine_;
 };
 
 /// Names accepted by make_barrier / ForceConfig::barrier_algorithm.

@@ -2,7 +2,6 @@
 
 #include "core/env.hpp"
 #include "core/sentry.hpp"
-#include "machdep/cluster.hpp"
 #include "util/check.hpp"
 #include "util/timing.hpp"
 #include "util/trace.hpp"
@@ -68,25 +67,11 @@ SelfschedLoop::SelfschedLoop(ForceEnvironment& env, int width,
                              const std::string& key)
     : env_(env), width_(width) {
   FORCE_CHECK(width_ > 0, "selfsched loop width must be positive");
-  if (env.cluster_backend()) {
-    const std::string site = key.empty() ? "anon" : key;
-    cluster_key_ = "%ssdo/" + site;
-    label_ = "selfsched '" + site + "'";
-    cluster_bounds_ = &env.arena().get_or_create<ClusterBounds>(cluster_key_);
-    cluster_entry_ =
-        std::make_unique<ClusterBarrier>(width_, cluster_key_ + "/entry");
-    return;
-  }
-  if (env.fork_backend()) {
-    // The barwin/barwot labels are per-construct-kind, not per-site, so
-    // they cannot key arena locks. Instead the whole episode lives in one
-    // ShmSelfschedState keyed by the construct's site key.
-    const std::string site = key.empty() ? "anon" : key;
-    shm_ = &env.arena().get_or_create<machdep::shm::ShmSelfschedState>(
-        "%ssdo/" + site);
-    label_ = "selfsched '" + site + "'";
-    return;
-  }
+  // The barwin/barwot labels are per-construct-kind, not per-site, so they
+  // cannot key cross-process state. Separate-process backends key the
+  // whole episode by the construct's site key instead.
+  site_ = env.backend().make_doall_site(key.empty() ? "anon" : key, width_);
+  if (site_ != nullptr) return;
   barwin_ = env.new_lock(machdep::LockRole::kSemaphore, "doall.barwin");
   barwot_ = env.new_lock(machdep::LockRole::kSemaphore, "doall.barwot");
   dispatch_ = env.new_dispatch_counter();
@@ -95,46 +80,20 @@ SelfschedLoop::SelfschedLoop(ForceEnvironment& env, int width,
 
 bool SelfschedLoop::enter_episode(std::int64_t start, std::int64_t last,
                                   std::int64_t incr) {
-  if (cluster_entry_ != nullptr) {
-    // Same champion shape as the os-fork path, across address spaces: the
-    // last arriver re-arms the coordinator's dispatch counter and writes
-    // the bounds into the distributed arena inside the barrier section;
-    // the release carries both to every member before any claim is drawn.
-    cluster_entry_->arrive(0, [&] {
-      cluster_bounds_->start = start;
-      cluster_bounds_->last = last;
-      cluster_bounds_->incr = incr;
-      cluster_bounds_->trips = loop_trip_count(start, last, incr);
-      machdep::cluster::require_client().dispatch_reset(cluster_key_);
-    });
-    machdep::cluster::require_client().note_site(label_);
-    start_ = cluster_bounds_->start;
-    last_ = cluster_bounds_->last;
-    incr_ = cluster_bounds_->incr;
-    trips_ = cluster_bounds_->trips;
-    return last == last_ && incr == incr_;
-  }
-  if (shm_ != nullptr) {
-    // Champion episode barrier: the last arriver publishes the bounds and
-    // re-arms the dispatch while every other process is provably parked
-    // on the episode word, then releases them. No process can be inside
-    // the claim loop of the *previous* episode at that moment, because it
-    // would not have arrived here yet - so there is still no exit barrier,
-    // exactly as in the thread expansion.
-    machdep::shm::shm_barrier_arrive(
-        shm_->entry, static_cast<std::uint32_t>(width_),
-        [&] {
-          shm_->start = start;
-          shm_->last = last;
-          shm_->incr = incr;
-          shm_->trips = loop_trip_count(start, last, incr);
-          shm_->dispatch.value.store(0, std::memory_order_relaxed);
-        },
-        label_.c_str());
-    start_ = shm_->start;
-    last_ = shm_->last;
-    incr_ = shm_->incr;
-    trips_ = shm_->trips;
+  if (site_ != nullptr) {
+    // Champion episode barrier, across address spaces: the last arriver
+    // publishes the bounds and re-arms the dispatch while every other
+    // process is provably parked on the episode entry, then releases
+    // them. No process can be inside the claim loop of the *previous*
+    // episode at that moment, because it would not have arrived here yet -
+    // so there is still no exit barrier, exactly as in the thread
+    // expansion.
+    const machdep::DoallBounds b =
+        site_->enter(start, last, incr, loop_trip_count(start, last, incr));
+    start_ = b.start;
+    last_ = b.last;
+    incr_ = b.incr;
+    trips_ = b.trips;
     return last == last_ && incr == incr_;
   }
   bool ok = true;
@@ -164,8 +123,8 @@ bool SelfschedLoop::enter_episode(std::int64_t start, std::int64_t last,
 }
 
 void SelfschedLoop::leave_episode() {
-  // Re-entry fenced by the entry barrier on both keyed backends.
-  if (cluster_entry_ != nullptr || shm_ != nullptr) return;
+  // Re-entry fenced by the engine's entry barrier on keyed backends.
+  if (site_ != nullptr) return;
   barwot_->acquire();
   --zznbar_;
   if (zznbar_ == 0) {
@@ -211,17 +170,9 @@ void SelfschedLoop::run(int me0, std::int64_t start, std::int64_t last,
   for (;;) {
     // The lock-free claim has no lock hook, so the fuzzer perturbs here.
     if (sentry != nullptr) sentry->fuzz();
-    machdep::DispatchClaim c;
-    if (cluster_entry_ != nullptr) {
-      const machdep::cluster::Claim cc =
-          machdep::cluster::require_client().dispatch_claim(cluster_key_,
-                                                            chunk, trips);
-      c = {cc.begin, cc.count};
-    } else {
-      c = shm_ != nullptr
-              ? machdep::shm::shm_dispatch_claim(shm_->dispatch, chunk, trips)
-              : dispatch_->claim(chunk, trips);
-    }
+    const machdep::DispatchClaim c = site_ != nullptr
+                                         ? site_->claim(chunk, trips)
+                                         : dispatch_->claim(chunk, trips);
     ++tally.dispatches;
     if (tracer) {
       tracer->instant(me0, util::TraceKind::kLoopDispatch,
@@ -269,17 +220,9 @@ void SelfschedLoop::run_guided(int me0, std::int64_t start, std::int64_t last,
     // early claims are big (low dispatch overhead) and late claims small
     // (good load balance at the tail). On the lock-free engine this is a
     // CAS loop on the remaining-trips value.
-    machdep::DispatchClaim c;
-    if (cluster_entry_ != nullptr) {
-      const machdep::cluster::Claim cc =
-          machdep::cluster::require_client().dispatch_claim_fraction(
-              cluster_key_, trips, 2 * width_);
-      c = {cc.begin, cc.count};
-    } else {
-      c = shm_ != nullptr ? machdep::shm::shm_dispatch_claim_fraction(
-                                shm_->dispatch, trips, 2 * width_)
-                          : dispatch_->claim_fraction(trips, 2 * width_);
-    }
+    const machdep::DispatchClaim c =
+        site_ != nullptr ? site_->claim_fraction(trips, 2 * width_)
+                         : dispatch_->claim_fraction(trips, 2 * width_);
     ++tally.dispatches;
     if (tracer) {
       tracer->instant(me0, util::TraceKind::kLoopDispatch,

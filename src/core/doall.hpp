@@ -29,8 +29,8 @@
 #include <string>
 
 #include "core/barrier.hpp"
+#include "machdep/backend.hpp"
 #include "machdep/locks.hpp"
-#include "machdep/shm.hpp"
 
 namespace force::core {
 
@@ -64,10 +64,10 @@ void presched_do2(int me0, int np, std::int64_t i_start, std::int64_t i_last,
 /// any SPMD team of `width` processes.
 class SelfschedLoop {
  public:
-  /// `key` is the construct's stable site key. Under the os-fork backend
-  /// the loop's episode state (entry barrier + dispatch counter + bounds)
-  /// lives in the MAP_SHARED arena at that key so every real process
-  /// reaches the same words; thread backends ignore it.
+  /// `key` is the construct's stable site key. Separate-process backends
+  /// key the loop's episode state (entry barrier + dispatch counter +
+  /// bounds) by it so every real process reaches the same engine state;
+  /// the thread backend ignores it.
   SelfschedLoop(ForceEnvironment& env, int width, const std::string& key = "");
 
   /// Executes the loop body for dynamically claimed indices. `chunk` > 1
@@ -93,27 +93,12 @@ class SelfschedLoop {
   ForceEnvironment& env_;
   int width_;
 
-  // os-fork backend: the whole episode protocol folds into one arena-
-  // resident state (shm_ non-null) - an entry barrier whose champion
-  // publishes the bounds and re-arms the dispatch, then a lock-free claim
-  // loop; faithful to the paper there is still no exit barrier.
-  machdep::shm::ShmSelfschedState* shm_ = nullptr;
-  std::string label_;
-
-  // Cluster backend: the dispatch counter lives in the coordinator (keyed
-  // by the site), the episode entry is a coordinator barrier, and the
-  // bounds ride the distributed arena in this blob - the champion writes
-  // them in the barrier section, so the release slice publishes them to
-  // every member before any claim is drawn.
-  struct ClusterBounds {
-    std::int64_t start = 0;
-    std::int64_t last = 0;
-    std::int64_t incr = 1;
-    std::int64_t trips = 0;
-  };
-  std::unique_ptr<BarrierAlgorithm> cluster_entry_;
-  ClusterBounds* cluster_bounds_ = nullptr;
-  std::string cluster_key_;
+  // Separate-process backends: the whole episode protocol folds into one
+  // backend engine (site_ non-null) - an entry barrier whose champion
+  // publishes the bounds and re-arms the dispatch, then a claim loop;
+  // faithful to the paper there is still no exit barrier. Null on the
+  // thread backend, which keeps the monomorphic expansion below.
+  std::unique_ptr<machdep::DoallSite> site_;
 
   // The paper's shared environment variables for this loop site:
   std::unique_ptr<machdep::BasicLock> barwin_;   // entry gate

@@ -5,9 +5,6 @@
 
 #include "core/barrier.hpp"
 #include "core/sentry.hpp"
-#include "machdep/cluster.hpp"
-#include "machdep/shm.hpp"
-#include "machdep/teampool.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
@@ -23,7 +20,7 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return std::strtoull(v, nullptr, 10);
 }
 
-void apply_env_overrides(ForceConfig& config) {
+void apply_env_overrides(ForceConfig& config, machdep::ProcessModel model) {
   if (!config.sentry && env_u64("FORCE_SENTRY", 0) != 0) config.sentry = true;
   if (config.schedule_fuzz == 0) {
     config.schedule_fuzz = env_u64("FORCE_SCHEDULE_FUZZ", 0);
@@ -37,12 +34,12 @@ void apply_env_overrides(ForceConfig& config) {
   if (config.pool_workers == 0) {
     config.pool_workers =
         static_cast<int>(env_u64("FORCE_POOL_WORKERS", 0));
-    // Env-var-driven N:M is dropped where it cannot work (os-fork and
-    // cluster fork one child per member), so suite-wide pooled runs don't
-    // break the fork tests. Explicit configs are validated in the
-    // constructor.
-    if (config.process_model == "os-fork" ||
-        config.process_model == "cluster") {
+    // Env-var-driven N:M is dropped where the capability table says it
+    // cannot work (os-fork and cluster fork one child per member), so
+    // suite-wide pooled runs don't break the fork tests. Explicit configs
+    // are validated in the constructor.
+    if (!machdep::backend_supports(model,
+                                   machdep::Capability::kNmScheduling)) {
       config.pool_workers = 0;
     }
   }
@@ -66,18 +63,23 @@ void RuntimeStats::reset() {
   pcase_blocks.store(0, std::memory_order_relaxed);
 }
 
+void ForceEnvironment::require(machdep::Capability cap,
+                               const std::string& construct,
+                               const std::string& site) const {
+  FORCE_CHECK(machdep::backend_supports(model_, cap),
+              machdep::capability_reject_message(model_, cap, construct,
+                                                 site));
+}
+
 ForceEnvironment::ForceEnvironment(ForceConfig config)
     : config_(std::move(config)) {
   FORCE_CHECK(config_.nproc > 0, "ForceConfig::nproc must be positive");
   FORCE_CHECK(config_.dispatch == "auto" || config_.dispatch == "locked",
               "ForceConfig::dispatch must be 'auto' or 'locked'");
-  FORCE_CHECK(config_.process_model == "machine" ||
-                  config_.process_model == "os-fork" ||
-                  config_.process_model == "cluster",
-              "ForceConfig::process_model must be 'machine', 'os-fork' or "
-              "'cluster'");
-  fork_backend_ = config_.process_model == "os-fork";
-  cluster_backend_ = config_.process_model == "cluster";
+  FORCE_CHECK(machdep::parse_process_model(config_.process_model, &model_),
+              "ForceConfig::process_model '" + config_.process_model +
+                  "' is not recognized; valid values: " +
+                  machdep::process_model_valid_set());
   FORCE_CHECK(config_.cluster_transport == "unix" ||
                   config_.cluster_transport == "tcp",
               "ForceConfig::cluster_transport must be 'unix' or 'tcp'");
@@ -85,10 +87,7 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
               "ForceConfig::pool_workers must be non-negative");
   if (config_.pool_workers > 0) {
     config_.team_pool = true;
-    FORCE_CHECK(!fork_backend_ && !cluster_backend_,
-                "N:M member scheduling is thread-only; the os-fork pool "
-                "keeps one resident child per member and the cluster "
-                "backend forks one peer per member");
+    require(machdep::Capability::kNmScheduling, "N:M member scheduling", "");
     // Two members multiplexed on one OS thread defeat the sentry's
     // per-thread bookkeeping (ThreadScope, vector clocks, locksets).
     // Explicit configs are an error; the FORCE_SENTRY family is dropped
@@ -97,49 +96,39 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
                 "the sentry cannot observe N:M pooled members (two members "
                 "share one OS thread); validate with a 1:1 team");
   }
-  if (fork_backend_ || cluster_backend_) {
-    // These observers keep their state in ordinary (per-address-space)
-    // memory, so they cannot see an os-fork or cluster team. Explicitly
-    // asking for them is a configuration error; the FORCE_SENTRY family
-    // of environment variables is dropped below instead, so suite-wide
-    // validation runs do not break the fork/cluster tests.
-    FORCE_CHECK(!config_.sentry && config_.schedule_fuzz == 0,
-                "the sentry cannot observe a separate-address-space team "
-                "(its state is per-process); validate on a thread-emulated "
-                "process model");
-    FORCE_CHECK(!config_.trace,
-                "tracing is per-address-space; the os-fork and cluster "
-                "backends cannot collect child events");
+  if (config_.sentry || config_.schedule_fuzz != 0) {
+    // The sentry keeps its state in ordinary (per-address-space) memory,
+    // so it cannot see an os-fork or cluster team. Explicitly asking for
+    // it is a configuration error; the FORCE_SENTRY family of environment
+    // variables is dropped below instead, so suite-wide validation runs do
+    // not break the fork/cluster tests.
+    require(machdep::Capability::kSentry, "the runtime sentry", "");
   }
-  if (cluster_backend_) {
-    FORCE_CHECK(!config_.team_pool,
-                "persistent team pools are not supported under the cluster "
-                "backend (each run forks a fresh socket-connected team)");
+  if (config_.trace) {
+    require(machdep::Capability::kTrace, "event tracing", "");
+  }
+  if (config_.team_pool) {
+    require(machdep::Capability::kTeamPool, "persistent team pools", "");
   }
   const machdep::MachineSpec& spec = machdep::machine_spec(config_.machine);
   machine_ = std::make_unique<machdep::MachineModel>(spec);
   arena_ = std::make_unique<machdep::SharedArena>(
       config_.arena_bytes, spec.page_size, spec.sharing,
-      fork_backend_ ? machdep::ArenaBacking::kSharedMapping
-                    : machdep::ArenaBacking::kPrivateHeap);
+      model_ == machdep::ProcessModel::kOsFork
+          ? machdep::ArenaBacking::kSharedMapping
+          : machdep::ArenaBacking::kPrivateHeap);
   private_ = std::make_unique<machdep::PrivateSpace>(
       config_.private_data_bytes, config_.private_stack_bytes);
   if (config_.trace) {
     tracer_ = std::make_unique<util::Tracer>(
         config_.nproc, config_.trace_events_per_process);
   }
-  if (fork_backend_) {
-    // Resident pooled children observe force-entry generations through
-    // this arena word; their own copies of this object freeze at fork.
-    run_gen_shm_ =
-        &arena_->get_or_create<std::atomic<std::uint32_t>>("%force/run_gen");
-  }
-  apply_env_overrides(config_);
-  if ((fork_backend_ || cluster_backend_) && config_.sentry) {
+  apply_env_overrides(config_, model_);
+  if (!supports(machdep::Capability::kSentry) && config_.sentry) {
     config_.sentry = false;  // env-var-driven; see the note above
     config_.schedule_fuzz = 0;
   }
-  if (cluster_backend_ && config_.team_pool) {
+  if (!supports(machdep::Capability::kTeamPool) && config_.team_pool) {
     config_.team_pool = false;  // env-var-driven (FORCE_TEAM_POOL); see above
     config_.pool_workers = 0;
   }
@@ -154,10 +143,25 @@ ForceEnvironment::ForceEnvironment(ForceConfig config)
     opts.stall_ms = config_.sentry_stall_ms;
     sentry_ = std::make_unique<Sentry>(opts);
   }
+  machdep::BackendInit init;
+  init.machine = machine_.get();
+  init.arena = arena_.get();
+  init.team_pool = config_.team_pool;
+  init.pool_workers = pool_workers();
+  init.member_stack_bytes = config_.private_stack_bytes;
+  init.cluster_transport = config_.cluster_transport;
+  backend_ = machdep::make_execution_backend(model_, init);
+  // Resident pooled children observe force-entry generations through the
+  // backend's shared word (os-fork); their own copies of this object
+  // freeze at fork. Null means the per-process counter below suffices.
+  run_gen_shm_ = backend_->shared_run_generation_word();
   // Last: the barrier's locks may be ObservedLocks referencing sentry_.
+  std::unique_ptr<machdep::BarrierEngine> global_engine =
+      backend_->make_team_barrier(config_.nproc, "%force/global");
   global_barrier_ =
-      fork_backend_ || cluster_backend_
-          ? make_process_shared_barrier(config_.nproc, "%force/global")
+      global_engine != nullptr
+          ? std::make_unique<EngineBarrier>(config_.nproc,
+                                            std::move(global_engine))
           : make_barrier(config_.nproc);
 }
 
@@ -177,97 +181,19 @@ ForceEnvironment::~ForceEnvironment() {
 
 std::unique_ptr<machdep::BasicLock> ForceEnvironment::new_lock(
     machdep::LockRole role, std::string label) {
-  if (cluster_backend_) {
-    // One keyed lock cell on the coordinator. Same label discipline as
-    // the fork branch below: construct-unique labels mean every member
-    // contends on the same coordinator cell.
-    return std::make_unique<machdep::cluster::ClusterLock>(std::move(label));
-  }
-  if (fork_backend_) {
-    // One futex word in the MAP_SHARED arena, keyed by the construct
-    // label. Labels are construct-unique here (critical sections embed
-    // their site key, named locks their name), so every process that
-    // reaches the same construct contends on the same word.
-    auto* state = &arena_->get_or_create<machdep::shm::ShmLockState>(
-        "%lock/" + label);
-    return std::make_unique<machdep::shm::ShmLock>(state, std::move(label));
-  }
-  std::unique_ptr<machdep::BasicLock> inner = machine_->new_lock();
-  if (sentry_ == nullptr) return inner;
-  return std::make_unique<machdep::ObservedLock>(std::move(inner),
-                                                 sentry_.get(), role,
-                                                 std::move(label));
+  return backend_->new_lock(role, label, sentry_.get());
 }
 
 machdep::TeamPool& ForceEnvironment::team_pool() {
-  FORCE_CHECK(!fork_backend_,
-              "the thread team pool cannot drive os-fork processes");
-  if (team_pool_ == nullptr) {
-    team_pool_ = std::make_unique<machdep::TeamPool>(
-        pool_workers(), config_.private_stack_bytes);
-  }
-  return *team_pool_;
+  return backend_->team_pool();
 }
 
 machdep::ForkTeamPool& ForceEnvironment::fork_pool(int nproc) {
-  FORCE_CHECK(fork_backend_,
-              "the fork team pool needs process_model = \"os-fork\"");
-  if (fork_pool_ != nullptr && fork_pool_->nproc() != nproc) {
-    fork_pool_->shutdown();
-    fork_pool_.reset();
-  }
-  if (fork_pool_ == nullptr) {
-    fork_pool_ = std::make_unique<machdep::ForkTeamPool>(nproc);
-  }
-  return *fork_pool_;
+  return backend_->fork_pool(nproc);
 }
 
 void ForceEnvironment::reset_shared_sync_after_death() {
-  FORCE_CHECK(fork_backend_,
-              "sync-state death recovery is an os-fork concern");
-  namespace shm = machdep::shm;
-  arena_->for_each_allocation([](const std::string& name, void* addr,
-                                 std::size_t) {
-    const auto prefixed = [&name](const char* p) {
-      return name.rfind(p, 0) == 0;
-    };
-    if (name == "%force/global") {
-      // Arrival count of the global barrier: the victims' arrivals can
-      // never complete. The episode word stays monotonic (arrivals read
-      // it fresh), so zeroing the count alone re-arms the episode.
-      static_cast<shm::ShmBarrierState*>(addr)->count.store(
-          0, std::memory_order_release);
-    } else if (prefixed("%lock/")) {
-      static_cast<shm::ShmLockState*>(addr)->word.store(
-          0, std::memory_order_release);
-    } else if (prefixed("%ssdo/")) {
-      // The dispatch counter is re-armed by the entry champion anyway;
-      // only the entry barrier carries dead arrivals.
-      static_cast<shm::ShmSelfschedState*>(addr)->entry.count.store(
-          0, std::memory_order_release);
-    } else if (prefixed("%askfor/")) {
-      auto* a = static_cast<shm::ShmAskforState*>(addr);
-      a->monitor.word.store(0, std::memory_order_release);
-      a->head = 0;
-      a->tail = 0;
-      a->working = 0;
-      a->ended = 0;
-      // Back to "never armed": the next entry's first operation runs the
-      // full generation re-arm.
-      a->seen_gen.store(0, std::memory_order_release);
-    } else if (prefixed("%async/")) {
-      // Busy means a victim died inside the payload window and the bytes
-      // are undefined: drop to empty. Full cells are user data and stay.
-      auto* c = static_cast<shm::ShmCellState*>(addr);
-      std::uint32_t busy = 2;
-      c->state.compare_exchange_strong(busy, 0, std::memory_order_acq_rel);
-    } else if (prefixed("%reduce/")) {
-      auto* h = static_cast<shm::ShmReduceHeader*>(addr);
-      h->lock.word.store(0, std::memory_order_release);
-      h->barrier.count.store(0, std::memory_order_release);
-      h->arrived = 0;
-    }
-  });
+  backend_->reset_shared_sync_after_death();
 }
 
 std::uint32_t ForceEnvironment::run_generation() const {
@@ -286,13 +212,7 @@ void ForceEnvironment::begin_team_entry() {
 }
 
 machdep::ProcessTeam ForceEnvironment::process_team() const {
-  if (fork_backend_) {
-    return machdep::ProcessTeam(machdep::ProcessModelKind::kOsFork);
-  }
-  if (cluster_backend_) {
-    return machdep::ProcessTeam(machdep::ProcessModelKind::kCluster);
-  }
-  return machine_->process_team();
+  return backend_->process_team();
 }
 
 BarrierAlgorithm& ForceEnvironment::global_barrier() {
@@ -305,19 +225,19 @@ std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_barrier(int width) {
 
 std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_barrier(
     int width, const std::string& algorithm) {
-  FORCE_CHECK(!fork_backend_ && !cluster_backend_,
-              "thread barrier algorithms cannot span separate address "
-              "spaces; use make_process_shared_barrier with a keyed "
-              "barrier");
+  require(machdep::Capability::kThreadBarrierAlgorithms,
+          "thread barrier algorithms", "");
   return make_barrier_algorithm(algorithm, *this, width);
 }
 
 std::unique_ptr<BarrierAlgorithm> ForceEnvironment::make_process_shared_barrier(
     int width, const std::string& shm_key) {
-  if (cluster_backend_) {
-    return std::make_unique<ClusterBarrier>(width, shm_key);
-  }
-  return std::make_unique<ProcessSharedBarrier>(*this, width, shm_key);
+  std::unique_ptr<machdep::BarrierEngine> engine =
+      backend_->make_team_barrier(width, shm_key);
+  FORCE_CHECK(engine != nullptr,
+              "process-shared barrier needs a separate-process backend "
+              "(ForceConfig::process_model = \"os-fork\" or \"cluster\")");
+  return std::make_unique<EngineBarrier>(width, std::move(engine));
 }
 
 util::Xoshiro256 ForceEnvironment::rng_for(int proc0) const {

@@ -17,16 +17,12 @@
 #include <string>
 
 #include "machdep/arena.hpp"
+#include "machdep/backend.hpp"
 #include "machdep/linkage.hpp"
 #include "machdep/machine.hpp"
 #include "core/site.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
-
-namespace force::machdep {
-class TeamPool;      // machdep/teampool.hpp
-class ForkTeamPool;  // machdep/teampool.hpp
-}  // namespace force::machdep
 
 namespace force::core {
 
@@ -173,18 +169,27 @@ class ForceEnvironment {
     return machine_->new_dispatch_counter(!lock_free_dispatch());
   }
 
-  /// True when this run uses the real-fork backend: processes are
-  /// separate address spaces, shared state must live in the MAP_SHARED
-  /// arena, and synchronization must be process-shared.
-  [[nodiscard]] bool fork_backend() const { return fork_backend_; }
+  /// The process substrate this environment selected at construction
+  /// (ForceConfig::process_model parsed into the enum).
+  [[nodiscard]] machdep::ProcessModel process_model() const { return model_; }
 
-  /// True when this run uses the cluster backend: separate processes with
-  /// no shared mapping; every construct is an RPC to the coordinator and
-  /// shared data travels through the software distributed-shared arena.
-  [[nodiscard]] bool cluster_backend() const { return cluster_backend_; }
+  /// The execution backend realizing the constructs on that substrate.
+  /// Constructs ask it for engines (a null engine means "use the
+  /// monomorphic thread machinery") - core never names a backend.
+  [[nodiscard]] machdep::ExecutionBackend& backend() { return *backend_; }
+
+  /// Capability probe against the declarative backend matrix.
+  [[nodiscard]] bool supports(machdep::Capability cap) const {
+    return machdep::backend_supports(model_, cap);
+  }
+
+  /// Rejects `construct` at `site` with the uniform capability diagnostic
+  /// when this backend does not support `cap`; no-op when it does.
+  void require(machdep::Capability cap, const std::string& construct,
+               const std::string& site) const;
 
   /// The team that Force::run spawns: the machine model's emulated team,
-  /// or the real-fork team when process_model is "os-fork".
+  /// or the backend's separate-process team.
   [[nodiscard]] machdep::ProcessTeam process_team() const;
 
   /// True when this environment keeps its team pooled across force
@@ -268,14 +273,13 @@ class ForceEnvironment {
   /// declared before global_barrier_ (whose locks reference it) and
   /// destroyed after it.
   std::unique_ptr<Sentry> sentry_;
+  machdep::ProcessModel model_ = machdep::ProcessModel::kThread;
+  /// The selected substrate. Declared after machine_ and arena_ (which it
+  /// references) so it is destroyed first; it owns the pooled teams, whose
+  /// resident fork children still reference the MAP_SHARED arena while
+  /// they park.
+  std::unique_ptr<machdep::ExecutionBackend> backend_;
   std::unique_ptr<BarrierAlgorithm> global_barrier_;
-  bool fork_backend_ = false;
-  bool cluster_backend_ = false;
-  /// Pooled teams (lazily created; null when team_pool is off). Declared
-  /// after arena_ so they are destroyed first: the fork pool's children
-  /// still reference the MAP_SHARED arena while they park.
-  std::unique_ptr<machdep::TeamPool> team_pool_;
-  std::unique_ptr<machdep::ForkTeamPool> fork_pool_;
   std::atomic<std::uint32_t> run_generation_{0};
   /// Arena-resident generation word under os-fork (children's copies of
   /// this object are COW-frozen at fork time; the arena word is live).

@@ -1,7 +1,5 @@
 #include "core/force.hpp"
 
-#include "machdep/cluster.hpp"
-#include "machdep/teampool.hpp"
 #include "util/check.hpp"
 
 namespace force::core {
@@ -15,12 +13,7 @@ void Ctx::call(const std::string& subroutine) {
 }
 
 ResolveBuilder Ctx::resolve(const Site& site) {
-  FORCE_CHECK(!env_->fork_backend(),
-              "Resolve is not supported under the os-fork backend (its "
-              "component barriers and claim state are per-address-space)");
-  FORCE_CHECK(!env_->cluster_backend(),
-              "Resolve is not supported under the cluster backend (its "
-              "component barriers and claim state are per-address-space)");
+  env_->require(machdep::Capability::kResolve, "Resolve", site_key(site));
   return ResolveBuilder(*this, site_key(site));
 }
 
@@ -124,54 +117,12 @@ machdep::SpawnStats Force::run(const std::function<void(Ctx&)>& program) {
     }
   };
 
-  machdep::SpawnStats stats;
-  if (env_->team_pool_enabled() && env_->fork_backend()) {
-    machdep::ForkTeamPool& pool = env_->fork_pool(np);
-    // The pool's resident children re-execute the closure they were
-    // forked with, so every pooled run must pass the same program. The
-    // closure's type is the strongest identity available on a
-    // std::function; same-type closures with different captured state
-    // cannot be told apart (docs/PORTING.md spells out the contract).
-    const std::type_info& program_type = program.target_type();
-    if (pool.armed()) {
-      FORCE_CHECK(pooled_program_type_ != nullptr &&
-                      *pooled_program_type_ == program_type,
-                  "an os-fork team pool runs one program: its resident "
-                  "children re-execute the closure they were forked with; "
-                  "use a fresh Force (or team_pool = false) for a "
-                  "different program");
-    }
-    try {
-      stats = pool.run(space, member);
-    } catch (const machdep::ProcessDeathError&) {
-      // The pool is already retired; the dead team left the arena's
-      // synchronization words wherever the victims stood. Scrub them now
-      // so the fresh team the next run forks starts from a clean slate.
-      env_->reset_shared_sync_after_death();
-      throw;
-    }
-    pooled_program_type_ = &program_type;
-  } else if (env_->team_pool_enabled()) {
-    if (space != nullptr) {
-      // Same fork-time copy semantics as the one-shot team; the pool only
-      // changes who executes the members, not what they inherit.
-      space->materialize(np,
-                         machdep::init_mode_for(env_->process_team().kind()));
-    }
-    stats = env_->team_pool().run(np, member);
-    if (space != nullptr) stats.bytes_copied = space->bytes_copied();
-  } else if (env_->cluster_backend()) {
-    // The cluster team reads its arena and transport through the installed
-    // runtime config (ProcessTeam::run's signature carries neither); the
-    // scope guarantees no dangling arena pointer survives this run.
-    machdep::cluster::ScopedRuntimeConfig cluster_cfg(
-        {&env_->arena(), env_->config().cluster_transport});
-    auto team = env_->process_team();
-    stats = team.run(np, space, member);
-  } else {
-    auto team = env_->process_team();
-    stats = team.run(np, space, member);
-  }
+  // The backend owns the whole team lifetime: pools, spawn, join, death
+  // reporting. The program's closure type rides along so the os-fork pool
+  // can pin one program per armed team (docs/PORTING.md spells out that
+  // contract); other backends ignore it.
+  const machdep::SpawnStats stats =
+      env_->backend().run_team(np, space, member, &program.target_type());
 
   if (sn != nullptr) sn->end_run();  // join edge: the driver sees all writes
 

@@ -141,12 +141,7 @@ class Ctx {
 
   /// Pcase builder for distinct code blocks (paper §3.3).
   [[nodiscard]] PcaseBuilder pcase(const Site& site) {
-    FORCE_CHECK(!env_->fork_backend(),
-                "Pcase is not supported under the os-fork backend (its "
-                "claim registry is per-address-space)");
-    FORCE_CHECK(!env_->cluster_backend(),
-                "Pcase is not supported under the cluster backend (its "
-                "claim registry is per-address-space)");
+    env_->require(machdep::Capability::kPcase, "Pcase", site_key(site));
     return PcaseBuilder(*env_, me0_, np_, site_key(site));
   }
 
@@ -442,10 +437,6 @@ class Force {
   /// tracked; pooled re-entry skips the per-run range walk when nothing
   /// new was placed.
   std::uint64_t tracked_arena_generation_ = ~std::uint64_t{0};
-  /// Closure type the os-fork pool was armed with: its resident children
-  /// re-execute that closure, so every pooled run must pass the same
-  /// program (checked by type in run()).
-  const std::type_info* pooled_program_type_ = nullptr;
 };
 
 }  // namespace force::core

@@ -27,8 +27,8 @@
 #include "core/barrier.hpp"
 #include "core/critical.hpp"
 #include "core/env.hpp"
+#include "machdep/backend.hpp"
 #include "machdep/fiber.hpp"
-#include "machdep/shm.hpp"
 
 namespace force::core {
 
@@ -43,45 +43,26 @@ enum class ReduceStrategy {
 template <typename T>
 class Reduction {
  public:
-  /// `key` is the construct's stable site key; under the os-fork backend
-  /// the accumulator, arrival count and result live in one arena blob at
-  /// that key (thread backends keep them as members, and only use the key
-  /// to label the critical section in sentry reports).
+  /// `key` is the construct's stable site key; separate-process backends
+  /// key the site's engine state (accumulator, arrival count, result) by
+  /// it (thread backends keep them as members, and only use the key to
+  /// label the critical section in sentry reports).
   Reduction(ForceEnvironment& env, int width,
             const std::string& key = "reduce")
       : width_(width) {
-    if (env.cluster_backend()) {
-      // Same faithful critical idiom as os-fork, across address spaces:
-      // the accumulator blob rides the distributed arena, the lock and
-      // barrier are coordinator RPCs. The lock's acquire applies every
-      // earlier contributor's arena updates, so combine() always sees the
-      // freshest accumulator; the barrier release publishes the result.
-      if constexpr (std::is_trivially_copyable_v<T>) {
-        cluster_state_ = &env.arena().get_or_create<ClusterState>(
-            "%reduce/" + key);
-        label_ = "reduce '" + key + "'";
-        cluster_lock_ =
-            env.new_lock(machdep::LockRole::kMutex, "reduce@" + key);
-        cluster_barrier_ = std::make_unique<ClusterBarrier>(
-            width_, "%reduce/" + key + "/barrier");
-      } else {
-        FORCE_CHECK(false,
-                    "cluster reductions need trivially copyable payloads "
-                    "(the accumulator rides the distributed arena)");
-      }
-      return;
+    // A backend reduction engine runs the faithful critical idiom across
+    // its address spaces: accumulate under a keyed lock, champion snapshot
+    // at the keyed barrier. The payload crosses by memcpy, so backends
+    // that hand out engines reject non-trivially-copyable types.
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      site_ = env.backend().make_reduction_site(key, width_, sizeof(T),
+                                                alignof(T));
+    } else {
+      // Null engine + supported capability = the thread shapes below.
+      env.require(machdep::Capability::kNonTrivialPayloads,
+                  "Reduction payload", key);
     }
-    if (env.fork_backend()) {
-      if constexpr (std::is_trivially_copyable_v<T>) {
-        shm_ = &env.arena().get_or_create<ShmState>("%reduce/" + key);
-        label_ = "reduce '" + key + "'";
-      } else {
-        FORCE_CHECK(false,
-                    "os-fork reductions need trivially copyable payloads "
-                    "(the accumulator lives in the shared arena)");
-      }
-      return;
-    }
+    if (site_ != nullptr) return;
     critical_ = std::make_unique<CriticalSection>(env, "reduce@" + key);
     barrier_ = env.make_barrier(width);
     // vector(count) rather than resize(): Slot holds an atomic, so it is
@@ -96,15 +77,19 @@ class Reduction {
   T allreduce(int me0, const T& local, const std::function<T(T, T)>& combine,
               ReduceStrategy strategy, T* shared_target = nullptr) {
     FORCE_CHECK(me0 >= 0 && me0 < width_, "bad reduce process id");
-    if (cluster_state_ != nullptr) {
-      // Per-process slots cannot cross the wire either; the cluster runs
-      // the faithful critical idiom regardless of the requested strategy.
-      return allreduce_cluster(me0, local, combine, shared_target);
-    }
-    if (shm_ != nullptr) {
+    if (site_ != nullptr) {
       // The tournament's per-process slots cannot cross address spaces;
-      // os-fork always runs the faithful critical idiom.
-      return allreduce_fork(local, combine, shared_target);
+      // the engine runs the faithful critical idiom regardless of the
+      // requested strategy.
+      const machdep::ReductionSite::Combine fold =
+          [&combine](void* acc, const void* contribution) {
+            T* a = static_cast<T*>(acc);
+            *a = combine(*a, *static_cast<const T*>(contribution));
+          };
+      // Raw storage: the engine's result memcpy fully initializes it.
+      alignas(T) unsigned char raw[sizeof(T)];
+      site_->allreduce(me0, &local, raw, shared_target, fold);
+      return *reinterpret_cast<T*>(raw);
     }
     if (strategy == ReduceStrategy::kCritical) {
       return allreduce_critical(me0, local, combine, shared_target);
@@ -113,60 +98,6 @@ class Reduction {
   }
 
  private:
-  /// Arena-resident state of one os-fork reduction site. The untemplated
-  /// protocol words lead (ShmReduceHeader) so death recovery can scrub
-  /// them without knowing T (ForceEnvironment::reset_shared_sync_after_death).
-  struct ShmState {
-    machdep::shm::ShmReduceHeader hdr;
-    T accumulator{};  ///< guarded by hdr.lock
-    T result{};       ///< written by the barrier champion
-  };
-
-  T allreduce_fork(const T& local, const std::function<T(T, T)>& combine,
-                   T* shared_target) {
-    machdep::shm::note_site(label_.c_str());
-    machdep::shm::shm_lock_acquire(shm_->hdr.lock);
-    if (shm_->hdr.arrived == 0) {
-      shm_->accumulator = local;
-    } else {
-      shm_->accumulator = combine(shm_->accumulator, local);
-    }
-    ++shm_->hdr.arrived;
-    machdep::shm::shm_lock_release(shm_->hdr.lock);
-    // Same shape as the thread path: the barrier section snapshots the
-    // total and re-arms the episode while every process is parked. The
-    // episode release edge publishes result_ to all leavers.
-    machdep::shm::shm_barrier_arrive(
-        shm_->hdr.barrier, static_cast<std::uint32_t>(width_),
-        [this, shared_target] {
-          shm_->result = shm_->accumulator;
-          shm_->hdr.arrived = 0;
-          if (shared_target != nullptr) *shared_target = shm_->result;
-        },
-        label_.c_str());
-    return shm_->result;
-  }
-
-  T allreduce_cluster(int me0, const T& local,
-                      const std::function<T(T, T)>& combine,
-                      T* shared_target) {
-    cluster_lock_->acquire();
-    if (cluster_state_->arrived == 0) {
-      cluster_state_->accumulator = local;
-    } else {
-      cluster_state_->accumulator =
-          combine(cluster_state_->accumulator, local);
-    }
-    ++cluster_state_->arrived;
-    cluster_lock_->release();
-    cluster_barrier_->arrive(me0, [this, shared_target] {
-      cluster_state_->result = cluster_state_->accumulator;
-      cluster_state_->arrived = 0;
-      if (shared_target != nullptr) *shared_target = cluster_state_->result;
-    });
-    return cluster_state_->result;
-  }
-
   T allreduce_critical(int me0, const T& local,
                        const std::function<T(T, T)>& combine,
                        T* shared_target) {
@@ -258,20 +189,11 @@ class Reduction {
   };
 
   int width_;
-  std::unique_ptr<CriticalSection> critical_;  // thread backends only
-  std::unique_ptr<BarrierAlgorithm> barrier_;  // thread backends only
-  ShmState* shm_ = nullptr;                    // os-fork only
-  std::string label_;
-  /// Arena-resident state of one cluster reduction site; the lock and
-  /// barrier that guard it are coordinator RPCs (cluster backend only).
-  struct ClusterState {
-    std::int32_t arrived = 0;
-    T accumulator{};  ///< guarded by *cluster_lock_
-    T result{};       ///< written by the barrier champion
-  };
-  ClusterState* cluster_state_ = nullptr;
-  std::unique_ptr<machdep::BasicLock> cluster_lock_;
-  std::unique_ptr<BarrierAlgorithm> cluster_barrier_;
+  std::unique_ptr<CriticalSection> critical_;  // thread backend only
+  std::unique_ptr<BarrierAlgorithm> barrier_;  // thread backend only
+  /// Backend reduction engine; null on the thread backend, which keeps
+  /// the two strategy shapes below.
+  std::unique_ptr<machdep::ReductionSite> site_;
   std::vector<Slot> slots_;
   // kCritical state (guarded by critical_ / published by the barrier):
   T accumulator_{};

@@ -1,0 +1,996 @@
+// ExecutionBackend implementations: the one place that knows how each
+// process substrate realizes the Force's constructs. ThreadBackend keeps the
+// thread axis monomorphic by returning null engines; ShmBackend and
+// ClusterBackend port the construct protocols (arena keys, site labels,
+// champion sections) byte-for-byte from the former in-construct branches.
+#include "machdep/backend.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "machdep/arena.hpp"
+#include "machdep/cluster.hpp"
+#include "machdep/machine.hpp"
+#include "machdep/shm.hpp"
+#include "machdep/teampool.hpp"
+#include "util/check.hpp"
+
+namespace force::machdep {
+
+namespace {
+
+std::size_t align_up(std::size_t offset, std::size_t align) {
+  return (offset + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Process model names and parsing.
+// ---------------------------------------------------------------------------
+
+const char* process_model_name(ProcessModel model) {
+  switch (model) {
+    case ProcessModel::kThread:
+      return "thread";
+    case ProcessModel::kOsFork:
+      return "os-fork";
+    case ProcessModel::kCluster:
+      return "cluster";
+  }
+  return "?";
+}
+
+const std::vector<ProcessModel>& all_process_models() {
+  static const std::vector<ProcessModel> kModels = {
+      ProcessModel::kThread, ProcessModel::kOsFork, ProcessModel::kCluster};
+  return kModels;
+}
+
+bool parse_process_model(const std::string& text, ProcessModel* out) {
+  if (text == "machine" || text == "thread") {
+    *out = ProcessModel::kThread;
+    return true;
+  }
+  if (text == "os-fork") {
+    *out = ProcessModel::kOsFork;
+    return true;
+  }
+  if (text == "cluster") {
+    *out = ProcessModel::kCluster;
+    return true;
+  }
+  return false;
+}
+
+const char* process_model_valid_set() {
+  return "'machine' (alias 'thread'), 'os-fork' or 'cluster'";
+}
+
+// ---------------------------------------------------------------------------
+// The capability table: the single source of truth for backend narrowing.
+// ---------------------------------------------------------------------------
+
+const std::vector<CapabilityRow>& capability_table() {
+  // Columns: cap, id, construct, thread, os-fork, cluster, reason.
+  static const std::vector<CapabilityRow> kTable = {
+      {Capability::kPcase, "pcase", "Pcase", true, false, false,
+       "the section-negotiation claim registry is per-address-space, so "
+       "separate processes would each claim every section"},
+      {Capability::kResolve, "resolve", "Resolve", true, false, false,
+       "its component barriers and claim state are per-address-space"},
+      {Capability::kSentry, "sentry", "the runtime sentry", true, false,
+       false,
+       "the sentry cannot observe a separate-address-space team (its state "
+       "is per-process); validate on a thread-emulated process model"},
+      {Capability::kTrace, "trace", "event tracing", true, false, false,
+       "tracing is per-address-space; the os-fork and cluster backends "
+       "cannot collect child events"},
+      {Capability::kTeamPool, "team-pool", "persistent team pools", true,
+       true, false,
+       "each cluster run forks a fresh socket-connected team"},
+      {Capability::kNmScheduling, "nm-scheduling", "N:M member scheduling",
+       true, false, false,
+       "the os-fork pool keeps one resident child per member and the "
+       "cluster backend forks one peer per member"},
+      {Capability::kNonTrivialPayloads, "non-trivial-payloads",
+       "non-trivially-copyable payloads", true, false, false,
+       "payloads that are not trivially copyable cannot cross address "
+       "spaces or the wire by memcpy"},
+      {Capability::kIsfull, "isfull", "Isfull", true, true, false,
+       "the full/empty state lives in the coordinator, so any snapshot "
+       "would be stale by the time it arrived"},
+      {Capability::kThreadBarrierAlgorithms, "thread-barriers",
+       "thread barrier algorithms", true, false, false,
+       "thread barrier algorithms cannot span separate address spaces; use "
+       "make_process_shared_barrier with a keyed barrier"},
+  };
+  return kTable;
+}
+
+const CapabilityRow& capability_row(Capability cap) {
+  for (const CapabilityRow& row : capability_table()) {
+    if (row.cap == cap) return row;
+  }
+  FORCE_CHECK(false, "capability missing from capability_table()");
+}
+
+bool backend_supports(ProcessModel model, Capability cap) {
+  const CapabilityRow& row = capability_row(cap);
+  switch (model) {
+    case ProcessModel::kThread:
+      return row.thread;
+    case ProcessModel::kOsFork:
+      return row.os_fork;
+    case ProcessModel::kCluster:
+      return row.cluster;
+  }
+  return false;
+}
+
+std::string capability_reject_message(ProcessModel model, Capability cap,
+                                      const std::string& construct,
+                                      const std::string& site) {
+  const CapabilityRow& row = capability_row(cap);
+  std::string msg = construct;
+  if (!site.empty()) {
+    msg += " at '";
+    msg += site;
+    msg += "'";
+  }
+  msg += " is not supported under the ";
+  msg += process_model_name(model);
+  msg += " backend [capability ";
+  msg += row.id;
+  msg += "]: ";
+  msg += row.reason;
+  return msg;
+}
+
+std::string capability_matrix_markdown() {
+  std::string out =
+      "| capability | construct | thread | os-fork | cluster |\n"
+      "|---|---|---|---|---|\n";
+  const auto cell = [](bool yes) { return yes ? "yes" : "no"; };
+  for (const CapabilityRow& row : capability_table()) {
+    out += "| `";
+    out += row.id;
+    out += "` | ";
+    out += row.construct;
+    out += " | ";
+    out += cell(row.thread);
+    out += " | ";
+    out += cell(row.os_fork);
+    out += " | ";
+    out += cell(row.cluster);
+    out += " |\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionBackend base defaults.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<DoallSite> ExecutionBackend::make_doall_site(
+    const std::string& /*site*/, int /*width*/) {
+  return nullptr;
+}
+
+std::unique_ptr<AskforRing> ExecutionBackend::make_askfor_ring(
+    const std::string& /*key*/, std::uint32_t /*capacity*/,
+    std::size_t /*task_bytes*/) {
+  return nullptr;
+}
+
+std::unique_ptr<AsyncCell> ExecutionBackend::make_async_cell(
+    const std::string& /*label*/, std::size_t /*payload_bytes*/,
+    std::size_t /*payload_align*/) {
+  return nullptr;
+}
+
+std::unique_ptr<ReductionSite> ExecutionBackend::make_reduction_site(
+    const std::string& /*key*/, int /*width*/, std::size_t /*payload_bytes*/,
+    std::size_t /*payload_align*/) {
+  return nullptr;
+}
+
+std::unique_ptr<BarrierEngine> ExecutionBackend::make_team_barrier(
+    int /*width*/, const std::string& /*key*/) {
+  return nullptr;
+}
+
+std::atomic<std::uint32_t>* ExecutionBackend::shared_run_generation_word() {
+  return nullptr;
+}
+
+TeamPool& ExecutionBackend::team_pool() {
+  FORCE_CHECK(false, "the thread team pool cannot drive os-fork processes");
+}
+
+ForkTeamPool& ExecutionBackend::fork_pool(int /*nproc*/) {
+  FORCE_CHECK(false, "the fork team pool needs process_model = \"os-fork\"");
+}
+
+void ExecutionBackend::reset_shared_sync_after_death() {
+  FORCE_CHECK(false, "sync-state death recovery is an os-fork concern");
+}
+
+// ---------------------------------------------------------------------------
+// os-fork engines (machdep/shm over the MAP_SHARED arena).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ShmBarrierEngine final : public BarrierEngine {
+ public:
+  ShmBarrierEngine(SharedArena* arena, int width, const std::string& key)
+      : state_(&arena->get_or_create<shm::ShmBarrierState>(key)),
+        label_("barrier '" + key + "'"),
+        width_(static_cast<std::uint32_t>(width)) {}
+
+  void arrive(int /*proc0*/, const std::function<void()>* section) override {
+    static const std::function<void()> kNoSection;
+    shm::shm_barrier_arrive(*state_, width_, section != nullptr ? *section
+                                                                : kNoSection,
+                            label_.c_str());
+  }
+
+  [[nodiscard]] const char* name() const override { return "process-shared"; }
+
+ private:
+  shm::ShmBarrierState* state_;
+  std::string label_;
+  std::uint32_t width_;
+};
+
+class ShmDoallSite final : public DoallSite {
+ public:
+  ShmDoallSite(SharedArena* arena, const std::string& site, int width)
+      : state_(&arena->get_or_create<shm::ShmSelfschedState>("%ssdo/" + site)),
+        label_("selfsched '" + site + "'"),
+        width_(static_cast<std::uint32_t>(width)) {}
+
+  DoallBounds enter(std::int64_t start, std::int64_t last, std::int64_t incr,
+                    std::int64_t trips) override {
+    // The entry champion publishes the bounds and re-arms the shared
+    // dispatch counter inside the barrier section; the episode release
+    // publishes them to every process.
+    shm::shm_barrier_arrive(
+        state_->entry, width_,
+        [this, start, last, incr, trips] {
+          state_->start = start;
+          state_->last = last;
+          state_->incr = incr;
+          state_->trips = trips;
+          state_->dispatch.value.store(0, std::memory_order_relaxed);
+        },
+        label_.c_str());
+    DoallBounds b;
+    b.start = state_->start;
+    b.last = state_->last;
+    b.incr = state_->incr;
+    b.trips = state_->trips;
+    return b;
+  }
+
+  DispatchClaim claim(std::int64_t want, std::int64_t limit) override {
+    return shm::shm_dispatch_claim(state_->dispatch, want, limit);
+  }
+
+  DispatchClaim claim_fraction(std::int64_t limit,
+                               std::int64_t divisor) override {
+    return shm::shm_dispatch_claim_fraction(state_->dispatch, limit, divisor);
+  }
+
+ private:
+  shm::ShmSelfschedState* state_;
+  std::string label_;
+  std::uint32_t width_;
+};
+
+class ShmAskforRing final : public AskforRing {
+ public:
+  ShmAskforRing(SharedArena* arena, const std::string& key,
+                std::uint32_t capacity, std::size_t task_bytes)
+      : label_("askfor '" + key + "'") {
+    const auto stride = static_cast<std::uint32_t>(task_bytes);
+    void* blob = arena->allocate_once(
+        "%askfor/" + key, shm::shm_askfor_bytes(capacity, stride),
+        alignof(shm::ShmAskforState), VarClass::kShared,
+        [capacity, stride](void* p) {
+          shm::shm_askfor_init(p, capacity, stride);
+        });
+    state_ = static_cast<shm::ShmAskforState*>(blob);
+  }
+
+  void put(const void* task) override { shm::shm_askfor_put(*state_, task); }
+
+  bool ask(void* out) override {
+    return shm::shm_askfor_ask(*state_, out, label_.c_str());
+  }
+
+  void complete() override { shm::shm_askfor_complete(*state_); }
+  void probend() override { shm::shm_askfor_probend(*state_); }
+
+  [[nodiscard]] bool ended() override {
+    return shm::shm_askfor_ended(*state_);
+  }
+
+  [[nodiscard]] std::uint64_t granted() override {
+    return state_->granted.load(std::memory_order_relaxed);
+  }
+
+  void rearm(std::uint32_t gen) override {
+    shm::shm_askfor_rearm(*state_, gen);
+  }
+
+ private:
+  shm::ShmAskforState* state_;
+  std::string label_;
+};
+
+class ShmAsyncCell final : public AsyncCell {
+ public:
+  ShmAsyncCell(SharedArena* arena, const std::string& label,
+               std::size_t payload_bytes)
+      : label_(label), bytes_(payload_bytes) {
+    // One blob: the state word first (its 64-byte alignment covers any
+    // payload the capability gate admits), the payload window right after.
+    void* blob = arena->allocate_once(
+        "%async/" + label, sizeof(shm::ShmCellState) + payload_bytes,
+        alignof(shm::ShmCellState), VarClass::kShared,
+        [](void* p) { new (p) shm::ShmCellState(); });
+    state_ = static_cast<shm::ShmCellState*>(blob);
+    payload_ = static_cast<unsigned char*>(blob) + sizeof(shm::ShmCellState);
+  }
+
+  void produce(const void* value) override {
+    shm::shm_cell_produce(*state_, payload_, value, bytes_, label_.c_str());
+  }
+  void consume(void* out) override {
+    shm::shm_cell_consume(*state_, payload_, out, bytes_, label_.c_str());
+  }
+  void copy(void* out) override {
+    shm::shm_cell_copy(*state_, payload_, out, bytes_, label_.c_str());
+  }
+  bool try_produce(const void* value) override {
+    return shm::shm_cell_try_produce(*state_, payload_, value, bytes_);
+  }
+  bool try_consume(void* out) override {
+    return shm::shm_cell_try_consume(*state_, payload_, out, bytes_);
+  }
+  void void_state() override { shm::shm_cell_void(*state_); }
+  [[nodiscard]] bool is_full() override {
+    return shm::shm_cell_is_full(*state_);
+  }
+
+ private:
+  shm::ShmCellState* state_;
+  unsigned char* payload_;
+  std::string label_;
+  std::size_t bytes_;
+};
+
+class ShmReductionSite final : public ReductionSite {
+ public:
+  ShmReductionSite(SharedArena* arena, const std::string& key, int width,
+                   std::size_t payload_bytes, std::size_t payload_align)
+      : label_("reduce '" + key + "'"),
+        width_(static_cast<std::uint32_t>(width)),
+        bytes_(payload_bytes) {
+    // Blob layout mirrors the former struct { ShmReduceHeader; T acc;
+    // T result; }: header first so death recovery can scrub the protocol
+    // words by prefix without knowing T.
+    const std::size_t acc_off =
+        align_up(sizeof(shm::ShmReduceHeader), payload_align);
+    const std::size_t result_off =
+        align_up(acc_off + payload_bytes, payload_align);
+    const std::size_t align =
+        payload_align > alignof(shm::ShmReduceHeader)
+            ? payload_align
+            : alignof(shm::ShmReduceHeader);
+    void* blob = arena->allocate_once(
+        "%reduce/" + key, result_off + payload_bytes, align,
+        VarClass::kShared, [result_off, payload_bytes](void* p) {
+          new (p) shm::ShmReduceHeader();
+          std::memset(static_cast<unsigned char*>(p) +
+                          sizeof(shm::ShmReduceHeader),
+                      0,
+                      result_off + payload_bytes -
+                          sizeof(shm::ShmReduceHeader));
+        });
+    hdr_ = static_cast<shm::ShmReduceHeader*>(blob);
+    acc_ = static_cast<unsigned char*>(blob) + acc_off;
+    result_ = static_cast<unsigned char*>(blob) + result_off;
+  }
+
+  void allreduce(int /*me0*/, const void* local, void* result_out,
+                 void* shared_target, const Combine& combine) override {
+    shm::note_site(label_.c_str());
+    shm::shm_lock_acquire(hdr_->lock);
+    if (hdr_->arrived == 0) {
+      std::memcpy(acc_, local, bytes_);
+    } else {
+      combine(acc_, local);
+    }
+    ++hdr_->arrived;
+    shm::shm_lock_release(hdr_->lock);
+    shm::shm_barrier_arrive(
+        hdr_->barrier, width_,
+        [this, shared_target] {
+          std::memcpy(result_, acc_, bytes_);
+          hdr_->arrived = 0;
+          if (shared_target != nullptr) {
+            std::memcpy(shared_target, result_, bytes_);
+          }
+        },
+        label_.c_str());
+    std::memcpy(result_out, result_, bytes_);
+  }
+
+ private:
+  shm::ShmReduceHeader* hdr_;
+  unsigned char* acc_;
+  unsigned char* result_;
+  std::string label_;
+  std::uint32_t width_;
+  std::size_t bytes_;
+};
+
+// ---------------------------------------------------------------------------
+// Cluster engines (coordinator RPCs via the member's ClusterClient).
+// ---------------------------------------------------------------------------
+
+class ClusterBarrierEngine final : public BarrierEngine {
+ public:
+  ClusterBarrierEngine(int width, std::string key)
+      : width_(width),
+        key_(std::move(key)),
+        label_("barrier '" + key_ + "'") {}
+
+  void arrive(int /*proc0*/, const std::function<void()>* section) override {
+    cluster::ClusterClient& c = cluster::require_client();
+    c.note_site(label_);
+    c.barrier_arrive(key_, width_, section);
+  }
+
+  [[nodiscard]] const char* name() const override { return "cluster"; }
+
+ private:
+  int width_;
+  std::string key_;
+  std::string label_;
+};
+
+class ClusterDoallSite final : public DoallSite {
+ public:
+  /// Episode bounds in the DSM-coherent arena: written by the entry
+  /// champion inside the barrier section (a release point), read by every
+  /// member after the episode release (an acquire point).
+  struct Bounds {
+    std::int64_t start = 0;
+    std::int64_t last = 0;
+    std::int64_t incr = 1;
+    std::int64_t trips = 0;
+  };
+
+  ClusterDoallSite(SharedArena* arena, const std::string& site, int width)
+      : key_("%ssdo/" + site),
+        label_("selfsched '" + site + "'"),
+        entry_(width, key_ + "/entry"),
+        bounds_(&arena->get_or_create<Bounds>(key_)) {}
+
+  DoallBounds enter(std::int64_t start, std::int64_t last, std::int64_t incr,
+                    std::int64_t trips) override {
+    const std::function<void()> section = [this, start, last, incr, trips] {
+      bounds_->start = start;
+      bounds_->last = last;
+      bounds_->incr = incr;
+      bounds_->trips = trips;
+      cluster::require_client().dispatch_reset(key_);
+    };
+    entry_.arrive(0, &section);
+    cluster::require_client().note_site(label_);
+    DoallBounds b;
+    b.start = bounds_->start;
+    b.last = bounds_->last;
+    b.incr = bounds_->incr;
+    b.trips = bounds_->trips;
+    return b;
+  }
+
+  DispatchClaim claim(std::int64_t want, std::int64_t limit) override {
+    const cluster::Claim c =
+        cluster::require_client().dispatch_claim(key_, want, limit);
+    return DispatchClaim{c.begin, c.count};
+  }
+
+  DispatchClaim claim_fraction(std::int64_t limit,
+                               std::int64_t divisor) override {
+    const cluster::Claim c =
+        cluster::require_client().dispatch_claim_fraction(key_, limit,
+                                                          divisor);
+    return DispatchClaim{c.begin, c.count};
+  }
+
+ private:
+  std::string key_;
+  std::string label_;
+  ClusterBarrierEngine entry_;
+  Bounds* bounds_;
+};
+
+class ClusterAskforRing final : public AskforRing {
+ public:
+  ClusterAskforRing(std::string key, std::size_t task_bytes)
+      : key_(std::move(key)),
+        label_("askfor '" + key_ + "'"),
+        bytes_(task_bytes) {}
+
+  void put(const void* task) override {
+    cluster::ClusterClient& c = cluster::require_client();
+    c.note_site(label_);
+    c.askfor_put(key_, task, bytes_);
+  }
+
+  bool ask(void* out) override {
+    cluster::ClusterClient& c = cluster::require_client();
+    c.note_site(label_);
+    return c.askfor_ask(key_, out, bytes_);
+  }
+
+  void complete() override {
+    cluster::require_client().askfor_complete(key_);
+  }
+
+  void probend() override {
+    cluster::require_client().askfor_probend(key_);
+  }
+
+  [[nodiscard]] bool ended() override {
+    bool ended = false;
+    std::uint64_t granted = 0;
+    cluster::require_client().askfor_status(key_, &ended, &granted);
+    return ended;
+  }
+
+  [[nodiscard]] std::uint64_t granted() override {
+    bool ended = false;
+    std::uint64_t granted = 0;
+    cluster::require_client().askfor_status(key_, &ended, &granted);
+    return granted;
+  }
+
+  void rearm(std::uint32_t /*gen*/) override {
+    // The coordinator's monitor table is born fresh with each cluster team
+    // (no pooled re-entry), so generations never need re-arming.
+  }
+
+ private:
+  std::string key_;
+  std::string label_;
+  std::size_t bytes_;
+};
+
+class ClusterAsyncCell final : public AsyncCell {
+ public:
+  ClusterAsyncCell(std::string label, std::size_t payload_bytes)
+      : label_(std::move(label)), bytes_(payload_bytes) {}
+
+  void produce(const void* value) override {
+    cluster::ClusterClient& c = cluster::require_client();
+    c.note_site(label_);
+    c.cell_produce(label_, value, bytes_);
+  }
+  void consume(void* out) override {
+    cluster::ClusterClient& c = cluster::require_client();
+    c.note_site(label_);
+    c.cell_consume(label_, out, bytes_);
+  }
+  void copy(void* out) override {
+    cluster::ClusterClient& c = cluster::require_client();
+    c.note_site(label_);
+    c.cell_copy(label_, out, bytes_);
+  }
+  bool try_produce(const void* value) override {
+    return cluster::require_client().cell_try_produce(label_, value, bytes_);
+  }
+  bool try_consume(void* out) override {
+    return cluster::require_client().cell_try_consume(label_, out, bytes_);
+  }
+  void void_state() override { cluster::require_client().cell_void(label_); }
+
+  [[nodiscard]] bool is_full() override {
+    FORCE_CHECK(false,
+                capability_reject_message(ProcessModel::kCluster,
+                                          Capability::kIsfull, "Isfull",
+                                          label_));
+  }
+
+ private:
+  std::string label_;
+  std::size_t bytes_;
+};
+
+class ClusterReductionSite final : public ReductionSite {
+ public:
+  ClusterReductionSite(SharedArena* arena, const std::string& key, int width,
+                       std::size_t payload_bytes, std::size_t payload_align)
+      : lock_("reduce@" + key),
+        barrier_(width, "%reduce/" + key + "/barrier"),
+        bytes_(payload_bytes) {
+    // State travels through the DSM-coherent arena: the lock orders the
+    // accumulation (each release ships the dirty bytes), the barrier's
+    // episode release publishes the champion's snapshot.
+    const std::size_t acc_off = align_up(sizeof(std::int32_t), payload_align);
+    const std::size_t result_off =
+        align_up(acc_off + payload_bytes, payload_align);
+    const std::size_t align = payload_align > alignof(std::int32_t)
+                                  ? payload_align
+                                  : alignof(std::int32_t);
+    void* blob = arena->allocate_once(
+        "%reduce/" + key, result_off + payload_bytes, align,
+        VarClass::kShared, [result_off, payload_bytes](void* p) {
+          std::memset(p, 0, result_off + payload_bytes);
+        });
+    arrived_ = static_cast<std::int32_t*>(blob);
+    acc_ = static_cast<unsigned char*>(blob) + acc_off;
+    result_ = static_cast<unsigned char*>(blob) + result_off;
+  }
+
+  void allreduce(int me0, const void* local, void* result_out,
+                 void* shared_target, const Combine& combine) override {
+    lock_.acquire();
+    if (*arrived_ == 0) {
+      std::memcpy(acc_, local, bytes_);
+    } else {
+      combine(acc_, local);
+    }
+    ++*arrived_;
+    lock_.release();
+    const std::function<void()> section = [this, shared_target] {
+      std::memcpy(result_, acc_, bytes_);
+      *arrived_ = 0;
+      if (shared_target != nullptr) {
+        std::memcpy(shared_target, result_, bytes_);
+      }
+    };
+    barrier_.arrive(me0, &section);
+    std::memcpy(result_out, result_, bytes_);
+  }
+
+ private:
+  cluster::ClusterLock lock_;
+  ClusterBarrierEngine barrier_;
+  std::int32_t* arrived_;
+  unsigned char* acc_;
+  unsigned char* result_;
+  std::size_t bytes_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadBackend: machine-model engines; null construct engines keep the
+// constructs' monomorphic thread machinery (lock-free dispatch included).
+// ---------------------------------------------------------------------------
+
+class ThreadBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadBackend(const BackendInit& init)
+      : machine_(init.machine),
+        team_pool_enabled_(init.team_pool),
+        pool_workers_(init.pool_workers),
+        member_stack_bytes_(init.member_stack_bytes) {}
+
+  [[nodiscard]] ProcessModel model() const override {
+    return ProcessModel::kThread;
+  }
+
+  [[nodiscard]] std::unique_ptr<BasicLock> new_lock(
+      LockRole role, const std::string& label,
+      LockObserver* observer) override {
+    std::unique_ptr<BasicLock> inner = machine_->new_lock();
+    if (observer == nullptr) return inner;
+    return std::make_unique<ObservedLock>(std::move(inner), observer, role,
+                                          label);
+  }
+
+  [[nodiscard]] ProcessTeam process_team() const override {
+    return machine_->process_team();
+  }
+
+  SpawnStats run_team(int nproc, PrivateSpace* space,
+                      const std::function<void(int)>& member,
+                      const std::type_info* /*program_type*/) override {
+    if (!team_pool_enabled_) {
+      return machine_->process_team().run(nproc, space, member);
+    }
+    if (space != nullptr) {
+      // Same fork-time copy semantics as the one-shot team; the pool only
+      // changes who executes the members, not what they inherit.
+      space->materialize(nproc,
+                         init_mode_for(machine_->process_team().kind()));
+    }
+    SpawnStats stats = team_pool().run(nproc, member);
+    if (space != nullptr) stats.bytes_copied = space->bytes_copied();
+    return stats;
+  }
+
+  [[nodiscard]] TeamPool& team_pool() override {
+    if (team_pool_ == nullptr) {
+      team_pool_ =
+          std::make_unique<TeamPool>(pool_workers_, member_stack_bytes_);
+    }
+    return *team_pool_;
+  }
+
+ private:
+  MachineModel* machine_;
+  bool team_pool_enabled_;
+  int pool_workers_;
+  std::size_t member_stack_bytes_;
+  std::unique_ptr<TeamPool> team_pool_;
+};
+
+// ---------------------------------------------------------------------------
+// ShmBackend: fork(2) children over the MAP_SHARED arena.
+// ---------------------------------------------------------------------------
+
+class ShmBackend final : public ExecutionBackend {
+ public:
+  explicit ShmBackend(const BackendInit& init)
+      : arena_(init.arena), team_pool_enabled_(init.team_pool) {}
+
+  [[nodiscard]] ProcessModel model() const override {
+    return ProcessModel::kOsFork;
+  }
+
+  [[nodiscard]] std::unique_ptr<DoallSite> make_doall_site(
+      const std::string& site, int width) override {
+    return std::make_unique<ShmDoallSite>(arena_, site, width);
+  }
+
+  [[nodiscard]] std::unique_ptr<AskforRing> make_askfor_ring(
+      const std::string& key, std::uint32_t capacity,
+      std::size_t task_bytes) override {
+    return std::make_unique<ShmAskforRing>(arena_, key, capacity, task_bytes);
+  }
+
+  [[nodiscard]] std::unique_ptr<AsyncCell> make_async_cell(
+      const std::string& label, std::size_t payload_bytes,
+      std::size_t payload_align) override {
+    // The payload window follows a 64-byte-aligned state word; stricter
+    // alignments would need padding nobody has asked for yet.
+    FORCE_CHECK(payload_align <= alignof(shm::ShmCellState),
+                "os-fork async payloads must not require more than 64-byte "
+                "alignment (the payload window follows the cell state word)");
+    return std::make_unique<ShmAsyncCell>(arena_, label, payload_bytes);
+  }
+
+  [[nodiscard]] std::unique_ptr<ReductionSite> make_reduction_site(
+      const std::string& key, int width, std::size_t payload_bytes,
+      std::size_t payload_align) override {
+    return std::make_unique<ShmReductionSite>(arena_, key, width,
+                                              payload_bytes, payload_align);
+  }
+
+  [[nodiscard]] std::unique_ptr<BarrierEngine> make_team_barrier(
+      int width, const std::string& key) override {
+    return std::make_unique<ShmBarrierEngine>(arena_, width, key);
+  }
+
+  [[nodiscard]] std::unique_ptr<BasicLock> new_lock(
+      LockRole /*role*/, const std::string& label,
+      LockObserver* /*observer*/) override {
+    // One futex word in the MAP_SHARED arena, keyed by the construct
+    // label. Labels are construct-unique (critical sections embed their
+    // site key, named locks their name), so every process that reaches
+    // the same construct contends on the same word. The observer is
+    // ignored: the capability table forbids the sentry here.
+    auto* state =
+        &arena_->get_or_create<shm::ShmLockState>("%lock/" + label);
+    return std::make_unique<shm::ShmLock>(state, label);
+  }
+
+  [[nodiscard]] ProcessTeam process_team() const override {
+    return ProcessTeam(ProcessModelKind::kOsFork);
+  }
+
+  [[nodiscard]] std::atomic<std::uint32_t>* shared_run_generation_word()
+      override {
+    // Resident pooled children observe force-entry generations through
+    // this arena word; their own copies of the environment freeze at fork.
+    return &arena_->get_or_create<std::atomic<std::uint32_t>>(
+        "%force/run_gen");
+  }
+
+  SpawnStats run_team(int nproc, PrivateSpace* space,
+                      const std::function<void(int)>& member,
+                      const std::type_info* program_type) override {
+    if (!team_pool_enabled_) {
+      return ProcessTeam(ProcessModelKind::kOsFork).run(nproc, space, member);
+    }
+    ForkTeamPool& pool = fork_pool(nproc);
+    // The pool's resident children re-execute the closure they were
+    // forked with, so every pooled run must pass the same program. The
+    // closure's type is the strongest identity available on a
+    // std::function; same-type closures with different captured state
+    // cannot be told apart (docs/PORTING.md spells out the contract).
+    if (pool.armed()) {
+      FORCE_CHECK(pooled_program_type_ != nullptr &&
+                      program_type != nullptr &&
+                      *pooled_program_type_ == *program_type,
+                  "an os-fork team pool runs one program: its resident "
+                  "children re-execute the closure they were forked with; "
+                  "use a fresh Force (or team_pool = false) for a "
+                  "different program");
+    }
+    SpawnStats stats;
+    try {
+      stats = pool.run(space, member);
+    } catch (const ProcessDeathError&) {
+      // The pool is already retired; the dead team left the arena's
+      // synchronization words wherever the victims stood. Scrub them now
+      // so the fresh team the next run forks starts from a clean slate.
+      reset_shared_sync_after_death();
+      throw;
+    }
+    pooled_program_type_ = program_type;
+    return stats;
+  }
+
+  [[nodiscard]] ForkTeamPool& fork_pool(int nproc) override {
+    if (fork_pool_ != nullptr && fork_pool_->nproc() != nproc) {
+      fork_pool_->shutdown();
+      fork_pool_.reset();
+    }
+    if (fork_pool_ == nullptr) {
+      fork_pool_ = std::make_unique<ForkTeamPool>(nproc);
+    }
+    return *fork_pool_;
+  }
+
+  void reset_shared_sync_after_death() override {
+    arena_->for_each_allocation([](const std::string& name, void* addr,
+                                   std::size_t) {
+      const auto prefixed = [&name](const char* p) {
+        return name.rfind(p, 0) == 0;
+      };
+      if (name == "%force/global") {
+        // Arrival count of the global barrier: the victims' arrivals can
+        // never complete. The episode word stays monotonic (arrivals read
+        // it fresh), so zeroing the count alone re-arms the episode.
+        static_cast<shm::ShmBarrierState*>(addr)->count.store(
+            0, std::memory_order_release);
+      } else if (prefixed("%lock/")) {
+        static_cast<shm::ShmLockState*>(addr)->word.store(
+            0, std::memory_order_release);
+      } else if (prefixed("%ssdo/")) {
+        // The dispatch counter is re-armed by the entry champion anyway;
+        // only the entry barrier carries dead arrivals.
+        static_cast<shm::ShmSelfschedState*>(addr)->entry.count.store(
+            0, std::memory_order_release);
+      } else if (prefixed("%askfor/")) {
+        auto* a = static_cast<shm::ShmAskforState*>(addr);
+        a->monitor.word.store(0, std::memory_order_release);
+        a->head = 0;
+        a->tail = 0;
+        a->working = 0;
+        a->ended = 0;
+        // Back to "never armed": the next entry's first operation runs the
+        // full generation re-arm.
+        a->seen_gen.store(0, std::memory_order_release);
+      } else if (prefixed("%async/")) {
+        // Busy means a victim died inside the payload window and the bytes
+        // are undefined: drop to empty. Full cells are user data and stay.
+        auto* c = static_cast<shm::ShmCellState*>(addr);
+        std::uint32_t busy = 2;
+        c->state.compare_exchange_strong(busy, 0,
+                                         std::memory_order_acq_rel);
+      } else if (prefixed("%reduce/")) {
+        auto* h = static_cast<shm::ShmReduceHeader*>(addr);
+        h->lock.word.store(0, std::memory_order_release);
+        h->barrier.count.store(0, std::memory_order_release);
+        h->arrived = 0;
+      }
+    });
+  }
+
+ private:
+  SharedArena* arena_;
+  bool team_pool_enabled_;
+  std::unique_ptr<ForkTeamPool> fork_pool_;
+  const std::type_info* pooled_program_type_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// ClusterBackend: separate processes, every construct a coordinator RPC.
+// ---------------------------------------------------------------------------
+
+class ClusterBackend final : public ExecutionBackend {
+ public:
+  explicit ClusterBackend(const BackendInit& init)
+      : arena_(init.arena), transport_(init.cluster_transport) {}
+
+  [[nodiscard]] ProcessModel model() const override {
+    return ProcessModel::kCluster;
+  }
+
+  [[nodiscard]] std::unique_ptr<DoallSite> make_doall_site(
+      const std::string& site, int width) override {
+    return std::make_unique<ClusterDoallSite>(arena_, site, width);
+  }
+
+  [[nodiscard]] std::unique_ptr<AskforRing> make_askfor_ring(
+      const std::string& key, std::uint32_t /*capacity*/,
+      std::size_t task_bytes) override {
+    // The coordinator's monitor queue grows on demand; capacity is an
+    // os-fork ring concern.
+    return std::make_unique<ClusterAskforRing>(key, task_bytes);
+  }
+
+  [[nodiscard]] std::unique_ptr<AsyncCell> make_async_cell(
+      const std::string& label, std::size_t payload_bytes,
+      std::size_t /*payload_align*/) override {
+    return std::make_unique<ClusterAsyncCell>(label, payload_bytes);
+  }
+
+  [[nodiscard]] std::unique_ptr<ReductionSite> make_reduction_site(
+      const std::string& key, int width, std::size_t payload_bytes,
+      std::size_t payload_align) override {
+    return std::make_unique<ClusterReductionSite>(arena_, key, width,
+                                                  payload_bytes,
+                                                  payload_align);
+  }
+
+  [[nodiscard]] std::unique_ptr<BarrierEngine> make_team_barrier(
+      int width, const std::string& key) override {
+    return std::make_unique<ClusterBarrierEngine>(width, key);
+  }
+
+  [[nodiscard]] std::unique_ptr<BasicLock> new_lock(
+      LockRole /*role*/, const std::string& label,
+      LockObserver* /*observer*/) override {
+    // One keyed lock cell on the coordinator. Same label discipline as
+    // the shm backend: construct-unique labels mean every member contends
+    // on the same coordinator cell.
+    return std::make_unique<cluster::ClusterLock>(label);
+  }
+
+  [[nodiscard]] ProcessTeam process_team() const override {
+    return ProcessTeam(ProcessModelKind::kCluster);
+  }
+
+  SpawnStats run_team(int nproc, PrivateSpace* space,
+                      const std::function<void(int)>& member,
+                      const std::type_info* /*program_type*/) override {
+    // The cluster team reads its arena and transport through the installed
+    // runtime config (ProcessTeam::run's signature carries neither); the
+    // scope guarantees no dangling arena pointer survives this run.
+    cluster::ScopedRuntimeConfig cfg({arena_, transport_});
+    return ProcessTeam(ProcessModelKind::kCluster).run(nproc, space, member);
+  }
+
+ private:
+  SharedArena* arena_;
+  std::string transport_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> make_execution_backend(
+    ProcessModel model, const BackendInit& init) {
+  FORCE_CHECK(init.machine != nullptr && init.arena != nullptr,
+              "BackendInit needs the machine model and the arena");
+  switch (model) {
+    case ProcessModel::kThread:
+      return std::make_unique<ThreadBackend>(init);
+    case ProcessModel::kOsFork:
+      return std::make_unique<ShmBackend>(init);
+    case ProcessModel::kCluster:
+      return std::make_unique<ClusterBackend>(init);
+  }
+  FORCE_CHECK(false, "unreachable process model");
+}
+
+}  // namespace force::machdep

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "machdep/backend.hpp"
 #include "machdep/machine.hpp"
 #include "preproc/translate.hpp"
 #include "util/check.hpp"
@@ -110,10 +111,17 @@ int main(int argc, char** argv) {
     }
     options.werror = cli.get_flag("Werror");
     options.process_model = cli.get("process-model");
-    FORCE_CHECK(options.process_model.empty() ||
-                    options.process_model == "os-fork" ||
-                    options.process_model == "cluster",
-                "--process-model must be empty, os-fork or cluster");
+    if (!options.process_model.empty()) {
+      force::machdep::ProcessModel model;
+      FORCE_CHECK(
+          force::machdep::parse_process_model(options.process_model, &model),
+          "--process-model '" + options.process_model +
+              "' is not recognized; valid values: " +
+              force::machdep::process_model_valid_set());
+      // Canonical spelling downstream: the generated driver text and the
+      // lint matrix both use the backend layer's model names.
+      options.process_model = force::machdep::process_model_name(model);
+    }
     options.team_pool = cli.seen("team-pool");
     options.pool_workers =
         options.team_pool ? static_cast<int>(cli.get_int("team-pool")) : 0;

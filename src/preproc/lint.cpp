@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "machdep/backend.hpp"
 #include "preproc/machmacros.hpp"
 #include "preproc/pass1.hpp"
 #include "preproc/textutil.hpp"
@@ -1083,46 +1084,47 @@ class Linter {
     }
   }
 
+  /// One statement tripping one capability: every process model the
+  /// declarative backend matrix (machdep::capability_table) marks
+  /// unsupporting gets a matrix entry, with the reason quoted from the
+  /// same table the runtime's rejection diagnostics quote - the two can
+  /// no longer drift (tests/test_backend_capabilities.cpp proves it).
+  void add_capability_violation(const Stmt& s, machdep::Capability cap,
+                                const std::string& construct,
+                                const std::string& detail) {
+    const machdep::CapabilityRow& row = machdep::capability_row(cap);
+    for (const machdep::ProcessModel m : machdep::all_process_models()) {
+      if (machdep::backend_supports(m, cap)) continue;
+      const std::string model = machdep::process_model_name(m);
+      std::string reason = construct + " is rejected by the " + model +
+                           " process model [capability " +
+                           std::string(row.id) + "]: " + row.reason;
+      if (!detail.empty()) reason = detail + " - " + reason;
+      add_model_violation(s, model, construct, reason);
+    }
+  }
+
   void scan_stmts_for_models(const std::vector<Stmt>& stmts) {
     for (const Stmt& s : stmts) {
       switch (s.kind) {
-        case StmtKind::kPcaseBegin: {
-          const std::string reason =
-              "Pcase is rejected by the os-fork process model (its "
-              "section-negotiation state is per-address-space; the "
-              "runtime refuses it only after fork(2))";
-          add_model_violation(s, "os-fork", "Pcase", reason);
-          add_model_violation(
-              s, "cluster", "Pcase",
-              "Pcase is rejected by the cluster process model "
-              "(inherits every os-fork narrowing rule)");
+        case StmtKind::kPcaseBegin:
+          add_capability_violation(s, machdep::Capability::kPcase, "Pcase",
+                                   "");
           break;
-        }
         case StmtKind::kAskforBegin: {
           if (s.args.size() < 3) break;
           const std::string& type = s.args[2];
           if (!map_force_type(type).empty()) break;  // Force scalar: OK
-          const std::string reason =
+          add_capability_violation(
+              s, machdep::Capability::kNonTrivialPayloads, "Askfor payload",
               "Askfor task type '" + type +
-              "' is not provably trivially copyable - the os-fork "
-              "backend memcpys tasks through a fixed shared-memory ring "
-              "and rejects such payloads at run time";
-          add_model_violation(s, "os-fork", "Askfor payload", reason);
-          add_model_violation(
-              s, "cluster", "Askfor payload",
-              "Askfor task type '" + type +
-                  "' is not provably trivially copyable - the cluster "
-                  "model ships tasks over a message transport");
+                  "' is not provably trivially copyable");
           break;
         }
-        case StmtKind::kIsfull: {
-          add_model_violation(
-              s, "cluster", "Isfull",
-              "Isfull is rejected by the cluster process model "
-              "(a non-blocking full/empty probe of a cell with no shared "
-              "mapping is stale by the time the answer arrives)");
+        case StmtKind::kIsfull:
+          add_capability_violation(s, machdep::Capability::kIsfull, "Isfull",
+                                   "");
           break;
-        }
         default:
           break;
       }
@@ -1252,8 +1254,15 @@ const char* lint_rule_id(LintRule rule) {
 }
 
 const std::vector<std::string>& lint_process_models() {
-  static const std::vector<std::string> models = {"thread", "os-fork",
-                                                  "cluster"};
+  // Derived from the backend layer's fixed model order so the lint matrix
+  // and the runtime always enumerate the same axis.
+  static const std::vector<std::string> models = [] {
+    std::vector<std::string> out;
+    for (const machdep::ProcessModel m : machdep::all_process_models()) {
+      out.emplace_back(machdep::process_model_name(m));
+    }
+    return out;
+  }();
   return models;
 }
 

@@ -227,7 +227,9 @@ TEST(ProcessSharedBarrier, EmptySectionNeverThrows) {
   fc::ForceConfig cfg = test_config(kWidth);
   cfg.process_model = "os-fork";
   fc::ForceEnvironment env(cfg);
-  fc::ProcessSharedBarrier barrier(env, kWidth, "%test/empty-section");
+  auto barrier_ptr =
+      env.make_process_shared_barrier(kWidth, "%test/empty-section");
+  fc::BarrierAlgorithm& barrier = *barrier_ptr;
   std::atomic<int> runs{0};
   {
     std::vector<std::jthread> team;

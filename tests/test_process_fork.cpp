@@ -46,7 +46,8 @@ TEST(ForkBackend, ModelNameAndTeamKind) {
   EXPECT_STREQ(md::process_model_name(md::ProcessModelKind::kOsFork),
                "os-fork");
   force::Force f(fork_config());
-  EXPECT_TRUE(f.env().fork_backend());
+  EXPECT_EQ(f.env().process_model(), md::ProcessModel::kOsFork);
+  EXPECT_STREQ(f.env().backend().name(), "os-fork");
   EXPECT_TRUE(f.env().arena().process_shared());
   EXPECT_EQ(f.env().arena().backing(), md::ArenaBacking::kSharedMapping);
 }
